@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark targets.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+experiment protocol on the simulator (wall-clock measured by
+pytest-benchmark), prints the paper-style series/table with a
+paper-vs-measured comparison, and writes a CSV under ``results/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench import figures
+
+
+def results_path(name: str) -> str:
+    here = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    return os.path.join(here, "results", name)
+
+
+def emit(title: str, body: str) -> None:
+    """Print a clearly delimited report block (visible with ``pytest -s`` /
+    in the benchmark summary)."""
+    bar = "=" * 78
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+
+def overhead_report(app: str, series, paper_nonres, paper_res) -> str:
+    """Render a Figs. 2-4 style report with paper anchors."""
+    lines = [
+        figures.series_table(series.places, series.values, header_unit="ms/iteration"),
+        "",
+        "paper vs measured (ms/iteration):",
+    ]
+    nonres = series.values["non-resilient finish"]
+    res = series.values["resilient finish"]
+    lines.append(figures.comparison_line(f"{app} non-resilient @ 2 places", paper_nonres[0], nonres[0]))
+    lines.append(figures.comparison_line(f"{app} non-resilient @ 44 places", paper_nonres[1], nonres[-1]))
+    lines.append(figures.comparison_line(f"{app} resilient @ 2 places", paper_res[0], res[0]))
+    lines.append(figures.comparison_line(f"{app} resilient @ 44 places", paper_res[1], res[-1]))
+    paper_overhead = (paper_res[1] - paper_nonres[1]) / paper_nonres[1] * 100
+    ours_overhead = (res[-1] - nonres[-1]) / nonres[-1] * 100
+    lines.append(
+        f"  resilient overhead @44: paper {paper_overhead:.0f}%  ours {ours_overhead:.0f}%"
+    )
+    csv = figures.write_csv(results_path(f"{app}_overhead.csv"), series.places, series.values)
+    lines.append(f"  series written to {csv}")
+    return "\n".join(lines)

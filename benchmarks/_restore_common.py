@@ -1,0 +1,39 @@
+"""Shared driver for the Figs. 5-7 restore-mode benchmarks."""
+
+from __future__ import annotations
+
+from _common import emit, results_path
+from repro.bench import figures
+from repro.bench.harness import run_restore_sweep
+
+
+def run_and_report(app: str, figure: str):
+    """Run the Fig. 5-7 protocol for *app* and return (series, reports)."""
+    out = run_restore_sweep(app, iterations=30, checkpoint_interval=10, failure_iteration=15)
+    series = out["series"]
+    lines = [
+        figures.series_table(series.places, series.values, value_format="{:10.2f}", header_unit="total s"),
+        "",
+        "shape checks: all resilient modes sit above the non-resilient",
+        "baseline; shrink-rebalance is the most expensive mode at scale.",
+    ]
+    csv = figures.write_csv(results_path(f"{app}_restore_modes.csv"), series.places, series.values)
+    lines.append(f"series written to {csv}")
+    emit(
+        f"{figure} — {app}: total runtime, 30 iterations, 1 failure @ iter 15, "
+        "checkpoints every 10",
+        "\n".join(lines),
+    )
+    return out
+
+
+def assert_shapes(out) -> None:
+    series = out["series"]
+    baseline = series.values["non-resilient (no failure)"]
+    for mode in ("shrink", "shrink-rebalance", "replace-redundant"):
+        mode_totals = series.values[mode]
+        # Resilient execution with a failure always costs more than the
+        # failure-free non-resilient baseline.
+        assert all(m > b for m, b in zip(mode_totals, baseline))
+    # At the largest place count, shrink-rebalance is the costliest mode.
+    assert series.values["shrink-rebalance"][-1] >= series.values["replace-redundant"][-1]

@@ -1,0 +1,74 @@
+"""Ablation — per-node NIC contention and the Table III residual.
+
+The paper's checkpoint times jump ~1.8× between 2 and 12 places
+(1284 → 2292 ms for LinReg) and then stay almost flat to 44 places.  A
+per-place transfer model cannot produce that jump: the per-place snapshot
+volume is constant under weak scaling.  The paper's testbed ran **4 places
+per node on 11 nodes** — once more than 11 places run, several places'
+backup copies (200 MB each for LinReg) share one NIC, and the serialized
+NIC is exactly a step increase that saturates once every node is full.
+
+This ablation runs the Table III protocol under the plain profile and
+under the node-topology profile (11 nodes, round-robin placement,
+shared-memory intra-node transfers) and compares the 2 → 12 → 44 growth
+pattern against the paper's.
+"""
+
+from _common import emit, results_path
+from repro.bench import figures
+from repro.bench.calibration import (
+    REGRESSION_SCALE,
+    cluster_2015,
+    cluster_2015_with_nodes,
+    regression_bench_workload,
+)
+from repro.apps.resilient import LinRegResilient
+from repro.resilience.executor import IterativeExecutor
+from repro.runtime import Runtime
+
+AXIS = [2, 8, 12, 24, 44]
+PAPER_LINREG = {2: 1284, 8: 1917, 12: 2292, 24: 2336, 44: 2464}
+
+
+def run_profile(cost_model):
+    wl = regression_bench_workload(30)
+    out = []
+    for places in AXIS:
+        rt = Runtime(places, cost=cost_model.with_scale(REGRESSION_SCALE), resilient=True)
+        app = LinRegResilient(rt, wl)
+        report = IterativeExecutor(rt, app, checkpoint_interval=10).run()
+        out.append(report.mean_checkpoint_time * 1e3)
+    return out
+
+
+def run_both():
+    return {
+        "per-place links": run_profile(cluster_2015()),
+        "11 nodes x 4 places (NIC shared)": run_profile(cluster_2015_with_nodes()),
+        "paper (LinReg)": [float(PAPER_LINREG[p]) for p in AXIS],
+    }
+
+
+def test_ablation_nic_contention(benchmark):
+    values = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    lines = [figures.series_table(AXIS, values, header_unit="ms/checkpoint")]
+    for label, series in values.items():
+        jump = series[AXIS.index(12)] / series[0]
+        flat = series[-1] / series[AXIS.index(12)]
+        lines.append(f"  {label:<34s} 2→12 growth {jump:4.2f}x   12→44 growth {flat:4.2f}x")
+    csv = figures.write_csv(results_path("ablation_nic.csv"), AXIS, values)
+    lines.append(f"  series written to {csv}")
+    emit("Ablation — NIC sharing explains Table III's 2→12 jump", "\n".join(lines))
+
+    plain = values["per-place links"]
+    nic = values["11 nodes x 4 places (NIC shared)"]
+    paper = values["paper (LinReg)"]
+    i12 = AXIS.index(12)
+    # Without NIC sharing the checkpoint time is nearly flat from 2 places;
+    # with it, a clear jump appears once nodes start hosting >1 place —
+    # the paper's pattern.
+    assert plain[i12] / plain[0] < 1.15
+    assert nic[i12] / nic[0] > 1.5
+    # And like the paper, growth saturates once every node is full.
+    assert nic[-1] / nic[i12] < 1.6
+    assert paper[-1] / paper[i12] < 1.2  # the anchor we are explaining

@@ -1,0 +1,77 @@
+"""Ablation — double in-memory snapshot store cost profile (§IV-B1).
+
+The paper states that *saving* into the Snapshot is uniform from any place
+(one local copy + one remote copy), while *loading* is non-uniform (cheap
+when the requested key is local, a transfer otherwise).  This ablation
+measures both halves, plus the read-only reuse optimization that makes
+every checkpoint after the first nearly free for immutable inputs.
+"""
+
+from _common import emit
+from repro.bench.calibration import regression_cost
+from repro.matrix.distblock import DistBlockMatrix
+from repro.resilience.store import AppResilientStore
+from repro.runtime import Runtime
+
+PLACES = 16
+
+
+def measure():
+    rt = Runtime(PLACES, cost=regression_cost(), resilient=True)
+    g = DistBlockMatrix.make_dense(rt, PLACES * 1000, 100, PLACES * 2, 1).init_random(1)
+
+    # Save cost (uniform across places): one full snapshot.
+    t0 = rt.now()
+    snap = g.make_snapshot()
+    save_s = rt.now() - t0
+
+    # Local load: same group, every key is on its own place.
+    g.remake(rt.world)
+    t0 = rt.now()
+    g.restore_snapshot(snap)
+    local_load_s = rt.now() - t0
+
+    # Remote load: kill a place; the orphaned blocks come from backups and
+    # shifted owners, paying transfers.
+    rt.kill(PLACES // 2)
+    g.remake(rt.live_world())
+    t0 = rt.now()
+    g.restore_snapshot(snap)
+    remote_load_s = rt.now() - t0
+
+    # Read-only reuse: second checkpoint of an immutable object is ~free.
+    rt2 = Runtime(PLACES, cost=regression_cost(), resilient=True)
+    g2 = DistBlockMatrix.make_dense(rt2, PLACES * 1000, 100, PLACES * 2, 1).init_random(1)
+    store = AppResilientStore(rt2)
+    t0 = rt2.now()
+    store.start_new_snapshot()
+    store.save_read_only(g2)
+    store.commit(0)
+    first_ckpt_s = rt2.now() - t0
+    t0 = rt2.now()
+    store.start_new_snapshot()
+    store.save_read_only(g2)
+    store.commit(1)
+    reuse_ckpt_s = rt2.now() - t0
+
+    return {
+        "save_s": save_s,
+        "local_load_s": local_load_s,
+        "remote_load_s": remote_load_s,
+        "first_readonly_ckpt_s": first_ckpt_s,
+        "reused_readonly_ckpt_s": reuse_ckpt_s,
+    }
+
+
+def test_ablation_snapshot_store_costs(benchmark):
+    r = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [f"{k:<28s} {v:9.4f} s" for k, v in r.items()]
+    emit("Ablation — double in-memory store: save/load cost profile", "\n".join(lines))
+
+    # Loading is non-uniform: a post-failure restore (remote fetches) costs
+    # more than a same-layout restore (local fetches).
+    assert r["remote_load_s"] > r["local_load_s"]
+    # Saving pays the remote backup copy: it exceeds the all-local load.
+    assert r["save_s"] > r["local_load_s"]
+    # Read-only reuse: the second checkpoint is at least 50x cheaper.
+    assert r["reused_readonly_ckpt_s"] < r["first_readonly_ckpt_s"] / 50

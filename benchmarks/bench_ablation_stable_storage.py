@@ -1,0 +1,89 @@
+"""Ablation — in-memory double store vs reliable stable storage.
+
+The paper's introduction motivates in-memory checkpointing against
+data-flow systems that materialize state on reliable storage: "reloading
+the intermediate data from reliable storage at each iteration" is the
+I/O overhead Hadoop-style iteration pays.  This ablation quantifies the
+trade on PageRank at 24 places (GigE network, ~100 MB/s shared stable
+storage):
+
+1. checkpoint cost: in-memory double store vs stable storage writes;
+2. the paper's framework protocol (in-memory, checkpoint every 10) vs a
+   Hadoop-style protocol (stable storage, state materialized every
+   iteration) over the same 30-iteration run;
+3. what stable storage buys: recovery from an adjacent double failure
+   that defeats the double in-memory store.
+"""
+
+from _common import emit
+from repro.apps.resilient import PageRankResilient
+from repro.bench.calibration import pagerank_bench_workload, pagerank_cost
+from repro.resilience.executor import IterativeExecutor
+from repro.resilience.stable import use_stable_storage
+from repro.runtime import DataLossError, Runtime
+
+PLACES = 24
+DISK_BYTE_TIME = 1.0e-8  # ~100 MB/s shared DFS
+
+
+def run_protocol(stable: bool, interval: int, adjacent_double_failure: bool = False):
+    cost = pagerank_cost().with_rates(disk_byte_time=DISK_BYTE_TIME)
+    rt = Runtime(PLACES, cost=cost, resilient=True)
+    app = PageRankResilient(rt, pagerank_bench_workload(30))
+    if stable:
+        use_stable_storage(app.G, app.U, app.P)
+    if adjacent_double_failure:
+        rt.injector.kill_at_iteration(5, iteration=15)
+        rt.injector.kill_at_iteration(6, iteration=15)
+    try:
+        report = IterativeExecutor(rt, app, checkpoint_interval=interval).run()
+    except DataLossError:
+        return None
+    return report
+
+
+def run_ablation():
+    framework = run_protocol(stable=False, interval=10)
+    framework_stable = run_protocol(stable=True, interval=10)
+    hadoop_style = run_protocol(stable=True, interval=1)
+    in_memory_double_fail = run_protocol(
+        stable=False, interval=10, adjacent_double_failure=True
+    )
+    stable_double_fail = run_protocol(
+        stable=True, interval=10, adjacent_double_failure=True
+    )
+    return {
+        "framework (in-memory, every 10)": framework,
+        "framework (stable store, every 10)": framework_stable,
+        "Hadoop-style (stable store, every iteration)": hadoop_style,
+        "in-memory + adjacent double failure": in_memory_double_fail,
+        "stable + adjacent double failure": stable_double_fail,
+    }
+
+
+def test_ablation_stable_storage(benchmark):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    lines = ["protocol                                        total(s)  ckpt(s)"]
+    for label, report in results.items():
+        if report is None:
+            lines.append(f"{label:<46s} UNRECOVERABLE (DataLossError)")
+        else:
+            lines.append(
+                f"{label:<46s} {report.total_time:8.2f} {report.checkpoint_time:8.2f}"
+            )
+    emit("Ablation — in-memory vs stable-storage checkpointing", "\n".join(lines))
+
+    framework = results["framework (in-memory, every 10)"]
+    stable10 = results["framework (stable store, every 10)"]
+    hadoop = results["Hadoop-style (stable store, every iteration)"]
+    # Stable storage costs more per checkpoint than the in-memory store...
+    assert stable10.checkpoint_time > framework.checkpoint_time
+    # ...and Hadoop-style per-iteration materialization multiplies the
+    # checkpointing I/O — the paper's motivation.  (Our "Hadoop-style"
+    # still reuses the read-only graph snapshot; true MapReduce would also
+    # rewrite the inputs and look far worse.)
+    assert hadoop.checkpoint_time > 3.0 * framework.checkpoint_time
+    assert hadoop.total_time > 1.15 * framework.total_time
+    # But only stable storage survives the adjacent double failure.
+    assert results["in-memory + adjacent double failure"] is None
+    assert results["stable + adjacent double failure"] is not None

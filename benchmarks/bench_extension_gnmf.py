@@ -1,0 +1,48 @@
+"""Extension — GNMF under the resilient framework (beyond the paper).
+
+GNMF is one of GML's stock demo applications; the paper's framework claims
+generality ("the resilient application framework is generic enough to be
+easily ... reused"), so this benchmark exercises a fourth application with
+a different communication pattern — distributed Gram products all-reducing
+k×n / k×k partials, plus duplicated-matrix updates — through the same
+protocols: the Figs. 2-4 overhead sweep and the Figs. 5-7 restore sweep at
+44 places.
+"""
+
+from _common import emit, results_path
+from repro.bench import figures
+from repro.bench.harness import run_overhead_sweep, run_restore_sweep, table4_from_reports
+
+AXIS = [2, 8, 16, 24, 32, 44]
+
+
+def run_all():
+    overhead = run_overhead_sweep("gnmf", places_list=AXIS, iterations=30)
+    restore = run_restore_sweep("gnmf", places_list=[44], iterations=30)
+    return overhead, restore
+
+
+def test_extension_gnmf(benchmark):
+    overhead, restore = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    lines = [
+        figures.series_table(overhead.places, overhead.values, header_unit="ms/iteration"),
+        "",
+        "restore protocol at 44 places (total s):",
+    ]
+    for mode, vals in restore["series"].values.items():
+        lines.append(f"  {mode:<28s} {vals[0]:8.2f}")
+    t4 = table4_from_reports(restore["reports"], 44)
+    lines.append("")
+    for mode, row in t4.items():
+        lines.append(f"  {mode:<28s} C% {row['C%']:5.1f}  R% {row['R%']:5.1f}")
+    csv = figures.write_csv(results_path("gnmf_overhead.csv"), overhead.places, overhead.values)
+    lines.append(f"series written to {csv}")
+    emit("Extension — GNMF overhead and restore-mode behaviour", "\n".join(lines))
+
+    nonres = overhead.values["non-resilient finish"]
+    res = overhead.values["resilient finish"]
+    # The framework's qualitative claims carry over to the new app:
+    assert all(r >= n for r, n in zip(res, nonres))
+    assert res[-1] / nonres[-1] < 3.0
+    # Restore-mode ordering holds here too.
+    assert t4["shrink-rebalance"]["R%"] >= t4["replace-redundant"]["R%"]

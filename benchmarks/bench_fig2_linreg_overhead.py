@@ -1,0 +1,31 @@
+"""Figure 2 — Linear Regression: resilient X10 overhead.
+
+Protocol: the non-resilient LinReg GML benchmark, 30 iterations, weak
+scaling (50 000 examples/place, 500 features), run under both non-resilient
+and resilient X10; report time per iteration over 2-44 places.
+
+Paper shape: non-resilient grows 60 → 180 ms; resilient grows 60 → 400 ms
+(up to ~120 % overhead), the gap widening with places because of
+place-zero bookkeeping.
+"""
+
+from _common import emit, overhead_report
+from repro.bench.calibration import PaperTargets
+from repro.bench.harness import run_overhead_sweep
+
+
+def test_fig2_linreg_overhead(benchmark):
+    series = benchmark.pedantic(
+        lambda: run_overhead_sweep("linreg", iterations=30), rounds=1, iterations=1
+    )
+    report = overhead_report(
+        "linreg", series, PaperTargets.linreg_nonres_ms, PaperTargets.linreg_res_ms
+    )
+    emit("Figure 2 — LinReg: resilient X10 overhead (time per iteration)", report)
+    nonres = series.values["non-resilient finish"]
+    res = series.values["resilient finish"]
+    # Shape assertions: growth with places, resilient above non-resilient,
+    # overhead in the paper's ballpark (~2x at 44 places).
+    assert nonres[-1] > 2.0 * nonres[0]
+    assert all(r >= n for r, n in zip(res, nonres))
+    assert 1.5 < res[-1] / nonres[-1] < 3.0

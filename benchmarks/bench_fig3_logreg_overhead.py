@@ -1,0 +1,27 @@
+"""Figure 3 — Logistic Regression: resilient X10 overhead.
+
+Same protocol as Figure 2 for the LogReg benchmark (two forward passes plus
+a gradient pass per iteration, so its base time is roughly twice LinReg's).
+
+Paper shape: non-resilient grows 110 → 295 ms; resilient 110 → 595 ms
+(up to ~100 % overhead).
+"""
+
+from _common import emit, overhead_report
+from repro.bench.calibration import PaperTargets
+from repro.bench.harness import run_overhead_sweep
+
+
+def test_fig3_logreg_overhead(benchmark):
+    series = benchmark.pedantic(
+        lambda: run_overhead_sweep("logreg", iterations=30), rounds=1, iterations=1
+    )
+    report = overhead_report(
+        "logreg", series, PaperTargets.logreg_nonres_ms, PaperTargets.logreg_res_ms
+    )
+    emit("Figure 3 — LogReg: resilient X10 overhead (time per iteration)", report)
+    nonres = series.values["non-resilient finish"]
+    res = series.values["resilient finish"]
+    assert nonres[-1] > 1.8 * nonres[0]
+    assert all(r >= n for r, n in zip(res, nonres))
+    assert 1.4 < res[-1] / nonres[-1] < 3.0

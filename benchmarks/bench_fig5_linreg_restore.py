@@ -1,0 +1,19 @@
+"""Figure 5 — Linear Regression: total runtime with a single failure under
+the three restoration modes (plus the non-resilient no-failure baseline).
+
+Protocol: 30 iterations, checkpoints every 10, one place killed at
+iteration 15; total runtime includes resilient-X10 bookkeeping,
+checkpointing, restoration and (for shrink-rebalance) rebalancing.
+"""
+
+from _restore_common import assert_shapes, run_and_report
+
+_cache = {}
+
+
+def test_fig5_linreg_restore_modes(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_and_report("linreg", "Figure 5"), rounds=1, iterations=1
+    )
+    _cache["out"] = out
+    assert_shapes(out)

@@ -1,0 +1,14 @@
+"""Figure 6 — Logistic Regression: total runtime with a single failure
+under the three restoration modes (plus the non-resilient baseline).
+
+Same protocol as Figure 5.
+"""
+
+from _restore_common import assert_shapes, run_and_report
+
+
+def test_fig6_logreg_restore_modes(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_and_report("logreg", "Figure 6"), rounds=1, iterations=1
+    )
+    assert_shapes(out)

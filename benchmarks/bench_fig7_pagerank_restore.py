@@ -1,0 +1,17 @@
+"""Figure 7 — PageRank: total runtime with a single failure under the
+three restoration modes (plus the non-resilient baseline).
+
+Same protocol as Figure 5.  PageRank's checkpoint/restore overheads are
+proportionally smaller (Table IV: ~10 % / ~4-10 %) because the heavy input
+— the sparse link matrix — is saved read-only once, and only the small
+rank vector is re-saved every checkpoint.
+"""
+
+from _restore_common import assert_shapes, run_and_report
+
+
+def test_fig7_pagerank_restore_modes(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_and_report("pagerank", "Figure 7"), rounds=1, iterations=1
+    )
+    assert_shapes(out)

@@ -1,0 +1,50 @@
+"""Table IV — percentage of total time in checkpoint (C%) and restore (R%)
+at 44 places, per application and restoration mode.
+
+Protocol: the Figs. 5-7 runs at 44 places (30 iterations, checkpoints
+every 10, one failure at iteration 15); C% and R% are the checkpoint and
+restore segments' share of the total runtime.
+
+Paper shape: shrink-rebalance has the highest restore share
+(repartitioning + multi-sub-block copies); replace-redundant the lowest
+(same-index block reload, only the spare pulls data remotely).
+"""
+
+from _common import emit
+from repro.bench.calibration import PaperTargets
+from repro.bench.harness import run_restore_sweep, table4_from_reports
+
+MODES = ("shrink", "shrink-rebalance", "replace-redundant")
+
+
+def run_all():
+    out = {}
+    for app in ("linreg", "logreg", "pagerank"):
+        sweep = run_restore_sweep(app, places_list=[44], iterations=30)
+        out[app] = table4_from_reports(sweep["reports"], places=44)
+    return out
+
+
+def test_table4_checkpoint_restore_percentages(benchmark):
+    measured = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    lines = ["                      " + "".join(f"{m:>20s}" for m in MODES)]
+    lines.append("application           " + "   C%   R%" * 3)
+    for app in ("linreg", "logreg", "pagerank"):
+        paper = PaperTargets.table4[app]
+        ours = measured[app]
+        row_p = "  ".join(f"{paper[m][0]:4.0f} {paper[m][1]:4.0f}" for m in MODES)
+        row_o = "  ".join(f"{ours[m]['C%']:4.1f} {ours[m]['R%']:4.1f}" for m in MODES)
+        lines.append(f"{app:<12s} paper    {row_p}")
+        lines.append(f"{app:<12s} ours     {row_o}")
+    emit("Table IV — C% / R% of total time at 44 places", "\n".join(lines))
+
+    for app in ("linreg", "logreg", "pagerank"):
+        ours = measured[app]
+        # Restore-share ordering: rebalance most expensive, replace least.
+        assert ours["shrink-rebalance"]["R%"] >= ours["shrink"]["R%"]
+        assert ours["shrink"]["R%"] >= ours["replace-redundant"]["R%"]
+        # Checkpoints are a visible but not dominant fraction of runtime.
+        for m in MODES:
+            assert 2.0 < ours[m]["C%"] < 50.0
+    # PageRank's shares are the smallest of the three apps (cheap re-saves).
+    assert measured["pagerank"]["shrink"]["C%"] < measured["linreg"]["shrink"]["C%"]

@@ -1,0 +1,12 @@
+"""Benchmark-suite configuration.
+
+The physical matvecs are small (1000x100 per block); multi-threaded BLAS
+only adds synchronization overhead at that size, so pin to one thread —
+which also matches the paper's OPENBLAS_NUM_THREADS=1 setup.
+"""
+
+import os
+
+os.environ.setdefault("OPENBLAS_NUM_THREADS", "1")
+os.environ.setdefault("OMP_NUM_THREADS", "1")
+os.environ.setdefault("MKL_NUM_THREADS", "1")

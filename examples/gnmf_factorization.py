@@ -1,0 +1,45 @@
+"""Non-negative matrix factorization that survives a failure mid-run.
+
+Factors a sparse 480×120 matrix into rank-6 factors with multiplicative
+updates on 4 places, loses a place at iteration 10 of 25, shrinks onto the
+survivors, and converges to the same factorization as a failure-free run.
+
+Run:  python examples/gnmf_factorization.py
+"""
+
+import numpy as np
+
+from repro import Runtime
+from repro.apps import GnmfNonResilient, GnmfResilient, GnmfWorkload
+from repro.bench.calibration import cluster_2015
+from repro.resilience import IterativeExecutor, RestoreMode
+
+workload = GnmfWorkload(
+    rows_per_place=120, cols=120, rank=6, density=0.15, iterations=25
+)
+
+# Failure-free reference.
+ref_rt = Runtime(4, cost=cluster_2015())
+reference = GnmfNonResilient(ref_rt, workload)
+error_before = reference.reconstruction_error()
+reference.run()
+error_after = reference.reconstruction_error()
+print(f"reference:  ||V - WH||_F  {error_before:.3f} → {error_after:.3f}")
+
+# Resilient run with a failure.
+rt = Runtime(4, cost=cluster_2015(), resilient=True)
+app = GnmfResilient(rt, workload)
+rt.injector.kill_at_iteration(2, iteration=10)
+report = IterativeExecutor(
+    rt, app, checkpoint_interval=5, mode=RestoreMode.SHRINK_REBALANCE
+).run()
+
+print(f"resilient:  ||V - WH||_F  {app.reconstruction_error():.3f} "
+      f"after {report.failures_observed} failure, {report.restores} restore")
+print(f"final places: {app.places.ids}; blocks/place: {app.V.blocks_per_place()}")
+W_ref, H_ref = reference.factors()
+W, H = app.factors()
+print(f"factor deviation vs failure-free: W {np.abs(W - W_ref).max():.2e}, "
+      f"H {np.abs(H - H_ref).max():.2e}")
+assert np.allclose(W, W_ref, atol=1e-8) and np.allclose(H, H_ref, atol=1e-8)
+print("factors match the failure-free run ✓")

@@ -1,0 +1,40 @@
+"""repro — reproduction of "A Resilient Framework for Iterative Linear
+Algebra Applications in X10" (Hamouda, Milthorpe, Strazdins, Saraswat;
+IPDPS workshops 2015).
+
+The package provides:
+
+* ``repro.runtime`` — a deterministic APGAS (X10-style) runtime simulator
+  with places, finish semantics, fail-stop failure injection and the
+  place-zero bookkeeping cost of Resilient X10;
+* ``repro.matrix`` — the Global Matrix Library (GML): single-place dense and
+  sparse matrices, duplicated and distributed multi-place classes;
+* ``repro.resilience`` — the paper's contribution: snapshot/restore for GML
+  objects, the application resilient store, and the resilient iterative
+  executor with shrink / shrink-rebalance / replace-redundant modes;
+* ``repro.apps`` — Linear Regression, Logistic Regression and PageRank in
+  both non-resilient and resilient forms;
+* ``repro.bench`` — the harness regenerating every table and figure of the
+  paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+from repro.runtime import (
+    CostModel,
+    DeadPlaceException,
+    FailureInjector,
+    Place,
+    PlaceGroup,
+    Runtime,
+)
+
+__all__ = [
+    "__version__",
+    "CostModel",
+    "DeadPlaceException",
+    "FailureInjector",
+    "Place",
+    "PlaceGroup",
+    "Runtime",
+]

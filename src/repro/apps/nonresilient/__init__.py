@@ -1,0 +1,20 @@
+"""Non-resilient GML applications (the left column of Table II).
+
+Plain GML programs in a sequential style: no checkpoints, no recovery —
+a place failure aborts the run.  The resilient counterparts live in
+``repro.apps.resilient``; the two versions are intentionally separate,
+self-contained programs so the Table II lines-of-code comparison measures
+real code.
+"""
+
+from repro.apps.nonresilient.gnmf import GnmfNonResilient
+from repro.apps.nonresilient.linreg import LinRegNonResilient
+from repro.apps.nonresilient.logreg import LogRegNonResilient
+from repro.apps.nonresilient.pagerank import PageRankNonResilient
+
+__all__ = [
+    "GnmfNonResilient",
+    "LinRegNonResilient",
+    "LogRegNonResilient",
+    "PageRankNonResilient",
+]

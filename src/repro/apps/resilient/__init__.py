@@ -1,0 +1,21 @@
+"""Resilient GML applications (the right column of Table II).
+
+Each application implements the framework's four-method programming model
+(``is_finished`` / ``step`` / ``checkpoint`` / ``restore``) and is executed
+by :class:`~repro.resilience.executor.IterativeExecutor`.  The algorithm
+bodies intentionally duplicate (rather than import) the non-resilient
+versions so the Table II lines-of-code comparison measures two complete,
+independent programs — as the paper's benchmarks were.
+"""
+
+from repro.apps.resilient.gnmf import GnmfResilient
+from repro.apps.resilient.linreg import LinRegResilient
+from repro.apps.resilient.logreg import LogRegResilient
+from repro.apps.resilient.pagerank import PageRankResilient
+
+__all__ = [
+    "GnmfResilient",
+    "LinRegResilient",
+    "LogRegResilient",
+    "PageRankResilient",
+]

@@ -1,0 +1,119 @@
+"""Logistic Regression (resilient) — the framework version of LogReg.
+
+Same gradient-descent algorithm as the non-resilient program; the only
+mutable state that must be checkpointed is the model ``w`` (temporaries and
+the tracked loss are recomputed), while ``X`` and the labels ``y`` are
+saved read-only.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.apps.data import RegressionWorkload
+from repro.matrix.distblock import DistBlockMatrix
+from repro.matrix.distvector import DistVector
+from repro.matrix.dupvector import DupVector
+from repro.matrix.grid import Grid
+from repro.matrix.ops import dist_block_t_matvec
+from repro.resilience.iterative import ResilientIterativeApp
+from repro.resilience.store import AppResilientStore
+from repro.runtime.place import PlaceGroup
+from repro.runtime.runtime import Runtime
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -30.0, 30.0)))
+
+
+class LogRegResilient(ResilientIterativeApp):
+    """Gradient-descent logistic regression under the resilient framework."""
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        workload: RegressionWorkload,
+        group: Optional[PlaceGroup] = None,
+    ):
+        self.runtime = runtime
+        self.workload = workload
+        group = group if group is not None else runtime.world
+        self._places = group
+        self.iteration = 0
+
+        self.n_examples = workload.examples(group.size)
+        d = workload.features
+        self.X = DistBlockMatrix.make_dense(
+            runtime, self.n_examples, d, workload.row_blocks(group.size), 1, group
+        ).init_random(workload.seed)
+        row_part = self.X.aligned_row_partition()
+        self.y = DistVector.make(runtime, self.n_examples, group, row_part)
+        self.y.init_random(workload.seed, tag=2)
+        self.y.map(lambda v: (v > 0.5).astype(float), flops_per_cell=1)
+
+        self.w = DupVector.make(runtime, d, group)
+        self.grad = DupVector.make(runtime, d, group)
+        self.margins = DistVector.make(runtime, self.n_examples, group, row_part)
+        self.probe = DistVector.make(runtime, self.n_examples, group, row_part)
+        self.loss = float("inf")
+
+    @property
+    def places(self) -> PlaceGroup:
+        return self._places
+
+    # -- the framework's four methods -----------------------------------------
+
+    def is_finished(self) -> bool:
+        return self.iteration >= self.workload.iterations
+
+    def step(self) -> None:
+        lam = self.workload.ridge_lambda
+        # Batch GD with a size-normalized step so the rate is scale-free.
+        eta = self.workload.learning_rate / self.n_examples
+        self.margins.mult(self.X, self.w)
+        self.margins.map(_sigmoid, flops_per_cell=4)
+        self.margins.cell_sub(self.y)
+        dist_block_t_matvec(self.X, self.margins, self.grad)
+        self.grad.axpy(lam, self.w)
+        self.w.axpy(-eta, self.grad)
+        self.probe.mult(self.X, self.w)
+        self.probe.map(_sigmoid, flops_per_cell=4)
+        self.probe.cell_sub(self.y)
+        self.loss = self.probe.dot_dist(self.probe)
+        self.iteration += 1
+
+    def checkpoint(self, store: AppResilientStore) -> None:
+        store.start_new_snapshot()
+        store.save_read_only(self.X)
+        store.save_read_only(self.y)
+        store.save(self.w)
+        store.commit(iteration=self.iteration)
+
+    def restore(
+        self, new_places: PlaceGroup, store: AppResilientStore, snapshot_iter: int
+    ) -> None:
+        new_grid = None
+        if self.restore_context.rebalance:
+            new_grid = Grid.partition(
+                self.n_examples,
+                self.workload.features,
+                self.workload.row_blocks(new_places.size),
+                1,
+            )
+        self.X.remake(new_places, new_grid=new_grid)
+        row_part = self.X.aligned_row_partition()
+        self.y.remake(new_places, row_part)
+        self.margins.remake(new_places, row_part)
+        self.probe.remake(new_places, row_part)
+        self.w.remake(new_places)
+        self.grad.remake(new_places)
+        self._places = new_places
+        store.restore()
+        self.loss = float("inf")
+        self.iteration = snapshot_iter
+
+    def model(self):
+        """The learned weight vector (driver-side copy)."""
+        return self.w.to_array()

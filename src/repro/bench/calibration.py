@@ -1,0 +1,158 @@
+"""Cost-model calibration for the paper's cluster (EXPERIMENTS.md §Calibration).
+
+The paper's testbed: 11 SoftLayer nodes × 4 places, one worker thread per
+place (2.6 GHz Xeon E5-2650, OpenBLAS single-thread, X10 2.5.2 over the
+sockets transport, GigE-class interconnect).  The rates below are fixed
+from the paper's *measured two-place points* and known hardware numbers:
+
+* ``flop_time`` — LinReg at 2 places runs 60 ms/iteration and executes
+  ~1.0e8 dense flops per place per CG iteration (two 50 000×500 matvecs)
+  → 6.0e-10 s/flop (~1.7 Gflop/s single-thread dgemv, plausible for the
+  CPU and era).
+* ``sparse_flop_factor`` — PageRank at 2 places runs 38 ms/iteration on
+  2 M edges/place; after subtracting vector/comm time, the CSR SpMV rate
+  implied is ~10-14× slower per entry than dense → 16.
+* ``byte_time`` — GigE-class effective point-to-point bandwidth
+  (~125 MB/s) → 8e-9 s/B.
+* ``task_spawn_time`` / ``task_join_time`` — fixed from the *growth* of
+  non-resilient LinReg (60 → 180 ms over 2 → 44 places): ~11 finish
+  constructs per CG iteration imply ~250 µs of serialized per-task
+  coordination at the finish home (X10's sockets-transport closure
+  serialization).
+* ``ledger_event_time`` — fixed from the *resilient* LinReg gap at 44
+  places (+220 ms/iteration over ~11 finishes × 88 events).
+* ``memcpy_byte_time`` — snapshot serialization rate (~0.7 GB/s).
+
+Physical problem sizes are reduced from the paper's (so the whole suite
+runs in minutes) and the ratio is charged back through ``logical_scale``:
+all flop/byte charges are multiplied by it, so virtual times correspond to
+the paper's full problem sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.data import PageRankWorkload, RegressionWorkload
+from repro.runtime.cost import CostModel
+
+
+def cluster_2015() -> CostModel:
+    """The calibrated SoftLayer-cluster profile (rates are logical)."""
+    return CostModel(
+        flop_time=6.0e-10,
+        latency=6.0e-5,
+        byte_time=8.0e-9,
+        task_spawn_time=1.3e-4,
+        task_join_time=1.2e-4,
+        ledger_event_time=3.5e-4,
+        memcpy_byte_time=4.0e-9,
+        sparse_flop_factor=16.0,
+    )
+
+
+def cluster_2015_with_nodes() -> CostModel:
+    """The cluster profile with node topology: 4 places per node.
+
+    X10 launches consecutive places on each host, so a 2-place run lives
+    on ONE node (its snapshot backups travel over shared memory, ~4 GB/s),
+    while larger runs push the backup ring across node boundaries and
+    through the shared NICs.  Used by the NIC ablation to reproduce the
+    checkpoint-time jump the paper measures between 2 and 12 places.
+    """
+    return cluster_2015().with_rates(places_per_node=4, shm_byte_time=2.5e-10)
+
+
+#: Paper problem → physical problem scale for the regression benchmarks:
+#: (50 000 × 500) / (1 000 × 100) per-place matrix elements.
+REGRESSION_SCALE = 250.0
+
+#: Paper problem → physical scale for PageRank: 20× fewer nodes *and*
+#: edges per place (10 000 nodes × 200 out-links vs 500 × 200), keeping
+#: byte and flop ratios consistent under one scalar.
+PAGERANK_SCALE = 20.0
+
+
+#: Physical → logical scale for the GNMF extension benchmark (no paper
+#: anchor exists; the logical problem is a 50 000-rows/place, 1 000-column
+#: factorization at rank 10).
+GNMF_SCALE = 50.0
+
+
+def gnmf_bench_workload(iterations: int = 30):
+    """The physical GNMF workload the extension benchmark simulates."""
+    from repro.apps.data import GnmfWorkload
+
+    return GnmfWorkload(
+        rows_per_place=1_000,
+        cols=100,
+        rank=10,
+        density=0.05,
+        blocks_per_place=2,
+        iterations=iterations,
+    )
+
+
+def gnmf_cost() -> CostModel:
+    """Cluster profile at the GNMF benchmark's logical scale."""
+    return cluster_2015().with_scale(GNMF_SCALE)
+
+
+def regression_bench_workload(iterations: int = 30) -> RegressionWorkload:
+    """The physical regression workload the benchmarks simulate."""
+    return RegressionWorkload(
+        features=100,
+        examples_per_place=1_000,
+        blocks_per_place=2,
+        iterations=iterations,
+    )
+
+
+def pagerank_bench_workload(iterations: int = 30) -> PageRankWorkload:
+    """The physical PageRank workload the benchmarks simulate."""
+    return PageRankWorkload(
+        nodes_per_place=500,
+        out_degree=200,
+        blocks_per_place=2,
+        iterations=iterations,
+    )
+
+
+def regression_cost() -> CostModel:
+    """Cluster profile at the regression benchmarks' logical scale."""
+    return cluster_2015().with_scale(REGRESSION_SCALE)
+
+
+def pagerank_cost() -> CostModel:
+    """Cluster profile at the PageRank benchmark's logical scale."""
+    return cluster_2015().with_scale(PAGERANK_SCALE)
+
+
+@dataclass(frozen=True)
+class PaperTargets:
+    """The paper's headline numbers, kept next to the calibration so the
+    benchmarks can print paper-vs-measured side by side."""
+
+    # Fig. 2-4: (2-place, 44-place) non-resilient ms/iteration.
+    linreg_nonres_ms = (60.0, 180.0)
+    linreg_res_ms = (60.0, 400.0)
+    logreg_nonres_ms = (110.0, 295.0)
+    logreg_res_ms = (110.0, 595.0)
+    pagerank_nonres_ms = (38.0, 360.0)
+    pagerank_res_ms = (38.0, 370.0)
+    # Table III: mean checkpoint ms at 44 places.
+    ckpt_44_ms = {"linreg": 2464.0, "logreg": 2534.0, "pagerank": 534.0}
+    # Table IV: (C%, R%) at 44 places per app per mode.
+    table4 = {
+        "linreg": {"shrink": (32, 18), "shrink-rebalance": (25, 22), "replace-redundant": (36, 7)},
+        "logreg": {"shrink": (26, 15), "shrink-rebalance": (19, 22), "replace-redundant": (27, 16)},
+        "pagerank": {"shrink": (10, 7), "shrink-rebalance": (10, 10), "replace-redundant": (11, 4)},
+    }
+
+
+#: The paper's place-count axis: 2, then every 4th count up to 44.
+def places_axis(max_places: int = 44, step: int = 4):
+    """``[2, 4, 8, ..., max_places]`` as in Figs. 2-7."""
+    axis = [2]
+    axis.extend(range(step, max_places + 1, step))
+    return axis

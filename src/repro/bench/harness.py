@@ -1,0 +1,200 @@
+"""Sweep drivers regenerating the paper's experiments.
+
+Each function runs one experiment protocol over a list of place counts and
+returns structured results; the ``benchmarks/`` targets print them as
+paper-style tables/series and compare against the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.apps.nonresilient import (
+    GnmfNonResilient,
+    LinRegNonResilient,
+    LogRegNonResilient,
+    PageRankNonResilient,
+)
+from repro.apps.resilient import (
+    GnmfResilient,
+    LinRegResilient,
+    LogRegResilient,
+    PageRankResilient,
+)
+from repro.bench import calibration
+from repro.resilience.executor import (
+    ExecutionReport,
+    IterativeExecutor,
+    RestoreMode,
+)
+from repro.runtime.runtime import Runtime
+
+#: app name → (non-resilient class, resilient class, workload factory, cost factory)
+APP_REGISTRY = {
+    "linreg": (
+        LinRegNonResilient,
+        LinRegResilient,
+        calibration.regression_bench_workload,
+        calibration.regression_cost,
+    ),
+    "logreg": (
+        LogRegNonResilient,
+        LogRegResilient,
+        calibration.regression_bench_workload,
+        calibration.regression_cost,
+    ),
+    "pagerank": (
+        PageRankNonResilient,
+        PageRankResilient,
+        calibration.pagerank_bench_workload,
+        calibration.pagerank_cost,
+    ),
+    # Extension application (not in the paper's evaluation).
+    "gnmf": (
+        GnmfNonResilient,
+        GnmfResilient,
+        calibration.gnmf_bench_workload,
+        calibration.gnmf_cost,
+    ),
+}
+
+
+@dataclass
+class SweepSeries:
+    """One experiment series over the place axis."""
+
+    places: List[int]
+    values: Dict[str, List[float]] = field(default_factory=dict)
+
+    def add(self, name: str, value: float) -> None:
+        self.values.setdefault(name, []).append(value)
+
+
+def run_overhead_sweep(
+    app_name: str,
+    places_list: Optional[List[int]] = None,
+    iterations: int = 30,
+) -> SweepSeries:
+    """Figs. 2-4 protocol: time/iteration, resilient vs non-resilient X10.
+
+    The *same* non-resilient GML benchmark runs under both runtimes (no
+    checkpointing involved); the difference is pure resilient-finish
+    bookkeeping.
+    """
+    NonRes, _Res, wl_factory, cost_factory = APP_REGISTRY[app_name]
+    wl = wl_factory(iterations)
+    places_list = places_list or calibration.places_axis()
+    series = SweepSeries(places=list(places_list))
+    for places in places_list:
+        for resilient, label in ((False, "non-resilient finish"), (True, "resilient finish")):
+            rt = Runtime(places, cost=cost_factory(), resilient=resilient)
+            app = NonRes(rt, wl)
+            t0 = rt.now()
+            app.run()
+            per_iter_ms = (rt.now() - t0) / iterations * 1e3
+            series.add(label, per_iter_ms)
+    return series
+
+
+def run_checkpoint_sweep(
+    app_name: str,
+    places_list: Optional[List[int]] = None,
+    iterations: int = 30,
+    checkpoint_interval: int = 10,
+) -> SweepSeries:
+    """Table III protocol: mean checkpoint time, no failures.
+
+    30 iterations with a checkpoint every 10 → three checkpoints per run;
+    read-only inputs are saved only in the first one.
+    """
+    _NonRes, Res, wl_factory, cost_factory = APP_REGISTRY[app_name]
+    wl = wl_factory(iterations)
+    places_list = places_list or calibration.places_axis()
+    series = SweepSeries(places=list(places_list))
+    for places in places_list:
+        rt = Runtime(places, cost=cost_factory(), resilient=True)
+        app = Res(rt, wl)
+        report = IterativeExecutor(
+            rt, app, checkpoint_interval=checkpoint_interval
+        ).run()
+        series.add("mean checkpoint (ms)", report.mean_checkpoint_time * 1e3)
+        series.add("checkpoints", float(report.checkpoints))
+    return series
+
+
+@dataclass
+class RestoreRunResult:
+    """One Fig. 5-7 data point: a full run with one injected failure."""
+
+    places: int
+    mode: str
+    report: ExecutionReport
+
+    @property
+    def total_s(self) -> float:
+        return self.report.total_time
+
+
+def run_restore_sweep(
+    app_name: str,
+    places_list: Optional[List[int]] = None,
+    iterations: int = 30,
+    checkpoint_interval: int = 10,
+    failure_iteration: int = 15,
+    modes: Optional[List[RestoreMode]] = None,
+) -> Dict[str, SweepSeries]:
+    """Figs. 5-7 protocol: total runtime for 30 iterations with a single
+    place failure at iteration 15 and checkpoints every 10 iterations,
+    under each restoration mode, plus the non-resilient no-failure
+    baseline.
+
+    Returns ``{series_label: SweepSeries}`` with one series per mode; the
+    per-point ExecutionReports (for Table IV) ride along in ``reports``.
+    """
+    NonRes, Res, wl_factory, cost_factory = APP_REGISTRY[app_name]
+    wl = wl_factory(iterations)
+    places_list = places_list or calibration.places_axis()
+    modes = modes or [
+        RestoreMode.SHRINK_REBALANCE,
+        RestoreMode.SHRINK,
+        RestoreMode.REPLACE_REDUNDANT,
+    ]
+
+    series = SweepSeries(places=list(places_list))
+    reports: Dict[str, Dict[int, ExecutionReport]] = {m.value: {} for m in modes}
+
+    for places in places_list:
+        victim = places // 2  # a mid-axis non-zero place
+        for mode in modes:
+            spares = 1 if mode == RestoreMode.REPLACE_REDUNDANT else 0
+            rt = Runtime(places, cost=cost_factory(), resilient=True, spares=spares)
+            app = Res(rt, wl)
+            rt.injector.kill_at_iteration(victim, iteration=failure_iteration)
+            report = IterativeExecutor(
+                rt, app, checkpoint_interval=checkpoint_interval, mode=mode
+            ).run()
+            series.add(mode.value, report.total_time)
+            reports[mode.value][places] = report
+        # Non-resilient, no-failure baseline.
+        rt = Runtime(places, cost=cost_factory(), resilient=False)
+        app = NonRes(rt, wl)
+        t0 = rt.now()
+        app.run()
+        series.add("non-resilient (no failure)", rt.now() - t0)
+
+    return {"series": series, "reports": reports}
+
+
+def table4_from_reports(
+    reports: Dict[str, Dict[int, ExecutionReport]], places: int = 44
+) -> Dict[str, Dict[str, float]]:
+    """Table IV: C% and R% of total time at the given place count."""
+    out: Dict[str, Dict[str, float]] = {}
+    for mode, by_places in reports.items():
+        report = by_places[places]
+        out[mode] = {
+            "C%": report.checkpoint_pct,
+            "R%": report.restore_pct,
+        }
+    return out

@@ -1,0 +1,177 @@
+"""Command-line interface: run applications and regenerate experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro run pagerank --places 8 --fail-at 15 --mode shrink
+    python -m repro sweep fig2
+    python -m repro sweep table4
+
+``run`` executes one application on the simulated cluster (optionally with
+an injected failure) and prints its timing report; ``sweep`` regenerates a
+paper experiment and prints the series (the pytest benchmarks add the
+paper-vs-measured assertions on top of the same harness).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench import calibration, figures
+from repro.bench.harness import (
+    APP_REGISTRY,
+    run_checkpoint_sweep,
+    run_overhead_sweep,
+    run_restore_sweep,
+    table4_from_reports,
+)
+from repro.resilience.executor import IterativeExecutor, NonResilientExecutor, RestoreMode
+from repro.runtime.runtime import Runtime
+
+SWEEPS = {
+    "fig2": ("overhead", "linreg"),
+    "fig3": ("overhead", "logreg"),
+    "fig4": ("overhead", "pagerank"),
+    "table3": ("checkpoint", None),
+    "fig5": ("restore", "linreg"),
+    "fig6": ("restore", "logreg"),
+    "fig7": ("restore", "pagerank"),
+    "table4": ("table4", None),
+    "gnmf": ("overhead", "gnmf"),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Resilient GML reproduction: run apps / regenerate experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list applications and experiments")
+
+    run = sub.add_parser("run", help="run one application on the simulated cluster")
+    run.add_argument("app", choices=sorted(APP_REGISTRY))
+    run.add_argument("--places", type=int, default=8)
+    run.add_argument("--iterations", type=int, default=30)
+    run.add_argument("--non-resilient", action="store_true", help="plain run, no framework")
+    run.add_argument("--ckpt-interval", type=int, default=10)
+    run.add_argument(
+        "--mode",
+        choices=[m.value for m in RestoreMode],
+        default=RestoreMode.SHRINK.value,
+    )
+    run.add_argument("--spares", type=int, default=0)
+    run.add_argument("--fail-at", type=int, default=None, metavar="ITER")
+    run.add_argument("--victim", type=int, default=None, metavar="PLACE")
+    run.add_argument(
+        "--profile", action="store_true", help="print a per-operation time profile"
+    )
+    run.add_argument(
+        "--timeline", action="store_true", help="print an ASCII finish timeline"
+    )
+
+    sweep = sub.add_parser("sweep", help="regenerate one paper experiment")
+    sweep.add_argument("experiment", choices=sorted(SWEEPS))
+    sweep.add_argument("--max-places", type=int, default=44)
+    sweep.add_argument("--iterations", type=int, default=30)
+    return parser
+
+
+def _cmd_list() -> int:
+    print("applications:", ", ".join(sorted(APP_REGISTRY)))
+    print("experiments: ", ", ".join(sorted(SWEEPS)))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    nonres_cls, res_cls, wl_factory, cost_factory = APP_REGISTRY[args.app]
+    workload = wl_factory(args.iterations)
+    if args.non_resilient:
+        rt = Runtime(args.places, cost=cost_factory())
+        app = nonres_cls(rt, workload)
+        report = NonResilientExecutor(rt, app).run()
+    else:
+        rt = Runtime(
+            args.places, cost=cost_factory(), resilient=True, spares=args.spares
+        )
+        app = res_cls(rt, workload)
+        if args.fail_at is not None:
+            victim = args.victim if args.victim is not None else args.places // 2
+            rt.injector.kill_at_iteration(victim, iteration=args.fail_at)
+        executor = IterativeExecutor(
+            rt,
+            app,
+            checkpoint_interval=args.ckpt_interval,
+            mode=RestoreMode(args.mode),
+        )
+        report = executor.run()
+
+    print(f"app:                  {args.app} on {args.places} places")
+    print(f"iterations executed:  {report.iterations_executed}")
+    print(f"checkpoints/restores: {report.checkpoints}/{report.restores}")
+    print(f"failures observed:    {report.failures_observed}")
+    print(f"virtual total:        {report.total_time:.4f} s")
+    print(
+        f"  = step {report.step_time:.4f} + checkpoint {report.checkpoint_time:.4f}"
+        f" + restore {report.restore_time:.4f} + lost {report.lost_time:.4f}"
+    )
+    print(f"final place group:    {app.places.ids}")
+    if args.profile:
+        from repro.bench.timeline import render_profile
+
+        print("\nper-operation profile:")
+        print(render_profile(rt.stats.finish_reports))
+    if args.timeline:
+        from repro.bench.timeline import render_timeline
+
+        print("\nfinish timeline:")
+        print(render_timeline(rt.stats.finish_reports))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    kind, app = SWEEPS[args.experiment]
+    axis = calibration.places_axis(args.max_places)
+    if kind == "overhead":
+        series = run_overhead_sweep(app, places_list=axis, iterations=args.iterations)
+        print(figures.series_table(series.places, series.values, header_unit="ms/iteration"))
+    elif kind == "checkpoint":
+        values = {}
+        for name in ("linreg", "logreg", "pagerank"):
+            sweep = run_checkpoint_sweep(name, places_list=axis, iterations=args.iterations)
+            values[name] = sweep.values["mean checkpoint (ms)"]
+        print(figures.series_table(axis, values, header_unit="ms/checkpoint"))
+    elif kind == "restore":
+        out = run_restore_sweep(app, places_list=axis, iterations=args.iterations)
+        series = out["series"]
+        print(
+            figures.series_table(
+                series.places, series.values, value_format="{:10.2f}", header_unit="total s"
+            )
+        )
+    elif kind == "table4":
+        for name in ("linreg", "logreg", "pagerank"):
+            out = run_restore_sweep(
+                name, places_list=[args.max_places], iterations=args.iterations
+            )
+            rows = table4_from_reports(out["reports"], places=args.max_places)
+            for mode, row in rows.items():
+                print(f"{name:<10s} {mode:<18s} C% {row['C%']:5.1f}  R% {row['R%']:5.1f}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    return _cmd_sweep(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

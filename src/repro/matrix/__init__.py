@@ -1,0 +1,87 @@
+"""The Global Matrix Library (GML) reproduction.
+
+Single-place classes (pure numerics):
+:class:`Vector`, :class:`DenseMatrix`, :class:`SparseCSR`, :class:`SparseCSC`.
+
+Multi-place classes (Table I of the paper):
+
+=============  =====================  ===========================================
+               Duplicated             Distributed
+=============  =====================  ===========================================
+Vectors        :class:`DupVector`     :class:`DistVector`
+Matrices       :class:`DupDenseMatrix`,
+               :class:`DupSparseMatrix`  :class:`DistDenseMatrix`,
+                                         :class:`DistSparseMatrix`,
+                                         :class:`DistBlockMatrix`
+=============  =====================  ===========================================
+
+Supporting machinery: :class:`Grid` / :class:`Partition1D` (block
+partitioning and overlap math), :class:`BlockSet` (per-place block
+container), block→place maps, and the distributed kernels in
+:mod:`repro.matrix.ops`.
+"""
+
+from repro.matrix.block import BlockSet, MatrixBlock
+from repro.matrix.dense import DenseMatrix, flops_cellwise, flops_matmul, flops_matvec
+from repro.matrix.distblock import DistBlockMatrix
+from repro.matrix.distmatrix import DistDenseMatrix, DistSparseMatrix
+from repro.matrix.distvector import DistVector
+from repro.matrix.dupmatrix import DupDenseMatrix, DupSparseMatrix
+from repro.matrix.dupvector import DupVector
+from repro.matrix.grid import Grid, Overlap, Partition1D, Region, split_even
+from repro.matrix.mapping import (
+    BlockMap,
+    CyclicBlockMap,
+    GroupedBlockMap,
+    PlaceGridBlockMap,
+    factor_place_grid,
+)
+from repro.matrix.ops import (
+    dist_block_matvec,
+    dist_block_t_matvec,
+    dist_gram,
+    dist_matmat_dup,
+    dist_matmul,
+)
+from repro.matrix.random import LinkMatrix, random_dense_block, random_sparse_block, random_vector
+from repro.matrix.sparse import SparseCSC, SparseCSR, flops_spmv
+from repro.matrix.vector import Vector
+
+__all__ = [
+    "BlockSet",
+    "MatrixBlock",
+    "DenseMatrix",
+    "flops_cellwise",
+    "flops_matmul",
+    "flops_matvec",
+    "DistBlockMatrix",
+    "DistDenseMatrix",
+    "DistSparseMatrix",
+    "DistVector",
+    "DupDenseMatrix",
+    "DupSparseMatrix",
+    "DupVector",
+    "Grid",
+    "Overlap",
+    "Partition1D",
+    "Region",
+    "split_even",
+    "BlockMap",
+    "CyclicBlockMap",
+    "GroupedBlockMap",
+    "PlaceGridBlockMap",
+    "factor_place_grid",
+    "dist_block_matvec",
+    "dist_block_t_matvec",
+    "dist_gram",
+    "dist_matmat_dup",
+    "dist_matmul",
+    "LinkMatrix",
+    "random_dense_block",
+    "random_sparse_block",
+    "random_vector",
+    "SparseCSC",
+    "SparseCSR",
+    "flops_spmv",
+    "Vector",
+]

@@ -1,0 +1,535 @@
+"""``DistBlockMatrix`` — the paper's central distributed matrix class.
+
+The matrix is cut by a :class:`~repro.matrix.grid.Grid` into blocks, and a
+:class:`~repro.matrix.mapping.BlockMap` assigns one or *more* blocks to each
+place (a :class:`~repro.matrix.block.BlockSet` per place).  Holding sets of
+blocks is what lets the **shrink** restoration remap existing blocks over
+fewer places without repartitioning (fast block-by-block restore, Fig. 1-b),
+while **shrink-rebalance** recalculates the grid for even load at the price
+of sub-block overlap copies (Fig. 1-c).
+
+Payloads are dense (:class:`DenseMatrix`) or sparse (:class:`SparseCSR`)
+blocks; the sparse restore additionally counts the non-zeros of each
+overlap region before allocating, as §IV-B2 describes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.matrix.block import BlockSet, MatrixBlock
+from repro.matrix.dense import DenseMatrix
+from repro.matrix.grid import Grid, Overlap, Partition1D
+from repro.matrix.mapping import BlockMap, GroupedBlockMap, PlaceGridBlockMap
+from repro.matrix.multiplace import MultiPlaceObject
+from repro.matrix.random import LinkMatrix, random_dense_block, random_sparse_block
+from repro.matrix.sparse import SparseCSR
+from repro.resilience.snapshot import DistObjectSnapshot
+from repro.runtime.place import PlaceGroup
+from repro.runtime.runtime import PlaceContext, Runtime
+from repro.util.validation import require
+
+DENSE = "dense"
+SPARSE = "sparse"
+
+
+class DistBlockMatrix(MultiPlaceObject):
+    """An ``m × n`` matrix distributed as grid blocks over a place group."""
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        grid: Grid,
+        group: PlaceGroup,
+        kind: str,
+        block_map: Optional[BlockMap] = None,
+    ):
+        require(kind in (DENSE, SPARSE), f"kind must be dense or sparse, got {kind}")
+        super().__init__(runtime, group, "DistBlockMatrix")
+        self.grid = grid
+        self.kind = kind
+        self.block_map = block_map if block_map is not None else GroupedBlockMap(grid, group.size)
+        require(
+            self.block_map.num_places == group.size,
+            "block map covers a different number of places than the group",
+        )
+        self._allocate()
+
+    # -- factories (paper's ``make`` signature) ---------------------------------
+
+    @classmethod
+    def make_dense(
+        cls,
+        runtime: Runtime,
+        m: int,
+        n: int,
+        row_blocks: int,
+        col_blocks: int,
+        group: Optional[PlaceGroup] = None,
+        row_places: Optional[int] = None,
+        col_places: Optional[int] = None,
+    ) -> "DistBlockMatrix":
+        """``DistBlockMatrix.make(m, n, rowBs, colBs[, rowPs, colPs])``, dense.
+
+        When a ``rowPlaces × colPlaces`` place grid is given, blocks map to
+        places 2-D-cyclically (GML's DistGrid); otherwise blocks are dealt
+        as near-even consecutive runs.
+        """
+        group = group if group is not None else runtime.world
+        grid = Grid.partition(m, n, row_blocks, col_blocks)
+        block_map = cls._build_map(grid, group, row_places, col_places)
+        return cls(runtime, grid, group, DENSE, block_map)
+
+    @classmethod
+    def make_sparse(
+        cls,
+        runtime: Runtime,
+        m: int,
+        n: int,
+        row_blocks: int,
+        col_blocks: int,
+        group: Optional[PlaceGroup] = None,
+        row_places: Optional[int] = None,
+        col_places: Optional[int] = None,
+    ) -> "DistBlockMatrix":
+        """Sparse variant of :meth:`make_dense` (blocks start empty)."""
+        group = group if group is not None else runtime.world
+        grid = Grid.partition(m, n, row_blocks, col_blocks)
+        block_map = cls._build_map(grid, group, row_places, col_places)
+        return cls(runtime, grid, group, SPARSE, block_map)
+
+    @staticmethod
+    def _build_map(
+        grid: Grid,
+        group: PlaceGroup,
+        row_places: Optional[int],
+        col_places: Optional[int],
+    ) -> BlockMap:
+        if row_places is not None or col_places is not None:
+            require(
+                row_places is not None and col_places is not None,
+                "row_places and col_places must be given together",
+            )
+            require(
+                row_places * col_places == group.size,
+                f"place grid {row_places}x{col_places} != group size {group.size}",
+            )
+            return PlaceGridBlockMap(grid, row_places, col_places)
+        return GroupedBlockMap(grid, group.size)
+
+    # -- storage ------------------------------------------------------------
+
+    @property
+    def m(self) -> int:
+        return self.grid.m
+
+    @property
+    def n(self) -> int:
+        return self.grid.n
+
+    def _empty_block(self, rb: int, cb: int) -> MatrixBlock:
+        h, w = self.grid.block_dims(rb, cb)
+        data = DenseMatrix.make(h, w) if self.kind == DENSE else SparseCSR.empty(h, w)
+        return MatrixBlock.for_grid(self.grid, rb, cb, data)
+
+    def _allocate(self) -> None:
+        group, key = self.group, self.heap_key
+
+        def alloc(ctx: PlaceContext) -> None:
+            index = group.index_of(ctx.place)
+            bs = BlockSet(index)
+            for rb, cb in self.block_map.blocks_of_place(index):
+                bs.add(self._empty_block(rb, cb))
+            ctx.heap.put(key, bs)
+
+        self.runtime.finish_all(group, alloc, label=f"{self.name}:alloc")
+
+    def block_set(self, index: int) -> BlockSet:
+        """Library-internal: the block set at a group index."""
+        return self.payload_at_index(index)
+
+    def total_nnz(self) -> int:
+        """Stored non-zeros across all live places (sparse matrices)."""
+        return sum(self.block_set(i).total_nnz() for i in range(self.group.size))
+
+    # -- initialization ----------------------------------------------------------
+
+    def init_random(self, seed: int, density: float = 0.05) -> "DistBlockMatrix":
+        """Deterministic per-block random fill (grid-dependent for sparse,
+        grid-independent for dense because dense blocks tile a global
+        deterministic function of ``(seed, rb, cb)`` only when the grid is
+        fixed — the regression workloads never re-grid their *input*
+        between comparison runs with different groups, so per-block seeding
+        is sufficient there; PageRank uses :meth:`init_link_matrix`)."""
+        group, key = self.group, self.heap_key
+
+        def fill(ctx: PlaceContext) -> None:
+            bs: BlockSet = ctx.heap.get(key)
+            flops = 0.0
+            for block in bs:
+                h, w = block.shape
+                if self.kind == DENSE:
+                    block.data = random_dense_block(seed, block.rb, block.cb, h, w)
+                    flops += h * w
+                else:
+                    block.data = random_sparse_block(seed, block.rb, block.cb, h, w, density)
+                    flops += block.data.nnz * 2
+            ctx.charge_flops(flops)
+
+        self.runtime.finish_all(group, fill, label=f"{self.name}:init_random")
+        return self
+
+    def init_link_matrix(self, link: LinkMatrix) -> "DistBlockMatrix":
+        """Fill a sparse matrix with a grid-independent synthetic web graph."""
+        require(self.kind == SPARSE, "link matrices are sparse")
+        require(link.n == self.m == self.n, "link matrix order mismatch")
+        group, key = self.group, self.heap_key
+
+        def fill(ctx: PlaceContext) -> None:
+            bs: BlockSet = ctx.heap.get(key)
+            flops = 0.0
+            for block in bs:
+                r0, r1 = block.row_range()
+                c0, c1 = block.col_range()
+                block.data = link.block(r0, r1, c0, c1)
+                flops += (c1 - c0) * link.out_degree + block.data.nnz
+            ctx.charge_flops(flops)
+
+        self.runtime.finish_all(group, fill, label=f"{self.name}:init_link")
+        return self
+
+    def init_from_dense(self, dense: DenseMatrix) -> "DistBlockMatrix":
+        """Scatter a driver-side dense matrix into the blocks (tests)."""
+        require(dense.shape == (self.m, self.n), "shape mismatch")
+        group, key = self.group, self.heap_key
+
+        def fill(ctx: PlaceContext) -> None:
+            bs: BlockSet = ctx.heap.get(key)
+            for block in bs:
+                r0, r1 = block.row_range()
+                c0, c1 = block.col_range()
+                piece = dense.data[r0:r1, c0:c1]
+                if self.kind == DENSE:
+                    block.data = DenseMatrix(piece.copy())
+                else:
+                    block.data = SparseCSR.from_dense(piece)
+
+        self.runtime.finish_all(group, fill, label=f"{self.name}:init_from_dense")
+        return self
+
+    def to_dense(self) -> DenseMatrix:
+        """Driver-side gather of the whole matrix (tests/examples)."""
+        out = DenseMatrix.make(self.m, self.n)
+        for index in range(self.group.size):
+            for block in self.block_set(index):
+                r0, r1 = block.row_range()
+                c0, c1 = block.col_range()
+                data = block.data.to_dense() if block.is_sparse else block.data.data
+                out.data[r0:r1, c0:c1] = data
+        return out
+
+    # -- cell-wise operations ------------------------------------------------------
+
+    def _cellwise(self, fn, flops_per_cell: float = 1.0, label: str = "cellwise"):
+        """Apply *fn(block)* to every local block under one finish."""
+        group, key = self.group, self.heap_key
+
+        def task(ctx: PlaceContext) -> None:
+            bs: BlockSet = ctx.heap.get(key)
+            cells = 0
+            for block in bs:
+                fn(block)
+                h, w = block.shape
+                cells += h * w
+            ctx.charge_flops(flops_per_cell * cells)
+
+        self.runtime.finish_all(group, task, label=f"{self.name}:{label}")
+        return self
+
+    def _check_same_layout(self, other: "DistBlockMatrix") -> None:
+        require(other.m == self.m and other.n == self.n, "shape mismatch")
+        require(other.group == self.group, "operands on different groups")
+        require(other.grid.same_blocking(self.grid), "operands on different grids")
+        require(
+            other.block_map.owner_dict() == self.block_map.owner_dict(),
+            "operands have different block-to-place maps",
+        )
+
+    def _cellwise_pair(self, other, fn, flops_per_cell=1.0, label="cellwise"):
+        """Apply *fn(my_block, other_block)* blockwise (layout-aligned)."""
+        self._check_same_layout(other)
+        group = self.group
+
+        def task(ctx: PlaceContext) -> None:
+            mine: BlockSet = ctx.heap.get(self.heap_key)
+            theirs: BlockSet = ctx.heap.get(other.heap_key)
+            cells = 0
+            for block in mine:
+                fn(block, theirs.get(block.rb, block.cb))
+                h, w = block.shape
+                cells += h * w
+            ctx.charge_flops(flops_per_cell * cells)
+
+        self.runtime.finish_all(group, task, label=f"{self.name}:{label}")
+        return self
+
+    def scale(self, alpha: float) -> "DistBlockMatrix":
+        """In-place ``self *= alpha`` across all blocks."""
+        return self._cellwise(lambda b: b.data.scale(alpha), label="scale")
+
+    def cell_add(self, other: "DistBlockMatrix") -> "DistBlockMatrix":
+        """In-place element-wise add of a layout-aligned dense matrix."""
+        require(self.kind == DENSE and other.kind == DENSE, "cell_add is dense-only")
+        return self._cellwise_pair(
+            other, lambda a, b: a.data.cell_add(b.data), label="cell_add"
+        )
+
+    def cell_mult(self, other: "DistBlockMatrix") -> "DistBlockMatrix":
+        """In-place Hadamard product with a layout-aligned dense matrix."""
+        require(self.kind == DENSE and other.kind == DENSE, "cell_mult is dense-only")
+        return self._cellwise_pair(
+            other, lambda a, b: a.data.cell_mult(b.data), label="cell_mult"
+        )
+
+    def cell_div(self, other: "DistBlockMatrix", eps: float = 1e-12) -> "DistBlockMatrix":
+        """In-place element-wise divide (denominator floored at *eps*).
+
+        The multiplicative-update form used by GNMF.
+        """
+        require(self.kind == DENSE and other.kind == DENSE, "cell_div is dense-only")
+
+        def div(a: MatrixBlock, b: MatrixBlock) -> None:
+            a.data.data /= np.maximum(b.data.data, eps)
+
+        return self._cellwise_pair(other, div, label="cell_div")
+
+    def norm_f(self) -> float:
+        """Frobenius norm (per-place partial sums + driver combine)."""
+        group, key = self.group, self.heap_key
+
+        def task(ctx: PlaceContext) -> float:
+            bs: BlockSet = ctx.heap.get(key)
+            total = 0.0
+            cells = 0
+            for block in bs:
+                if block.is_sparse:
+                    total += float(block.data.values @ block.data.values)
+                    cells += 2 * block.data.nnz
+                else:
+                    total += float(np.sum(block.data.data * block.data.data))
+                    h, w = block.shape
+                    cells += 2 * h * w
+            ctx.charge_flops(cells)
+            return total
+
+        partials = self.runtime.finish_all(group, task, ret_bytes=8, label=f"{self.name}:norm")
+        return float(np.sqrt(max(sum(p for p in partials if p is not None), 0.0)))
+
+    # -- layout queries ------------------------------------------------------------
+
+    def row_spans(self) -> List[Tuple[int, int]]:
+        """Per-place smallest covering global row range."""
+        return [self.block_set(i).row_span() for i in range(self.group.size)]
+
+    def aligned_row_partition(self) -> Optional[Partition1D]:
+        """A per-place contiguous row partition, if the layout admits one.
+
+        Exists when each place's blocks cover a contiguous band of rows and
+        the bands tile ``0..m`` in group order (true for the grouped map
+        with one block column).  Output vectors aligned to this partition
+        make the distributed matvec fully local.
+        """
+        spans = self.row_spans()
+        sizes = []
+        cursor = 0
+        for lo, hi in spans:
+            if lo != cursor:
+                return None
+            sizes.append(hi - lo)
+            cursor = hi
+        if cursor != self.m:
+            return None
+        return Partition1D(self.m, sizes)
+
+    def blocks_per_place(self) -> List[int]:
+        """Current block count per place (load-balance observable)."""
+        return [len(self.block_set(i)) for i in range(self.group.size)]
+
+    # -- resilience: remake (§IV-A) ----------------------------------------------
+
+    def remake(
+        self,
+        new_group: PlaceGroup,
+        new_grid: Optional[Grid] = None,
+        row_places: Optional[int] = None,
+        col_places: Optional[int] = None,
+    ) -> "DistBlockMatrix":
+        """Destroy and reallocate over *new_group*.
+
+        * ``new_grid=None`` — **keep the data grid** and only remap the
+          blocks (shrink / replace-redundant); restore is block-by-block.
+        * ``new_grid`` given — **repartition** (shrink-rebalance); restore
+          requires overlap-region copies.
+        """
+        self._release_payloads()
+        self.group = new_group
+        if new_grid is not None:
+            require(
+                new_grid.m == self.m and new_grid.n == self.n,
+                "new grid covers a different matrix",
+            )
+            self.grid = new_grid
+        self.block_map = self._build_map(self.grid, new_group, row_places, col_places)
+        self._allocate()
+        return self
+
+    @classmethod
+    def default_regrid(cls, m: int, n: int, col_blocks: int, num_places: int) -> Grid:
+        """The shrink-rebalance grid: one block row band per place."""
+        return Grid.partition(m, n, num_places, col_blocks)
+
+    # -- resilience: snapshot / restore (§IV-B) -------------------------------------
+
+    def make_snapshot(self) -> DistObjectSnapshot:
+        """Save each place's block set under its index, doubly stored."""
+        block_nnz: Dict[Tuple[int, int], int] = {}
+        if self.kind == SPARSE:
+            for index in range(self.group.size):
+                for block in self.block_set(index):
+                    block_nnz[block.key] = block.data.nnz
+        snap = self._new_snapshot(
+            {
+                "kind": self.kind,
+                "row_sizes": list(self.grid.row_sizes),
+                "col_sizes": list(self.grid.col_sizes),
+                "owners": self.block_map.owner_dict(),
+                "block_nnz": block_nnz,
+            }
+        )
+        group, key = self.group, self.heap_key
+
+        def save(ctx: PlaceContext) -> None:
+            index = group.index_of(ctx.place)
+            bs: BlockSet = ctx.heap.get(key)
+            snap.save_from(ctx, index, bs.payload_dict())
+
+        self.runtime.finish_all(group, save, label=f"{self.name}:snapshot")
+        return snap
+
+    def restore_snapshot(self, snapshot: DistObjectSnapshot) -> None:
+        """Reload block data after a :meth:`remake`.
+
+        Chooses block-by-block reload when the grid is unchanged and
+        overlap-region assembly when it differs, per §IV-B2.
+        """
+        require(snapshot.meta.get("kind") == self.kind, "snapshot kind mismatch")
+        old_grid = Grid(self.m, self.n, snapshot.meta["row_sizes"], snapshot.meta["col_sizes"])
+        if old_grid.same_blocking(self.grid):
+            self._restore_same_grid(snapshot)
+        else:
+            self._restore_regridded(snapshot, old_grid)
+
+    def _restore_same_grid(self, snapshot: DistObjectSnapshot) -> None:
+        """Block-by-block restore: copy whole blocks from their old owners."""
+        owners: Dict[Tuple[int, int], int] = snapshot.meta["owners"]
+        group, key = self.group, self.heap_key
+
+        def load(ctx: PlaceContext) -> None:
+            bs: BlockSet = ctx.heap.get(key)
+            for block in bs:
+                old_owner = owners[block.key]
+                payload = snapshot.fetch(
+                    ctx, old_owner, extract=lambda d, k=block.key: d[k].copy()
+                )
+                block.data = payload
+
+        self.runtime.finish_all(group, load, label=f"{self.name}:restore_same_grid")
+
+    def _restore_regridded(self, snapshot: DistObjectSnapshot, old_grid: Grid) -> None:
+        """Overlap-region restore: assemble each new block from sub-blocks.
+
+        For sparse blocks the non-zeros of every overlap region are counted
+        first (a scan of the old block's row span) to size the new block,
+        then the regions are extracted and assembled — the extra work that
+        makes shrink-rebalance the most expensive mode (Table IV).
+        """
+        owners: Dict[Tuple[int, int], int] = snapshot.meta["owners"]
+        block_nnz: Dict[Tuple[int, int], int] = snapshot.meta.get("block_nnz", {})
+        group, key = self.group, self.heap_key
+
+        def load(ctx: PlaceContext) -> None:
+            bs: BlockSet = ctx.heap.get(key)
+            for block in bs:
+                overlaps = self.grid.overlaps_of_block(block.rb, block.cb, old_grid)
+                block.data = self._assemble_block(ctx, snapshot, old_grid, block, overlaps, owners, block_nnz)
+
+        self.runtime.finish_all(group, load, label=f"{self.name}:restore_regridded")
+
+    def _assemble_block(
+        self,
+        ctx: PlaceContext,
+        snapshot: DistObjectSnapshot,
+        old_grid: Grid,
+        block: MatrixBlock,
+        overlaps: List[Overlap],
+        owners: Dict[Tuple[int, int], int],
+        block_nnz: Dict[Tuple[int, int], int],
+    ):
+        h, w = block.shape
+        r_base, c_base = block.row_offset, block.col_offset
+        if not overlaps:
+            # Zero-area block (a grid with more bands than rows/cols).
+            return DenseMatrix.make(h, w) if self.kind == DENSE else SparseCSR.empty(h, w)
+        if self.kind == DENSE:
+            out = DenseMatrix.make(h, w)
+            for ov in overlaps:
+                region = ov.region
+                orb, ocb = ov.old_block
+                o_r0, o_c0 = old_grid.block_origin(orb, ocb)
+                piece: DenseMatrix = snapshot.fetch(
+                    ctx,
+                    owners[(orb, ocb)],
+                    extract=lambda d, k=(orb, ocb), rg=region, ro=o_r0, co=o_c0: d[k].sub_matrix(
+                        rg.row_start - ro, rg.row_end - ro, rg.col_start - co, rg.col_end - co
+                    ),
+                    extract_bytes=region.area * 8,
+                )
+                out.data[
+                    region.row_start - r_base : region.row_end - r_base,
+                    region.col_start - c_base : region.col_end - c_base,
+                ] = piece.data
+            return out
+
+        # Sparse: the overlaps of one new block form a regular tile grid
+        # (old grid lines cutting the new block); extract each tile with a
+        # counting pass, then assemble rows of tiles.
+        row_bands = sorted({ov.old_block[0] for ov in overlaps})
+        col_bands = sorted({ov.old_block[1] for ov in overlaps})
+        by_key = {ov.old_block: ov for ov in overlaps}
+        tiles: List[List[SparseCSR]] = []
+        for orb in row_bands:
+            tile_row: List[SparseCSR] = []
+            for ocb in col_bands:
+                ov = by_key[(orb, ocb)]
+                region = ov.region
+                o_r0, o_c0 = old_grid.block_origin(orb, ocb)
+                old_rows = old_grid.row_sizes[orb]
+                row_frac = region.rows / old_rows if old_rows else 0.0
+                nnz_in_span = block_nnz.get((orb, ocb), 0) * row_frac
+                piece: SparseCSR = snapshot.fetch(
+                    ctx,
+                    owners[(orb, ocb)],
+                    extract=lambda d, k=(orb, ocb), rg=region, ro=o_r0, co=o_c0: d[k].sub_matrix(
+                        rg.row_start - ro, rg.row_end - ro, rg.col_start - co, rg.col_end - co
+                    ),
+                    # The counting pass scans the row span, then the
+                    # extraction copies the region's entries (16 B each:
+                    # index + value).
+                    extract_flops=2.0 * nnz_in_span + region.rows,
+                    extract_bytes=nnz_in_span * 16.0,
+                )
+                tile_row.append(piece)
+            tiles.append(tile_row)
+        return SparseCSR.assemble(tiles)

@@ -1,0 +1,386 @@
+"""``DistVector`` — a vector partitioned into one segment per place.
+
+The partition is an arbitrary contiguous :class:`~repro.matrix.grid.Partition1D`
+(one segment per group place); the default is GML's near-even split.  The
+distributed matvec writes into a DistVector whose partition is *aligned* to
+the matrix's per-place row spans, so results stay local.
+
+Restore semantics follow §IV-B2: with an unchanged partition each place
+reloads its whole segment (block-by-block); with a changed partition each
+new segment is assembled from the overlapping sub-ranges of old segments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.matrix.grid import Partition1D
+from repro.matrix.multiplace import MultiPlaceObject
+from repro.matrix.random import random_vector
+from repro.matrix.vector import Vector
+from repro.resilience.snapshot import DistObjectSnapshot
+from repro.runtime.comm import flat_gather
+from repro.runtime.place import PlaceGroup
+from repro.runtime.runtime import PlaceContext, Runtime
+from repro.util.validation import check_positive, require
+
+
+class DistVector(MultiPlaceObject):
+    """A length-``n`` vector with one contiguous segment per member place."""
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        n: int,
+        group: PlaceGroup,
+        partition: Optional[Partition1D] = None,
+    ):
+        check_positive(n, "n")
+        super().__init__(runtime, group, "DistVector")
+        self.n = n
+        self.partition = partition if partition is not None else Partition1D.even(n, group.size)
+        require(
+            self.partition.num_segments == group.size,
+            "partition must have one segment per group place",
+        )
+        require(self.partition.n == n, "partition length mismatch")
+        self._allocate()
+
+    @classmethod
+    def make(
+        cls,
+        runtime: Runtime,
+        n: int,
+        group: Optional[PlaceGroup] = None,
+        partition: Optional[Partition1D] = None,
+    ) -> "DistVector":
+        """GML-style factory over *group* (defaults to the world)."""
+        return cls(runtime, n, group if group is not None else runtime.world, partition)
+
+    def _allocate(self) -> None:
+        key = self.heap_key
+        sizes = self.partition.sizes
+        group = self.group
+
+        def alloc(ctx: PlaceContext) -> None:
+            index = group.index_of(ctx.place)
+            ctx.heap.put(key, Vector.make(sizes[index]))
+
+        self.runtime.finish_all(group, alloc, label=f"{self.name}:alloc")
+
+    # -- segment access -------------------------------------------------------
+
+    def segment_range(self, index: int):
+        """Global half-open range of the segment at group index *index*."""
+        return self.partition.range_of(index)
+
+    def segment(self, index: int) -> Vector:
+        """Library-internal: the live segment at a group index."""
+        return self.payload_at_index(index)
+
+    @property
+    def nbytes_total(self) -> int:
+        return self.n * 8
+
+    def max_segment_nbytes(self) -> int:
+        """Bytes of the largest segment (per-sender gather payload)."""
+        return max(self.partition.sizes) * 8 if self.partition.sizes else 0
+
+    # -- initialization -----------------------------------------------------
+
+    def init(self, value: float) -> "DistVector":
+        """Set every cell to *value*."""
+        return self._cellwise(lambda seg, lo, hi: seg.fill(value), label="init")
+
+    def init_random(self, seed: int, tag: int = 0) -> "DistVector":
+        """Deterministic random fill, independent of the partition.
+
+        Each place writes the global vector's slice covering its segment,
+        so the logical vector is identical under any place count — required
+        for failure-vs-failure-free comparisons.
+        """
+        full = random_vector(seed, self.n, tag)
+        return self._cellwise(
+            lambda seg, lo, hi: seg.set_sub_vector(0, Vector(full[lo:hi])),
+            label="init_random",
+        )
+
+    # -- cell-wise operations ---------------------------------------------------
+
+    def _cellwise(
+        self,
+        fn: Callable[[Vector, int, int], None],
+        flops_per_cell: float = 1.0,
+        label: str = "cellwise",
+    ) -> "DistVector":
+        group, key = self.group, self.heap_key
+        partition = self.partition
+
+        def task(ctx: PlaceContext) -> None:
+            index = group.index_of(ctx.place)
+            lo, hi = partition.range_of(index)
+            fn(ctx.heap.get(key), lo, hi)
+            ctx.charge_flops(flops_per_cell * (hi - lo))
+
+        self.runtime.finish_all(group, task, label=f"{self.name}:{label}")
+        return self
+
+    def scale(self, alpha: float) -> "DistVector":
+        """``self *= alpha``."""
+        return self._cellwise(lambda seg, lo, hi: seg.scale(alpha), label="scale")
+
+    def fill(self, value: float) -> "DistVector":
+        """Set every cell to *value*."""
+        return self._cellwise(lambda seg, lo, hi: seg.fill(value), label="fill")
+
+    def map(self, fn: Callable[[np.ndarray], np.ndarray], flops_per_cell: float = 1.0) -> "DistVector":
+        """Vectorized elementwise transform of every segment."""
+        return self._cellwise(
+            lambda seg, lo, hi: seg.map(fn), flops_per_cell=flops_per_cell, label="map"
+        )
+
+    def _cellwise_pair(
+        self,
+        other: "DistVector",
+        fn: Callable[[Vector, Vector], None],
+        flops_per_cell: float = 1.0,
+        label: str = "cellwise",
+    ) -> "DistVector":
+        self._check_aligned(other)
+        group = self.group
+
+        def task(ctx: PlaceContext) -> None:
+            index = group.index_of(ctx.place)
+            lo, hi = self.partition.range_of(index)
+            fn(ctx.heap.get(self.heap_key), ctx.heap.get(other.heap_key))
+            ctx.charge_flops(flops_per_cell * (hi - lo))
+
+        self.runtime.finish_all(group, task, label=f"{self.name}:{label}")
+        return self
+
+    def cell_add(self, other: "DistVector | float") -> "DistVector":
+        """``self += other`` (partition-aligned DistVector or scalar)."""
+        if isinstance(other, DistVector):
+            return self._cellwise_pair(other, lambda a, b: a.cell_add(b), label="cell_add")
+        return self._cellwise(lambda seg, lo, hi: seg.cell_add(float(other)), label="cell_add")
+
+    def cell_sub(self, other: "DistVector | float") -> "DistVector":
+        """``self -= other``."""
+        if isinstance(other, DistVector):
+            return self._cellwise_pair(other, lambda a, b: a.cell_sub(b), label="cell_sub")
+        return self._cellwise(lambda seg, lo, hi: seg.cell_sub(float(other)), label="cell_sub")
+
+    def cell_mult(self, other: "DistVector") -> "DistVector":
+        """Hadamard ``self *= other``."""
+        return self._cellwise_pair(other, lambda a, b: a.cell_mult(b), label="cell_mult")
+
+    def axpy(self, alpha: float, x: "DistVector") -> "DistVector":
+        """``self += alpha * x``."""
+        return self._cellwise_pair(
+            x, lambda a, b: a.axpy(alpha, b), flops_per_cell=2.0, label="axpy"
+        )
+
+    def copy_from(self, other: "DistVector") -> "DistVector":
+        """Overwrite this vector with a partition-aligned peer."""
+        return self._cellwise_pair(other, lambda a, b: a.set_sub_vector(0, b), label="copy_from")
+
+    def _check_aligned(self, other: "DistVector") -> None:
+        require(other.n == self.n, "DistVector length mismatch")
+        require(other.group == self.group, "DistVector operands on different groups")
+        require(other.partition == self.partition, "DistVector partitions differ")
+
+    # -- reductions --------------------------------------------------------------
+
+    def dot(self, dup) -> float:
+        """Inner product with a :class:`DupVector` over the same group.
+
+        Each place dots its segment against its local slice of the
+        duplicate (no data motion), then a scalar all-reduce combines the
+        partials — GML's ``U.dot(P)`` from Listing 2.
+        """
+        from repro.matrix.dupvector import DupVector
+
+        require(isinstance(dup, DupVector), "dot expects a DupVector operand")
+        require(dup.n == self.n, "length mismatch in dot")
+        require(dup.group == self.group, "operands on different groups")
+        group = self.group
+
+        def task(ctx: PlaceContext) -> float:
+            index = group.index_of(ctx.place)
+            lo, hi = self.partition.range_of(index)
+            seg: Vector = ctx.heap.get(self.heap_key)
+            full: Vector = ctx.heap.get(dup.heap_key)
+            ctx.charge_flops(2 * (hi - lo))
+            return float(seg.data @ full.data[lo:hi])
+
+        partials = self.runtime.finish_all(group, task, ret_bytes=8, label=f"{self.name}:dot")
+        # The per-place partials ride back on the finish termination
+        # messages; the scalar is folded at the finish home (GML's reduce).
+        return float(sum(p for p in partials if p is not None))
+
+    def dot_dist(self, other: "DistVector") -> float:
+        """Inner product of two partition-aligned DistVectors."""
+        self._check_aligned(other)
+        group = self.group
+
+        def task(ctx: PlaceContext) -> float:
+            a: Vector = ctx.heap.get(self.heap_key)
+            b: Vector = ctx.heap.get(other.heap_key)
+            ctx.charge_flops(2 * a.n)
+            return a.dot(b)
+
+        partials = self.runtime.finish_all(group, task, ret_bytes=8, label=f"{self.name}:dot")
+        return float(sum(p for p in partials if p is not None))
+
+    def norm2(self) -> float:
+        """Euclidean norm."""
+        return float(np.sqrt(max(self.dot_dist(self), 0.0)))
+
+    def sum(self) -> float:
+        """Sum of all cells (segment sums + scalar all-reduce)."""
+        group = self.group
+
+        def task(ctx: PlaceContext) -> float:
+            seg: Vector = ctx.heap.get(self.heap_key)
+            ctx.charge_flops(seg.n)
+            return seg.sum()
+
+        partials = self.runtime.finish_all(group, task, ret_bytes=8, label=f"{self.name}:sum")
+        return float(sum(p for p in partials if p is not None))
+
+    # -- gather (Listing 2's ``GP.copyTo(P.local())``) ---------------------------
+
+    def copy_to(self, dest: Vector) -> None:
+        """Gather all segments into a root-place local vector.
+
+        The destination is the root copy of a DupVector (or any driver-side
+        Vector); a subsequent ``DupVector.sync()`` re-broadcasts it.
+        """
+        require(dest.n == self.n, "gather destination length mismatch")
+        flat_gather(
+            self.runtime,
+            self.group,
+            root_index=0,
+            nbytes_each=self.max_segment_nbytes(),
+            label=f"{self.name}:copy_to",
+        )
+        for index in range(self.group.size):
+            lo, hi = self.partition.range_of(index)
+            dest.data[lo:hi] = self.segment(index).data
+
+    def to_array(self) -> np.ndarray:
+        """Driver-side gather of the full vector (testing/examples)."""
+        out = Vector.make(self.n)
+        self.copy_to(out)
+        return out.data
+
+    def to_dup(self, dup) -> None:
+        """Gather into a DupVector and re-broadcast — every replica ends up
+        holding the full distributed vector (GML's dist→dup conversion)."""
+        self.copy_to(dup.local())
+        dup.sync()
+
+    def from_dup(self, dup) -> "DistVector":
+        """Scatter a replica-consistent DupVector into the segments.
+
+        The duplicate is already everywhere, so each place just copies its
+        own slice locally — the cheap direction of the conversion.
+        """
+        from repro.matrix.dupvector import DupVector
+
+        require(isinstance(dup, DupVector), "from_dup expects a DupVector")
+        require(dup.n == self.n, "length mismatch in from_dup")
+        require(dup.group == self.group, "operands on different groups")
+        group = self.group
+
+        def task(ctx: PlaceContext) -> None:
+            index = group.index_of(ctx.place)
+            lo, hi = self.partition.range_of(index)
+            seg: Vector = ctx.heap.get(self.heap_key)
+            full: Vector = ctx.heap.get(dup.heap_key)
+            seg.data[:] = full.data[lo:hi]
+            ctx.charge_flops(hi - lo)
+
+        self.runtime.finish_all(group, task, label=f"{self.name}:from_dup")
+        return self
+
+    # -- matvec (delegates to ops) -------------------------------------------
+
+    def mult(self, matrix, dup) -> "DistVector":
+        """``self = matrix @ dup`` — Listing 2's ``GP.mult(G, P)``."""
+        from repro.matrix.ops import dist_block_matvec
+
+        dist_block_matvec(matrix, dup, self)
+        return self
+
+    # -- resilience (Snapshottable) ----------------------------------------------
+
+    def remake(
+        self, new_group: PlaceGroup, partition: Optional[Partition1D] = None
+    ) -> "DistVector":
+        """Reallocate over *new_group*; default partition is recalculated even.
+
+        One-segment-per-place classes "must recalculate the data grid" when
+        the group size changes (§IV-A2).
+        """
+        self._release_payloads()
+        self.group = new_group
+        self.partition = (
+            partition if partition is not None else Partition1D.even(self.n, new_group.size)
+        )
+        require(self.partition.num_segments == new_group.size, "partition/group size mismatch")
+        self._allocate()
+        return self
+
+    def make_snapshot(self) -> DistObjectSnapshot:
+        """Save each segment under its place index, doubly stored."""
+        snap = self._new_snapshot({"n": self.n, "sizes": list(self.partition.sizes)})
+        group = self.group
+
+        def save(ctx: PlaceContext) -> None:
+            index = group.index_of(ctx.place)
+            snap.save_from(ctx, index, ctx.heap.get(self.heap_key).copy())
+
+        self.runtime.finish_all(group, save, label=f"{self.name}:snapshot")
+        return snap
+
+    def restore_snapshot(self, snapshot: DistObjectSnapshot) -> None:
+        """Reload segments; repartition via overlap copies if needed."""
+        require(snapshot.meta.get("n") == self.n, "snapshot is for a different vector")
+        old_partition = Partition1D(self.n, snapshot.meta["sizes"])
+        group = self.group
+
+        if old_partition == self.partition:
+            # Unchanged partition: whole-segment (block-by-block) reload.
+            def load(ctx: PlaceContext) -> None:
+                index = group.index_of(ctx.place)
+                payload: Vector = snapshot.fetch(ctx, index)
+                ctx.heap.get(self.heap_key).set_sub_vector(0, payload)
+
+            self.runtime.finish_all(group, load, label=f"{self.name}:restore")
+            return
+
+        # Changed partition: each new segment pulls its overlap sub-ranges
+        # from the old owners (§IV-B2's sub-block copies, 1-D case).
+        overlaps = self.partition.overlaps(old_partition)
+        by_new: dict = {}
+        for new_seg, old_seg, start, end in overlaps:
+            by_new.setdefault(new_seg, []).append((old_seg, start, end))
+
+        def load_repartitioned(ctx: PlaceContext) -> None:
+            index = group.index_of(ctx.place)
+            lo, _hi = self.partition.range_of(index)
+            seg: Vector = ctx.heap.get(self.heap_key)
+            for old_seg, start, end in by_new.get(index, []):
+                olo, _ohi = old_partition.range_of(old_seg)
+                piece: Vector = snapshot.fetch(
+                    ctx,
+                    old_seg,
+                    extract=lambda v, s=start - olo, e=end - olo: v.sub_vector(s, e),
+                    extract_bytes=(end - start) * 8,
+                )
+                seg.set_sub_vector(start - lo, piece)
+
+        self.runtime.finish_all(group, load_repartitioned, label=f"{self.name}:restore")

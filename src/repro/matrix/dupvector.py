@@ -1,0 +1,276 @@
+"""``DupVector`` — a vector duplicated at every place of a group.
+
+Each member place holds a full copy.  Cell-wise operations run at every
+place (one finish each) to keep the replicas consistent, exactly as GML
+does; :meth:`sync` re-broadcasts the root copy after a driver-side update
+(the gather-then-broadcast pattern of the paper's PageRank, Listing 2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.matrix.dense import flops_cellwise
+from repro.matrix.multiplace import MultiPlaceObject
+from repro.matrix.random import random_vector
+from repro.matrix.vector import Vector
+from repro.resilience.snapshot import DistObjectSnapshot
+from repro.runtime.comm import tree_allreduce, tree_broadcast
+from repro.runtime.place import PlaceGroup
+from repro.runtime.runtime import PlaceContext, Runtime
+from repro.util.validation import check_positive, require
+
+
+class DupVector(MultiPlaceObject):
+    """A length-``n`` vector with one full copy per member place."""
+
+    def __init__(self, runtime: Runtime, n: int, group: PlaceGroup):
+        check_positive(n, "n")
+        super().__init__(runtime, group, "DupVector")
+        self.n = n
+        self._allocate(group)
+
+    @classmethod
+    def make(cls, runtime: Runtime, n: int, group: Optional[PlaceGroup] = None) -> "DupVector":
+        """GML-style factory: duplicate a zero vector over *group*."""
+        return cls(runtime, n, group if group is not None else runtime.world)
+
+    def _allocate(self, group: PlaceGroup) -> None:
+        n, key = self.n, self.heap_key
+        self.runtime.finish_all(
+            group,
+            lambda ctx: ctx.heap.put(key, Vector.make(n)),
+            label=f"{self.name}:alloc",
+        )
+
+    # -- element bytes of one full copy -----------------------------------------
+
+    @property
+    def copy_nbytes(self) -> int:
+        return self.n * 8
+
+    # -- initialization -----------------------------------------------------
+
+    def init(self, value: float) -> "DupVector":
+        """Set every copy to the constant *value*."""
+        return self._cellwise(lambda v: v.fill(value), label="init")
+
+    def init_random(self, seed: int, tag: int = 0) -> "DupVector":
+        """Fill every copy with the *same* deterministic random values."""
+        data = random_vector(seed, self.n, tag)
+
+        def fill(ctx: PlaceContext) -> None:
+            vec: Vector = ctx.heap.get(self.heap_key)
+            vec.data[:] = data
+            ctx.charge_flops(flops_cellwise(self.n))
+
+        self.runtime.finish_all(self.group, fill, label=f"{self.name}:init_random")
+        return self
+
+    # -- driver-side access ---------------------------------------------------
+
+    def local(self) -> Vector:
+        """The root (group index 0) copy, as GML's ``v.local()``.
+
+        Driver-side mutations of this copy are made consistent by a
+        subsequent :meth:`sync`.
+        """
+        return self.payload_at_index(0)
+
+    def to_array(self) -> np.ndarray:
+        """A driver-side copy of the root replica's values."""
+        return self.local().data.copy()
+
+    # -- replica-consistent cell-wise operations -----------------------------
+
+    def _cellwise(
+        self,
+        fn: Callable[[Vector], None],
+        flops: Optional[float] = None,
+        label: str = "cellwise",
+    ) -> "DupVector":
+        per_place_flops = flops_cellwise(self.n) if flops is None else flops
+
+        def task(ctx: PlaceContext) -> None:
+            fn(ctx.heap.get(self.heap_key))
+            ctx.charge_flops(per_place_flops)
+
+        self.runtime.finish_all(self.group, task, label=f"{self.name}:{label}")
+        return self
+
+    def scale(self, alpha: float) -> "DupVector":
+        """``self *= alpha`` on every copy."""
+        return self._cellwise(lambda v: v.scale(alpha), label="scale")
+
+    def fill(self, value: float) -> "DupVector":
+        """Set every copy to *value*."""
+        return self._cellwise(lambda v: v.fill(value), label="fill")
+
+    def _cellwise_pair(
+        self,
+        other: "DupVector",
+        fn: Callable[[Vector, Vector], None],
+        flops: Optional[float] = None,
+        label: str = "cellwise",
+    ) -> "DupVector":
+        """Binary replica-aligned operation: fn(mine, theirs) at every place."""
+        self._check_aligned(other)
+        per_place_flops = flops_cellwise(self.n) if flops is None else flops
+
+        def task(ctx: PlaceContext) -> None:
+            fn(ctx.heap.get(self.heap_key), ctx.heap.get(other.heap_key))
+            ctx.charge_flops(per_place_flops)
+
+        self.runtime.finish_all(self.group, task, label=f"{self.name}:{label}")
+        return self
+
+    def cell_add(self, other: "DupVector | float") -> "DupVector":
+        """``self += other`` (replica-aligned DupVector or scalar)."""
+        if isinstance(other, DupVector):
+            return self._cellwise_pair(other, lambda v, o: v.cell_add(o), label="cell_add")
+        return self._cellwise(lambda v: v.cell_add(float(other)), label="cell_add")
+
+    def cell_sub(self, other: "DupVector | float") -> "DupVector":
+        """``self -= other``."""
+        if isinstance(other, DupVector):
+            return self._cellwise_pair(other, lambda v, o: v.cell_sub(o), label="cell_sub")
+        return self._cellwise(lambda v: v.cell_sub(float(other)), label="cell_sub")
+
+    def cell_mult(self, other: "DupVector") -> "DupVector":
+        """Hadamard ``self *= other``."""
+        return self._cellwise_pair(other, lambda v, o: v.cell_mult(o), label="cell_mult")
+
+    def axpy(self, alpha: float, x: "DupVector") -> "DupVector":
+        """``self += alpha * x`` on every copy (2n flops per place)."""
+        return self._cellwise_pair(
+            x, lambda v, o: v.axpy(alpha, o), flops=2 * self.n, label="axpy"
+        )
+
+    def copy_from(self, other: "DupVector") -> "DupVector":
+        """Overwrite every copy with *other*'s replica on the same place."""
+        return self._cellwise_pair(
+            other, lambda v, o: v.set_sub_vector(0, o), label="copy_from"
+        )
+
+    def map(self, fn: Callable[[np.ndarray], np.ndarray], flops_per_cell: float = 1.0) -> "DupVector":
+        """Vectorized elementwise transform on every copy."""
+        return self._cellwise(
+            lambda v: v.map(fn), flops=flops_per_cell * self.n, label="map"
+        )
+
+    def _check_aligned(self, other: "DupVector") -> None:
+        require(other.n == self.n, "DupVector length mismatch")
+        require(other.group == self.group, "DupVector operands live on different groups")
+
+    # -- reductions -----------------------------------------------------------
+
+    def dot(self, other: "DupVector") -> float:
+        """Inner product, computed redundantly at every place (GML style).
+
+        Replicas are identical, so no communication is needed; each place
+        charges 2n flops and the driver reads the root's result.
+        """
+        self._check_aligned(other)
+        results = self.runtime.finish_all(
+            self.group,
+            lambda ctx: self._dot_task(ctx, other),
+            ret_bytes=8,
+            label=f"{self.name}:dot",
+        )
+        return float(results[0])
+
+    def _dot_task(self, ctx: PlaceContext, other: "DupVector") -> float:
+        mine: Vector = ctx.heap.get(self.heap_key)
+        theirs: Vector = ctx.heap.get(other.heap_key)
+        ctx.charge_flops(2 * self.n)
+        return mine.dot(theirs)
+
+    def norm2(self) -> float:
+        """Euclidean norm (redundant per-place computation)."""
+        return float(np.sqrt(max(self.dot(self), 0.0)))
+
+    def reduce_sum(self) -> "DupVector":
+        """All-reduce: every copy becomes the element-wise sum of all copies.
+
+        This is the gradient-combine step of the regression apps: each place
+        contributes its partial and ends up with the global sum.
+        """
+        total = np.zeros(self.n)
+        for place in self.group:
+            total += self.local_payload(place).data
+        tree_allreduce(
+            self.runtime,
+            self.group,
+            nbytes=self.copy_nbytes,
+            reduce_flops=self.n,
+            label=f"{self.name}:reduce_sum",
+        )
+        for place in self.group:
+            self.local_payload(place).data[:] = total
+        return self
+
+    # -- consistency ------------------------------------------------------------
+
+    def sync(self) -> "DupVector":
+        """Broadcast the root copy to every replica (Listing 2's ``P.sync()``)."""
+        root_data = self.payload_at_index(0).data
+        tree_broadcast(
+            self.runtime,
+            self.group,
+            root_index=0,
+            nbytes=self.copy_nbytes,
+            label=f"{self.name}:sync",
+        )
+        for index in range(1, self.group.size):
+            self.payload_at_index(index).data[:] = root_data
+        return self
+
+    def replicas_consistent(self, tol: float = 0.0) -> bool:
+        """True when all live replicas agree within *tol* (test helper)."""
+        root = self.payload_at_index(0).data
+        return all(
+            np.allclose(self.payload_at_index(i).data, root, atol=tol, rtol=0)
+            for i in range(1, self.group.size)
+        )
+
+    # -- resilience (Snapshottable) ------------------------------------------
+
+    def remake(self, new_group: PlaceGroup) -> "DupVector":
+        """Reallocate the duplicates over *new_group* (§IV-A: remake)."""
+        self._release_payloads()
+        self.group = new_group
+        self._allocate(new_group)
+        return self
+
+    def make_snapshot(self) -> DistObjectSnapshot:
+        """Save every replica under its place index, doubly stored."""
+        snap = self._new_snapshot({"n": self.n})
+
+        def save(ctx: PlaceContext) -> None:
+            index = self.group.index_of(ctx.place)
+            snap.save_from(ctx, index, ctx.heap.get(self.heap_key).copy())
+
+        self.runtime.finish_all(self.group, save, label=f"{self.name}:snapshot")
+        return snap
+
+    def restore_snapshot(self, snapshot: DistObjectSnapshot) -> None:
+        """Reload each replica from the key matching its *new* index.
+
+        Valid whenever the new group is no larger than the snapshot group
+        (duplicates are interchangeable, §IV-B2).
+        """
+        require(snapshot.meta.get("n") == self.n, "snapshot is for a different vector")
+        require(
+            self.group.size <= snapshot.group.size,
+            "cannot restore duplicates onto a larger group than was saved",
+        )
+
+        def load(ctx: PlaceContext) -> None:
+            index = self.group.index_of(ctx.place)
+            payload: Vector = snapshot.fetch(ctx, index)
+            vec: Vector = ctx.heap.get(self.heap_key)
+            vec.data[:] = payload.data
+
+        self.runtime.finish_all(self.group, load, label=f"{self.name}:restore")

@@ -1,0 +1,312 @@
+"""Distributed kernels over the multi-place classes.
+
+Two kernels carry the paper's three applications:
+
+* ``dist_block_matvec`` — ``y = G @ x`` with ``G`` a :class:`DistBlockMatrix`,
+  ``x`` a :class:`DupVector` and ``y`` a :class:`DistVector` (Listing 2's
+  ``GP.mult(G, P)``).  Each place multiplies its blocks against its local
+  duplicate slice; block-row results are routed to the segment owners of
+  ``y`` (free when the output partition is aligned to the block layout, a
+  remote transfer after a shrink remap scatters the blocks).
+
+* ``dist_block_t_matvec`` — ``g = Gᵀ @ r`` producing a :class:`DupVector`
+  (the gradient combine of LinReg/LogReg): each place computes a partial
+  full-width product from its blocks, then an all-reduce sums the partials
+  into every replica.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.matrix.block import BlockSet
+from repro.matrix.distblock import DistBlockMatrix
+from repro.matrix.distvector import DistVector
+from repro.matrix.dupvector import DupVector
+from repro.matrix.vector import Vector
+from repro.runtime.comm import point_to_point
+from repro.runtime.runtime import PlaceContext
+from repro.util.validation import require
+
+
+def _block_flops(block, sparse_factor: float = 1.0) -> float:
+    """Effective flop charge of one block's matvec.
+
+    Sparse entries are weighted by the cost model's irregular-access
+    factor (CSR gathers are far slower per entry than dense BLAS).
+    """
+    if block.is_sparse:
+        return 2.0 * block.data.nnz * sparse_factor
+    h, w = block.shape
+    return 2.0 * h * w
+
+
+def dist_block_matvec(G: DistBlockMatrix, x: DupVector, y: DistVector) -> DistVector:
+    """``y = G @ x`` — one compute finish plus result routing."""
+    require(x.n == G.n, f"operand length {x.n} != matrix cols {G.n}")
+    require(y.n == G.m, f"output length {y.n} != matrix rows {G.m}")
+    require(G.group == x.group, "matrix and operand on different groups")
+    require(G.group == y.group, "matrix and output on different groups")
+    rt = G.runtime
+    group = G.group
+
+    def compute(ctx: PlaceContext) -> Dict[int, Tuple[int, np.ndarray]]:
+        bs: BlockSet = ctx.heap.get(G.heap_key)
+        xdata = ctx.heap.get(x.heap_key).data
+        partials: Dict[int, Tuple[int, np.ndarray]] = {}
+        flops = 0.0
+        for block in bs:
+            r0, r1 = block.row_range()
+            c0, c1 = block.col_range()
+            if block.is_sparse:
+                part = block.data.spmv(xdata[c0:c1])
+            else:
+                part = block.data.matvec(xdata[c0:c1])
+            flops += _block_flops(block, rt.cost.sparse_flop_factor)
+            if block.rb in partials:
+                partials[block.rb][1][:] += part
+                flops += r1 - r0
+            else:
+                partials[block.rb] = (r0, part)
+        ctx.charge_flops(flops)
+        return partials
+
+    results = rt.finish_all(group, compute, label="matvec")
+
+    # Route block-row results into the output segments.  Aligned layouts
+    # route locally; scattered layouts (post-shrink) pay transfers.
+    for index in range(group.size):
+        lo, _hi = y.partition.range_of(index)
+        seg = y.segment(index)
+        seg.fill(0.0)
+        rt.clock.advance(group[index].id, rt.cost.memcpy(seg.nbytes))
+    for src_index, partials in enumerate(results):
+        if partials is None:
+            continue
+        src_place = group[src_index]
+        for _rb, (r0, part) in sorted(partials.items()):
+            r1 = r0 + len(part)
+            for seg_index, start, end in y.partition.overlapping_segments(r0, r1):
+                dest_place = group[seg_index]
+                if dest_place != src_place:
+                    point_to_point(rt, src_place.id, dest_place.id, (end - start) * 8)
+                seg = y.segment(seg_index)
+                seg_lo, _ = y.partition.range_of(seg_index)
+                seg.data[start - seg_lo : end - seg_lo] += part[start - r0 : end - r0]
+                rt.clock.advance(dest_place.id, rt.cost.flops(end - start))
+    return y
+
+
+def dist_block_t_matvec(G: DistBlockMatrix, r: DistVector, g: DupVector) -> DupVector:
+    """``g = Gᵀ @ r`` — per-place partials, then all-reduce into replicas."""
+    require(r.n == G.m, f"operand length {r.n} != matrix rows {G.m}")
+    require(g.n == G.n, f"output length {g.n} != matrix cols {G.n}")
+    require(G.group == r.group, "matrix and operand on different groups")
+    require(G.group == g.group, "matrix and output on different groups")
+    rt = G.runtime
+    group = G.group
+
+    def compute(ctx: PlaceContext) -> None:
+        my_index = group.index_of(ctx.place)
+        bs: BlockSet = ctx.heap.get(G.heap_key)
+        partial = np.zeros(G.n)
+        flops = 0.0
+        for block in bs:
+            r0, r1 = block.row_range()
+            c0, c1 = block.col_range()
+            rvals = _gather_rows(ctx, r, my_index, r0, r1)
+            if block.is_sparse:
+                partial[c0:c1] += block.data.spmv_t(rvals)
+            else:
+                partial[c0:c1] += block.data.t_matvec(rvals)
+            flops += _block_flops(block, rt.cost.sparse_flop_factor)
+        out: Vector = ctx.heap.get(g.heap_key)
+        out.data[:] = partial
+        ctx.charge_flops(flops)
+
+    rt.finish_all(group, compute, label="t_matvec")
+    g.reduce_sum()
+    return g
+
+
+def _check_row_aligned(a: DistBlockMatrix, b: DistBlockMatrix) -> None:
+    """Both matrices must share group, row blocking and block ownership
+    (and be single-block-column) so row bands can be combined locally."""
+    require(a.group == b.group, "operands on different groups")
+    require(a.m == b.m, "row count mismatch")
+    require(
+        a.grid.num_col_blocks == 1 and b.grid.num_col_blocks == 1,
+        "matrix-matrix kernels require single-column block layouts",
+    )
+    require(a.grid.row_sizes == b.grid.row_sizes, "row blockings differ")
+    require(
+        a.block_map.owner_dict() == b.block_map.owner_dict(),
+        "block-to-place maps differ",
+    )
+
+
+def dist_gram(a: DistBlockMatrix, b: DistBlockMatrix, out) -> "object":
+    """``out = aᵀ @ b`` — per-place row-band partials, all-reduced.
+
+    ``a`` may be sparse or dense; ``b`` and the duplicated output are
+    dense.  This is the Gram-product pattern of GNMF's update rules
+    (``WᵀV``, ``WᵀW``): each place multiplies its row band, then the
+    small ``a.n × b.n`` partials are combined into every replica.
+    """
+    from repro.matrix.dupmatrix import DupDenseMatrix
+
+    _check_row_aligned(a, b)
+    require(isinstance(out, DupDenseMatrix), "output must be a DupDenseMatrix")
+    require((out.m, out.n) == (a.n, b.n), "output shape mismatch")
+    require(out.group == a.group, "output on a different group")
+    require(
+        a.kind == "dense" or b.kind == "dense",
+        "at least one gram operand must be dense",
+    )
+    rt = a.runtime
+    group = a.group
+
+    def compute(ctx: PlaceContext) -> None:
+        mine: BlockSet = ctx.heap.get(a.heap_key)
+        theirs: BlockSet = ctx.heap.get(b.heap_key)
+        partial = np.zeros((a.n, b.n))
+        flops = 0.0
+        for block in mine:
+            peer = theirs.get(block.rb, 0)
+            if block.is_sparse:
+                # sparse(a)ᵀ @ dense(b)
+                partial += block.data.t_matmat(peer.data.data)
+                flops += 2.0 * block.data.nnz * b.n * rt.cost.sparse_flop_factor
+            elif peer.is_sparse:
+                # dense(a)ᵀ @ sparse(b) = (sparse(b)ᵀ @ dense(a))ᵀ
+                partial += peer.data.t_matmat(block.data.data).T
+                flops += 2.0 * peer.data.nnz * a.n * rt.cost.sparse_flop_factor
+            else:
+                partial += block.data.data.T @ peer.data.data
+                flops += 2.0 * block.shape[0] * a.n * b.n
+        out_local = ctx.heap.get(out.heap_key)
+        out_local.data[:] = partial
+        ctx.charge_flops(flops)
+
+    rt.finish_all(group, compute, label="gram")
+    out.reduce_sum()
+    return out
+
+
+def dist_matmat_dup(a: DistBlockMatrix, b, out: DistBlockMatrix) -> DistBlockMatrix:
+    """``out = a @ b`` with ``b`` a :class:`DupDenseMatrix` — fully local.
+
+    Each place multiplies its row band of ``a`` against its local replica
+    of ``b`` and writes its row band of the (row-aligned, dense) output —
+    the ``V·Hᵀ`` / ``W·(HHᵀ)`` pattern of GNMF.
+    """
+    from repro.matrix.dupmatrix import DupDenseMatrix
+
+    _check_row_aligned(a, out)
+    require(isinstance(b, DupDenseMatrix), "b must be a DupDenseMatrix")
+    require(b.group == a.group, "operands on different groups")
+    require(a.n == b.m, "inner dimension mismatch")
+    require(out.n == b.n and out.kind == "dense", "output shape/kind mismatch")
+    rt = a.runtime
+    group = a.group
+
+    def compute(ctx: PlaceContext) -> None:
+        mine: BlockSet = ctx.heap.get(a.heap_key)
+        outs: BlockSet = ctx.heap.get(out.heap_key)
+        bdata = ctx.heap.get(b.heap_key).data
+        flops = 0.0
+        for block in mine:
+            target = outs.get(block.rb, 0)
+            if block.is_sparse:
+                target.data.data[:] = block.data.matmat(bdata)
+                flops += 2.0 * block.data.nnz * b.n * rt.cost.sparse_flop_factor
+            else:
+                np.matmul(block.data.data, bdata, out=target.data.data)
+                flops += 2.0 * block.shape[0] * a.n * b.n
+        ctx.charge_flops(flops)
+
+    rt.finish_all(group, compute, label="matmat")
+    return out
+
+
+def dist_matmul(a: DistBlockMatrix, b: DistBlockMatrix, c: DistBlockMatrix) -> DistBlockMatrix:
+    """``c = a @ b`` with all three matrices row-distributed (SUMMA-style).
+
+    ``a`` (m×k) and ``c`` (m×n) share their row layout; ``b`` (k×n) is
+    row-distributed over the same group.  The kernel iterates over ``b``'s
+    row bands: each band is broadcast to every place (one tree broadcast +
+    one finish per band), which then folds ``a``'s matching column panel
+    into its local ``c`` band — the classic panel-broadcast matrix-multiply
+    GML implements for its distributed dense classes.
+    """
+    from repro.runtime.comm import tree_broadcast
+
+    _check_row_aligned(a, c)
+    require(b.group == a.group, "operands on different groups")
+    require(b.grid.num_col_blocks == 1, "b must use a single block column")
+    require(a.n == b.m, "inner dimension mismatch")
+    require(c.n == b.n, "output column mismatch")
+    require(
+        a.kind == "dense" and b.kind == "dense" and c.kind == "dense",
+        "dist_matmul is dense-only",
+    )
+    rt = a.runtime
+    group = a.group
+
+    # Zero the output bands.
+    def zero(ctx: PlaceContext) -> None:
+        outs: BlockSet = ctx.heap.get(c.heap_key)
+        for block in outs:
+            block.data.fill(0.0)
+
+    rt.finish_all(group, zero, label="matmul:zero")
+
+    # One panel round per row band of b, in grid order.
+    for owner_index in range(group.size):
+        bands = [
+            (block.row_range(), block.data.data.copy())
+            for block in b.block_set(owner_index)
+        ]
+        for (k0, k1), panel in bands:
+            tree_broadcast(
+                rt,
+                group,
+                root_index=owner_index,
+                nbytes=panel.nbytes,
+                label="matmul:panel",
+            )
+
+            def fold(ctx: PlaceContext, k0=k0, k1=k1, panel=panel) -> None:
+                mine: BlockSet = ctx.heap.get(a.heap_key)
+                outs: BlockSet = ctx.heap.get(c.heap_key)
+                flops = 0.0
+                for block in mine:
+                    target = outs.get(block.rb, 0)
+                    target.data.data += block.data.data[:, k0:k1] @ panel
+                    flops += 2.0 * block.shape[0] * (k1 - k0) * panel.shape[1]
+                ctx.charge_flops(flops)
+
+            rt.finish_all(group, fold, label="matmul:fold")
+    return c
+
+
+def _gather_rows(
+    ctx: PlaceContext, r: DistVector, my_index: int, r0: int, r1: int
+) -> np.ndarray:
+    """Collect ``r[r0:r1]`` at the calling place (local fast path)."""
+    lo, hi = r.partition.range_of(my_index)
+    if lo <= r0 and r1 <= hi:
+        return ctx.heap.get(r.heap_key).data[r0 - lo : r1 - lo]
+    out = np.empty(r1 - r0)
+    for seg_index, start, end in r.partition.overlapping_segments(r0, r1):
+        slo, _shi = r.partition.range_of(seg_index)
+        owner = r.group[seg_index]
+        if owner == ctx.place:
+            piece = ctx.heap.get(r.heap_key).data[start - slo : end - slo]
+        else:
+            seg: Vector = ctx.read_remote(owner.id, r.heap_key, nbytes=(end - start) * 8)
+            piece = seg.data[start - slo : end - slo]
+        out[start - r0 : end - r0] = piece
+    return out

@@ -1,0 +1,138 @@
+"""Deterministic random initialization for distributed matrices.
+
+Two requirements drive this module:
+
+1. **Per-block determinism** — a distributed matrix initialized over any
+   place group must hold the same logical values, so a failure-and-restore
+   run can be compared element-wise against a failure-free run.  Dense
+   blocks are therefore seeded from ``(seed, rb, cb)`` via
+   ``np.random.SeedSequence`` spawn keys.
+
+2. **Grid independence for sparse graphs** — the PageRank link matrix must
+   be the *same logical matrix* under any blocking, because the
+   shrink-rebalance restore changes the grid.  We synthesize edges with a
+   stateless integer hash (splitmix64) per ``(column, k)`` pair: any block
+   can enumerate exactly its own region's non-zeros without global state.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.matrix.dense import DenseMatrix
+from repro.matrix.sparse import SparseCSR
+from repro.util.validation import check_positive, require
+
+
+def block_rng(seed: int, rb: int, cb: int) -> np.random.Generator:
+    """A generator deterministically derived from ``(seed, rb, cb)``."""
+    return np.random.default_rng(np.random.SeedSequence(seed, spawn_key=(rb, cb)))
+
+
+def random_dense_block(seed: int, rb: int, cb: int, rows: int, cols: int) -> DenseMatrix:
+    """Uniform [0, 1) dense block, reproducible per block coordinates."""
+    return DenseMatrix(block_rng(seed, rb, cb).random((rows, cols)))
+
+
+def random_vector(seed: int, n: int, tag: int = 0) -> np.ndarray:
+    """Uniform [0, 1) vector, reproducible from ``(seed, tag)``."""
+    return np.random.default_rng(np.random.SeedSequence(seed, spawn_key=(tag,))).random(n)
+
+
+def random_sparse_block(
+    seed: int, rb: int, cb: int, rows: int, cols: int, density: float
+) -> SparseCSR:
+    """Random CSR block with ``round(density * rows * cols)`` non-zeros."""
+    require(0.0 <= density <= 1.0, f"density must be in [0,1], got {density}")
+    total = rows * cols
+    nnz = int(round(density * total))
+    if total == 0 or nnz == 0:
+        return SparseCSR.empty(rows, cols)
+    rng = block_rng(seed, rb, cb)
+    positions = rng.choice(total, size=min(nnz, total), replace=False)
+    return SparseCSR.from_coo(
+        rows, cols, positions // cols, positions % cols, rng.random(len(positions))
+    )
+
+
+# -- grid-independent synthetic link matrix (PageRank workload) -------------
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+
+
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finalizer: uniform 64-bit hash of the input."""
+    with np.errstate(over="ignore"):
+        z = (x + _GOLDEN).astype(np.uint64)
+        z = (z ^ (z >> np.uint64(30))) * _MIX1
+        z = (z ^ (z >> np.uint64(27))) * _MIX2
+        return z ^ (z >> np.uint64(31))
+
+
+class LinkMatrix:
+    """A synthetic column-stochastic web-link matrix of order *n*.
+
+    Column *j* has exactly *out_degree* out-links whose destinations are
+    ``hash(seed, j, k) mod n`` for ``k in 0..out_degree-1`` (duplicate
+    destinations coalesce, summing their weight, exactly as a multigraph
+    collapses).  Every column sums to 1, so the PageRank iteration
+    ``P = αGP + (1-α)/n`` preserves ``sum(P) = 1``.
+
+    Because destinations are a pure function of ``(seed, j, k)``, any block
+    of the matrix can be materialized independently — the logical matrix is
+    identical under every grid, which the shrink-rebalance restore requires.
+    """
+
+    def __init__(self, n: int, out_degree: int, seed: int = 0):
+        check_positive(n, "n")
+        check_positive(out_degree, "out_degree")
+        self.n = n
+        self.out_degree = out_degree
+        self.seed = seed
+        self._dest_cache: "Tuple[np.ndarray, np.ndarray] | None" = None
+
+    def destinations(self, j0: int, j1: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(rows, cols)`` of all edges with source columns in ``[j0, j1)``.
+
+        Edges for the whole matrix are memoized on first use (they are
+        column-ordered, so any column range is a contiguous slice); blocks
+        spanning many columns then cost a slice instead of a re-hash.
+        """
+        require(0 <= j0 <= j1 <= self.n, "bad column range")
+        if self._dest_cache is None:
+            self._dest_cache = self._generate(0, self.n)
+        rows, cols = self._dest_cache
+        lo, hi = j0 * self.out_degree, j1 * self.out_degree
+        return rows[lo:hi].copy(), cols[lo:hi].copy()
+
+    def _generate(self, j0: int, j1: int) -> Tuple[np.ndarray, np.ndarray]:
+        cols = np.repeat(np.arange(j0, j1, dtype=np.uint64), self.out_degree)
+        ks = np.tile(np.arange(self.out_degree, dtype=np.uint64), j1 - j0)
+        with np.errstate(over="ignore"):
+            key = (
+                np.uint64(self.seed) * _GOLDEN
+                + cols * np.uint64(0x100000001B3)
+                + ks
+            )
+        rows = (_splitmix64(key) % np.uint64(self.n)).astype(np.int64)
+        return rows, cols.astype(np.int64)
+
+    def block(self, r0: int, r1: int, c0: int, c1: int) -> SparseCSR:
+        """Materialize the sub-matrix ``[r0:r1, c0:c1]`` as a CSR block."""
+        rows, cols = self.destinations(c0, c1)
+        mask = (rows >= r0) & (rows < r1)
+        return SparseCSR.from_coo(
+            r1 - r0,
+            c1 - c0,
+            rows[mask] - r0,
+            cols[mask] - c0,
+            np.full(int(mask.sum()), 1.0 / self.out_degree),
+        )
+
+    def nnz_estimate(self) -> int:
+        """Upper bound on total stored entries (duplicates coalesce)."""
+        return self.n * self.out_degree

@@ -1,0 +1,398 @@
+"""Single-place sparse matrices — GML's ``SparseCSR`` and ``SparseCSC``.
+
+Implemented from scratch (compressed index arrays over NumPy) rather than on
+scipy, because the paper's repartitioned restore exercises sparse-specific
+code paths we must own: counting the non-zeros of an arbitrary sub-region
+*before* allocating the new block, extracting the region, and assembling a
+block from region pieces ("the non-zero elements for the overlapping regions
+must be counted to determine the space required for the new sparse block").
+
+All kernels are vectorized NumPy; no per-element Python loops.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.validation import require
+
+_INDEX_DTYPE = np.int64
+
+
+def _as_index(a) -> np.ndarray:
+    return np.asarray(a, dtype=_INDEX_DTYPE)
+
+
+def _coalesce_coo(
+    m: int, n: int, rows: np.ndarray, cols: np.ndarray, vals: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sort triplets row-major and sum duplicates."""
+    require(len(rows) == len(cols) == len(vals), "COO arrays differ in length")
+    if len(rows):
+        require(rows.min() >= 0 and rows.max() < m, "COO row index out of range")
+        require(cols.min() >= 0 and cols.max() < n, "COO col index out of range")
+    linear = rows * n + cols
+    order = np.argsort(linear, kind="stable")
+    linear, vals = linear[order], vals[order]
+    unique, inverse = np.unique(linear, return_inverse=True)
+    summed = np.zeros(len(unique), dtype=np.float64)
+    np.add.at(summed, inverse, vals)
+    return unique // n, unique % n, summed
+
+
+class SparseCSR:
+    """Compressed-sparse-row storage: ``indptr`` (m+1), ``indices``, ``values``.
+
+    Column indices are sorted within each row; duplicates are coalesced at
+    construction.
+    """
+
+    __slots__ = ("m", "n", "indptr", "indices", "values")
+
+    def __init__(self, m: int, n: int, indptr, indices, values):
+        self.m, self.n = int(m), int(n)
+        self.indptr = _as_index(indptr)
+        self.indices = _as_index(indices)
+        self.values = np.asarray(values, dtype=np.float64)
+        require(self.m >= 0 and self.n >= 0, "negative matrix dims")
+        require(len(self.indptr) == self.m + 1, "indptr must have m+1 entries")
+        require(self.indptr[0] == 0, "indptr must start at 0")
+        require(self.indptr[-1] == len(self.indices), "indptr end must equal nnz")
+        require(len(self.indices) == len(self.values), "indices/values length mismatch")
+        if len(self.indices):
+            require(
+                int(self.indices.min()) >= 0 and int(self.indices.max()) < self.n,
+                "column index out of range",
+            )
+        require(bool(np.all(np.diff(self.indptr) >= 0)), "indptr must be non-decreasing")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def empty(cls, m: int, n: int) -> "SparseCSR":
+        """An all-zero sparse matrix."""
+        return cls(m, n, np.zeros(m + 1, dtype=_INDEX_DTYPE), [], [])
+
+    @classmethod
+    def from_coo(cls, m: int, n: int, rows, cols, vals) -> "SparseCSR":
+        """Build from triplets; duplicates are summed."""
+        rows, cols = _as_index(rows), _as_index(cols)
+        vals = np.asarray(vals, dtype=np.float64)
+        rows, cols, vals = _coalesce_coo(m, n, rows, cols, vals)
+        counts = np.bincount(rows, minlength=m)
+        indptr = np.concatenate([[0], np.cumsum(counts)])
+        return cls(m, n, indptr, cols, vals)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, tol: float = 0.0) -> "SparseCSR":
+        """Compress a dense array, dropping entries with ``|x| <= tol``."""
+        dense = np.asarray(dense, dtype=np.float64)
+        require(dense.ndim == 2, "from_dense needs a 2-D array")
+        rows, cols = np.nonzero(np.abs(dense) > tol)
+        return cls.from_coo(dense.shape[0], dense.shape[1], rows, cols, dense[rows, cols])
+
+    # -- storage ------------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored non-zeros."""
+        return len(self.values)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.m, self.n)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of the compressed representation."""
+        return int(self.indptr.nbytes + self.indices.nbytes + self.values.nbytes)
+
+    def density(self) -> float:
+        """Fraction of stored cells."""
+        total = self.m * self.n
+        return self.nnz / total if total else 0.0
+
+    def copy(self) -> "SparseCSR":
+        return SparseCSR(
+            self.m, self.n, self.indptr.copy(), self.indices.copy(), self.values.copy()
+        )
+
+    def row_ids(self) -> np.ndarray:
+        """Expanded row index of every stored entry (COO view helper)."""
+        return np.repeat(np.arange(self.m, dtype=_INDEX_DTYPE), np.diff(self.indptr))
+
+    def to_dense(self) -> np.ndarray:
+        """Expand to a dense 2-D array."""
+        out = np.zeros((self.m, self.n))
+        out[self.row_ids(), self.indices] = self.values
+        return out
+
+    # -- kernels ------------------------------------------------------------
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """``self @ x``: row-wise gather-multiply-segment-sum."""
+        require(x.shape == (self.n,), f"spmv operand must be length {self.n}")
+        out = np.zeros(self.m)
+        if self.nnz:
+            products = self.values * x[self.indices]
+            # bincount is a fast vectorized segment-sum (add.at is unbuffered).
+            out += np.bincount(self.row_ids(), weights=products, minlength=self.m)
+        return out
+
+    def spmv_t(self, x: np.ndarray) -> np.ndarray:
+        """``self.T @ x``: scatter-add into column bins."""
+        require(x.shape == (self.m,), f"spmv_t operand must be length {self.m}")
+        out = np.zeros(self.n)
+        if self.nnz:
+            products = self.values * x[self.row_ids()]
+            out += np.bincount(self.indices, weights=products, minlength=self.n)
+        return out
+
+    def scale(self, alpha: float) -> "SparseCSR":
+        """In-place ``self *= alpha``."""
+        self.values *= alpha
+        return self
+
+    def matmat(self, dense: np.ndarray) -> np.ndarray:
+        """``self @ dense`` for a 2-D operand (sparse-dense product)."""
+        require(dense.ndim == 2 and dense.shape[0] == self.n, "matmat shape mismatch")
+        out = np.zeros((self.m, dense.shape[1]))
+        if self.nnz:
+            contrib = self.values[:, None] * dense[self.indices, :]
+            np.add.at(out, self.row_ids(), contrib)
+        return out
+
+    def t_matmat(self, dense: np.ndarray) -> np.ndarray:
+        """``self.T @ dense`` for a 2-D operand."""
+        require(dense.ndim == 2 and dense.shape[0] == self.m, "t_matmat shape mismatch")
+        out = np.zeros((self.n, dense.shape[1]))
+        if self.nnz:
+            contrib = self.values[:, None] * dense[self.row_ids(), :]
+            np.add.at(out, self.indices, contrib)
+        return out
+
+    def transpose(self) -> "SparseCSR":
+        """A new CSR holding ``self.T``."""
+        return SparseCSR.from_coo(self.n, self.m, self.indices, self.row_ids(), self.values)
+
+    def to_csc(self) -> "SparseCSC":
+        """Convert to compressed-sparse-column storage."""
+        return SparseCSC.from_coo(self.m, self.n, self.row_ids(), self.indices, self.values)
+
+    # -- region operations (restore paths) -----------------------------------
+
+    def _region_mask(self, r0: int, r1: int, c0: int, c1: int) -> Tuple[np.ndarray, np.ndarray]:
+        require(0 <= r0 <= r1 <= self.m, f"bad row range [{r0},{r1}) for m={self.m}")
+        require(0 <= c0 <= c1 <= self.n, f"bad col range [{c0},{c1}) for n={self.n}")
+        lo, hi = self.indptr[r0], self.indptr[r1]
+        cols = self.indices[lo:hi]
+        mask = (cols >= c0) & (cols < c1)
+        return np.arange(lo, hi, dtype=_INDEX_DTYPE)[mask], cols[mask]
+
+    def count_nnz_region(self, r0: int, r1: int, c0: int, c1: int) -> int:
+        """Count stored entries in the region *without* extracting them.
+
+        This is the paper's separate counting pass: the space for a restored
+        sparse block must be known before allocation.
+        """
+        entry_idx, _ = self._region_mask(r0, r1, c0, c1)
+        return int(len(entry_idx))
+
+    def sub_matrix(self, r0: int, r1: int, c0: int, c1: int) -> "SparseCSR":
+        """Extract the region as a new (r1-r0) × (c1-c0) CSR block."""
+        entry_idx, cols = self._region_mask(r0, r1, c0, c1)
+        sub_rows = np.searchsorted(self.indptr, entry_idx, side="right") - 1 - r0
+        counts = np.bincount(sub_rows, minlength=r1 - r0)
+        indptr = np.concatenate([[0], np.cumsum(counts)])
+        return SparseCSR(r1 - r0, c1 - c0, indptr, cols - c0, self.values[entry_idx])
+
+    # -- assembly (repartitioned restore) ---------------------------------------
+
+    @staticmethod
+    def hstack(blocks: Sequence["SparseCSR"]) -> "SparseCSR":
+        """Concatenate blocks side by side (equal row counts)."""
+        require(len(blocks) > 0, "hstack needs at least one block")
+        m = blocks[0].m
+        require(all(b.m == m for b in blocks), "hstack blocks differ in row count")
+        n = sum(b.n for b in blocks)
+        col_offset = 0
+        rows_parts: List[np.ndarray] = []
+        cols_parts: List[np.ndarray] = []
+        vals_parts: List[np.ndarray] = []
+        for b in blocks:
+            rows_parts.append(b.row_ids())
+            cols_parts.append(b.indices + col_offset)
+            vals_parts.append(b.values)
+            col_offset += b.n
+        return SparseCSR.from_coo(
+            m,
+            n,
+            np.concatenate(rows_parts) if rows_parts else [],
+            np.concatenate(cols_parts) if cols_parts else [],
+            np.concatenate(vals_parts) if vals_parts else [],
+        )
+
+    @staticmethod
+    def vstack(blocks: Sequence["SparseCSR"]) -> "SparseCSR":
+        """Concatenate blocks top to bottom (equal column counts)."""
+        require(len(blocks) > 0, "vstack needs at least one block")
+        n = blocks[0].n
+        require(all(b.n == n for b in blocks), "vstack blocks differ in col count")
+        indptr_parts = [blocks[0].indptr]
+        for b in blocks[1:]:
+            indptr_parts.append(b.indptr[1:] + indptr_parts[-1][-1])
+        return SparseCSR(
+            sum(b.m for b in blocks),
+            n,
+            np.concatenate(indptr_parts),
+            np.concatenate([b.indices for b in blocks]),
+            np.concatenate([b.values for b in blocks]),
+        )
+
+    @staticmethod
+    def assemble(tiles: Sequence[Sequence["SparseCSR"]]) -> "SparseCSR":
+        """Assemble a 2-D arrangement of tiles into one block."""
+        return SparseCSR.vstack([SparseCSR.hstack(row) for row in tiles])
+
+    # -- comparison ---------------------------------------------------------
+
+    def equals_approx(self, other: "SparseCSR", tol: float = 1e-9) -> bool:
+        """Structural + numerical equality within *tol* (via dense expansion)."""
+        if self.shape != other.shape:
+            return False
+        return bool(np.allclose(self.to_dense(), other.to_dense(), atol=tol, rtol=0))
+
+    def __repr__(self) -> str:
+        return f"SparseCSR({self.m}x{self.n}, nnz={self.nnz})"
+
+
+class SparseCSC:
+    """Compressed-sparse-column storage (GML's second sparse format).
+
+    The apps use CSR; CSC completes the GML class table and is exercised by
+    format round-trip tests.
+    """
+
+    __slots__ = ("m", "n", "indptr", "indices", "values")
+
+    def __init__(self, m: int, n: int, indptr, indices, values):
+        self.m, self.n = int(m), int(n)
+        self.indptr = _as_index(indptr)
+        self.indices = _as_index(indices)
+        self.values = np.asarray(values, dtype=np.float64)
+        require(len(self.indptr) == self.n + 1, "indptr must have n+1 entries")
+        require(self.indptr[0] == 0, "indptr must start at 0")
+        require(self.indptr[-1] == len(self.indices), "indptr end must equal nnz")
+        require(len(self.indices) == len(self.values), "indices/values length mismatch")
+        if len(self.indices):
+            require(
+                int(self.indices.min()) >= 0 and int(self.indices.max()) < self.m,
+                "row index out of range",
+            )
+
+    @classmethod
+    def empty(cls, m: int, n: int) -> "SparseCSC":
+        return cls(m, n, np.zeros(n + 1, dtype=_INDEX_DTYPE), [], [])
+
+    @classmethod
+    def from_coo(cls, m: int, n: int, rows, cols, vals) -> "SparseCSC":
+        """Build from triplets; duplicates are summed."""
+        rows, cols = _as_index(rows), _as_index(cols)
+        vals = np.asarray(vals, dtype=np.float64)
+        # Coalesce column-major: reuse the row-major helper on the transpose.
+        tcols, trows, vals = _coalesce_coo(n, m, cols, rows, vals)
+        counts = np.bincount(tcols, minlength=n)
+        indptr = np.concatenate([[0], np.cumsum(counts)])
+        return cls(m, n, indptr, trows, vals)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, tol: float = 0.0) -> "SparseCSC":
+        dense = np.asarray(dense, dtype=np.float64)
+        rows, cols = np.nonzero(np.abs(dense) > tol)
+        return cls.from_coo(dense.shape[0], dense.shape[1], rows, cols, dense[rows, cols])
+
+    @property
+    def nnz(self) -> int:
+        return len(self.values)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.m, self.n)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.indptr.nbytes + self.indices.nbytes + self.values.nbytes)
+
+    def col_ids(self) -> np.ndarray:
+        """Expanded column index of every stored entry."""
+        return np.repeat(np.arange(self.n, dtype=_INDEX_DTYPE), np.diff(self.indptr))
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros((self.m, self.n))
+        out[self.indices, self.col_ids()] = self.values
+        return out
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """``self @ x``: scatter-add of scaled columns."""
+        require(x.shape == (self.n,), f"spmv operand must be length {self.n}")
+        out = np.zeros(self.m)
+        if self.nnz:
+            np.add.at(out, self.indices, self.values * x[self.col_ids()])
+        return out
+
+    def spmv_t(self, x: np.ndarray) -> np.ndarray:
+        """``self.T @ x``: per-column gather-sum."""
+        require(x.shape == (self.m,), f"spmv_t operand must be length {self.m}")
+        out = np.zeros(self.n)
+        if self.nnz:
+            np.add.at(out, self.col_ids(), self.values * x[self.indices])
+        return out
+
+    def scale(self, alpha: float) -> "SparseCSC":
+        self.values *= alpha
+        return self
+
+    def copy(self) -> "SparseCSC":
+        return SparseCSC(
+            self.m, self.n, self.indptr.copy(), self.indices.copy(), self.values.copy()
+        )
+
+    def to_csr(self) -> SparseCSR:
+        """Convert to compressed-sparse-row storage."""
+        return SparseCSR.from_coo(self.m, self.n, self.indices, self.col_ids(), self.values)
+
+    def count_nnz_region(self, r0: int, r1: int, c0: int, c1: int) -> int:
+        """Count stored entries in a region (columns sliced via indptr)."""
+        require(0 <= r0 <= r1 <= self.m, "bad row range")
+        require(0 <= c0 <= c1 <= self.n, "bad col range")
+        lo, hi = self.indptr[c0], self.indptr[c1]
+        rows = self.indices[lo:hi]
+        return int(np.count_nonzero((rows >= r0) & (rows < r1)))
+
+    def sub_matrix(self, r0: int, r1: int, c0: int, c1: int) -> "SparseCSC":
+        """Extract a region as a new CSC block."""
+        require(0 <= r0 <= r1 <= self.m, "bad row range")
+        require(0 <= c0 <= c1 <= self.n, "bad col range")
+        lo, hi = self.indptr[c0], self.indptr[c1]
+        rows = self.indices[lo:hi]
+        mask = (rows >= r0) & (rows < r1)
+        entry_idx = np.arange(lo, hi, dtype=_INDEX_DTYPE)[mask]
+        sub_cols = np.searchsorted(self.indptr, entry_idx, side="right") - 1 - c0
+        counts = np.bincount(sub_cols, minlength=c1 - c0)
+        indptr = np.concatenate([[0], np.cumsum(counts)])
+        return SparseCSC(r1 - r0, c1 - c0, indptr, rows[mask] - r0, self.values[entry_idx])
+
+    def equals_approx(self, other: "SparseCSC", tol: float = 1e-9) -> bool:
+        if self.shape != other.shape:
+            return False
+        return bool(np.allclose(self.to_dense(), other.to_dense(), atol=tol, rtol=0))
+
+    def __repr__(self) -> str:
+        return f"SparseCSC({self.m}x{self.n}, nnz={self.nnz})"
+
+
+def flops_spmv(nnz: int) -> int:
+    """Flops of a sparse matrix-vector product (multiply-add per stored entry)."""
+    return 2 * nnz

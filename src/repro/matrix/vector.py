@@ -1,0 +1,140 @@
+"""Single-place vectors — GML's ``Vector``.
+
+A wrapper over a 1-D float64 NumPy array with GML's cell-wise API.  Like the
+single-place matrices, this class is pure numerics; time is charged by the
+multi-place layer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.util.validation import require
+
+
+class Vector:
+    """A dense column vector of length ``n``."""
+
+    __slots__ = ("n", "data")
+
+    def __init__(self, data: np.ndarray):
+        data = np.asarray(data, dtype=np.float64)
+        require(data.ndim == 1, f"vector needs a 1-D array, got {data.ndim}-D")
+        self.data = np.ascontiguousarray(data)
+        self.n = len(self.data)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def make(cls, n: int) -> "Vector":
+        """A zero vector of length *n*."""
+        return cls(np.zeros(n))
+
+    @classmethod
+    def of(cls, values) -> "Vector":
+        """Build from any 1-D array-like."""
+        return cls(np.asarray(values, dtype=np.float64))
+
+    @classmethod
+    def random(cls, n: int, rng: np.random.Generator) -> "Vector":
+        """Uniform [0, 1) entries."""
+        return cls(rng.random(n))
+
+    # -- storage -----------------------------------------------------------
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    def copy(self) -> "Vector":
+        return Vector(self.data.copy())
+
+    # -- cell-wise ops --------------------------------------------------------
+
+    def fill(self, value: float) -> "Vector":
+        """Set every cell to *value*."""
+        self.data.fill(value)
+        return self
+
+    def scale(self, alpha: float) -> "Vector":
+        """In-place ``self *= alpha``."""
+        self.data *= alpha
+        return self
+
+    def cell_add(self, other: "Vector | float") -> "Vector":
+        """In-place element-wise add of a vector or scalar."""
+        if isinstance(other, Vector):
+            require(other.n == self.n, "length mismatch in cell_add")
+            self.data += other.data
+        else:
+            self.data += float(other)
+        return self
+
+    def cell_sub(self, other: "Vector | float") -> "Vector":
+        """In-place element-wise subtract."""
+        if isinstance(other, Vector):
+            require(other.n == self.n, "length mismatch in cell_sub")
+            self.data -= other.data
+        else:
+            self.data -= float(other)
+        return self
+
+    def cell_mult(self, other: "Vector") -> "Vector":
+        """In-place Hadamard product."""
+        require(other.n == self.n, "length mismatch in cell_mult")
+        self.data *= other.data
+        return self
+
+    def axpy(self, alpha: float, x: "Vector") -> "Vector":
+        """In-place ``self += alpha * x``."""
+        require(x.n == self.n, "length mismatch in axpy")
+        self.data += alpha * x.data
+        return self
+
+    def map(self, fn: Callable[[np.ndarray], np.ndarray]) -> "Vector":
+        """In-place vectorized elementwise transform."""
+        self.data[:] = fn(self.data)
+        return self
+
+    # -- reductions ------------------------------------------------------------
+
+    def dot(self, other: "Vector") -> float:
+        """Inner product."""
+        require(other.n == self.n, "length mismatch in dot")
+        return float(self.data @ other.data)
+
+    def norm2(self) -> float:
+        """Euclidean norm."""
+        return float(np.linalg.norm(self.data))
+
+    def sum(self) -> float:
+        """Sum of all cells."""
+        return float(self.data.sum())
+
+    def max_abs_diff(self, other: "Vector") -> float:
+        """Largest absolute element-wise difference."""
+        require(other.n == self.n, "length mismatch")
+        if self.n == 0:
+            return 0.0
+        return float(np.max(np.abs(self.data - other.data)))
+
+    def equals_approx(self, other: "Vector", tol: float = 1e-9) -> bool:
+        """True if all cells agree within *tol*."""
+        return self.n == other.n and self.max_abs_diff(other) <= tol
+
+    # -- sub-vector access -------------------------------------------------------
+
+    def sub_vector(self, lo: int, hi: int) -> "Vector":
+        """Copy of the half-open slice ``[lo:hi]``."""
+        require(0 <= lo <= hi <= self.n, f"bad range [{lo},{hi}) for n={self.n}")
+        return Vector(self.data[lo:hi].copy())
+
+    def set_sub_vector(self, lo: int, block: "Vector") -> None:
+        """Paste *block* starting at *lo*."""
+        require(lo + block.n <= self.n, "block exceeds bounds")
+        self.data[lo : lo + block.n] = block.data
+
+    def __repr__(self) -> str:
+        return f"Vector(n={self.n})"

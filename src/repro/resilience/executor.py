@@ -1,0 +1,248 @@
+"""The resilient iterative executor (paper §V-A3, §V-B).
+
+Runs a :class:`~repro.resilience.iterative.ResilientIterativeApp`:
+
+* calls ``step()`` in a loop until ``is_finished()``;
+* calls ``checkpoint(store)`` every *checkpoint_interval* iterations
+  (at the beginning of the iteration body);
+* on a ``DeadPlaceException``, cancels any half-taken checkpoint, builds a
+  new place group according to the **restoration mode**, and calls
+  ``restore(new_places, store, snapshot_iter)``.
+
+Restoration modes (§V-B):
+
+* ``SHRINK`` — continue on the survivors; a ``DistBlockMatrix`` keeps its
+  data grid (fast block-by-block restore, possible load imbalance);
+* ``SHRINK_REBALANCE`` — continue on the survivors with a recalculated
+  grid (even load, expensive overlap-copy restore);
+* ``REPLACE_REDUNDANT`` — substitute pre-started spare places for the dead
+  ones at the *same group indices* (no rebalancing needed); falls back to
+  a shrink mode when spares run out;
+* ``REPLACE_ELASTIC`` — the paper's future-work mode, implemented here as
+  an extension: dynamically create brand-new places to replace dead ones.
+
+The executor accounts virtual time per segment (step / checkpoint /
+restore), which is exactly the decomposition Tables III–IV report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+from repro.resilience.iterative import ResilientIterativeApp, RestoreContext
+from repro.resilience.store import AppResilientStore
+from repro.runtime.exceptions import (
+    DataLossError,
+    DeadPlaceException,
+    MultipleException,
+)
+from repro.runtime.place import PlaceGroup
+from repro.runtime.runtime import Runtime
+from repro.util.validation import check_positive, require
+
+
+class RestoreMode(Enum):
+    """How the application adapts to the loss of places."""
+
+    SHRINK = "shrink"
+    SHRINK_REBALANCE = "shrink-rebalance"
+    REPLACE_REDUNDANT = "replace-redundant"
+    REPLACE_ELASTIC = "replace-elastic"
+
+
+@dataclass
+class ExecutionReport:
+    """Timing and event decomposition of one executor run (virtual time)."""
+
+    iterations_executed: int = 0
+    useful_iterations: int = 0
+    checkpoints: int = 0
+    restores: int = 0
+    failures_observed: int = 0
+    step_time: float = 0.0
+    checkpoint_time: float = 0.0
+    restore_time: float = 0.0
+    #: Time spent in step/checkpoint attempts that a failure aborted.
+    lost_time: float = 0.0
+    total_time: float = 0.0
+    checkpoint_durations: List[float] = field(default_factory=list)
+    restore_durations: List[float] = field(default_factory=list)
+    final_group_size: int = 0
+
+    @property
+    def checkpoint_pct(self) -> float:
+        """Checkpoint share of total runtime (Table IV's C%)."""
+        return 100.0 * self.checkpoint_time / self.total_time if self.total_time else 0.0
+
+    @property
+    def restore_pct(self) -> float:
+        """Restore share of total runtime (Table IV's R%)."""
+        return 100.0 * self.restore_time / self.total_time if self.total_time else 0.0
+
+    @property
+    def mean_checkpoint_time(self) -> float:
+        """Mean duration of one checkpoint (Table III's metric)."""
+        if not self.checkpoint_durations:
+            return 0.0
+        return sum(self.checkpoint_durations) / len(self.checkpoint_durations)
+
+
+class IterativeExecutor:
+    """Drives a resilient iterative application to completion."""
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        app: ResilientIterativeApp,
+        store: Optional[AppResilientStore] = None,
+        checkpoint_interval: int = 10,
+        mode: RestoreMode = RestoreMode.SHRINK,
+        spare_fallback: RestoreMode = RestoreMode.SHRINK,
+        max_restore_attempts: int = 10,
+    ):
+        check_positive(checkpoint_interval, "checkpoint_interval")
+        require(
+            spare_fallback in (RestoreMode.SHRINK, RestoreMode.SHRINK_REBALANCE),
+            "spare_fallback must be a shrink mode",
+        )
+        self.runtime = runtime
+        self.app = app
+        self.store = store if store is not None else AppResilientStore(runtime)
+        self.checkpoint_interval = checkpoint_interval
+        self.mode = mode
+        self.spare_fallback = spare_fallback
+        self.max_restore_attempts = max_restore_attempts
+
+    # -- group construction per mode ---------------------------------------------
+
+    def _replacement_group(self, group: PlaceGroup) -> tuple:
+        """New group + effective mode after a failure in *group*."""
+        dead = [p for p in group if not self.runtime.is_alive(p.id)]
+        mode = self.mode
+        if mode == RestoreMode.REPLACE_REDUNDANT:
+            if self.runtime.spares_remaining < len(dead):
+                # Spares exhausted (checked before claiming any, so none
+                # are wasted): fall back to the configured shrink mode.
+                return self.runtime.live_group(group), self.spare_fallback
+            new_group = group
+            for victim in dead:
+                spare = self.runtime.claim_spare()
+                new_group = new_group.replace(victim, spare)
+            return new_group, mode
+        if mode == RestoreMode.REPLACE_ELASTIC:
+            new_group = group
+            for victim in dead:
+                new_group = new_group.replace(victim, self.runtime.add_place())
+            return new_group, mode
+        return self.runtime.live_group(group), mode
+
+    # -- main loop ------------------------------------------------------------
+
+    def run(self) -> ExecutionReport:
+        """Execute the application to completion; returns the timing report.
+
+        Raises :class:`DataLossError` if a failure strikes before the first
+        checkpoint has committed (there is nothing to roll back to) or if
+        both copies of a snapshot partition were lost.
+        """
+        rt = self.runtime
+        report = ExecutionReport()
+        t_begin = rt.now()
+        iteration = 0
+        last_checkpoint_iter: Optional[int] = None
+        restore_attempts = 0
+
+        while not self.app.is_finished():
+            for victim in rt.injector.due_at_iteration(iteration):
+                rt.kill(victim)
+            t_attempt = rt.now()
+            try:
+                if (
+                    iteration % self.checkpoint_interval == 0
+                    and iteration != last_checkpoint_iter
+                ):
+                    t0 = rt.now()
+                    self.app.checkpoint(self.store)
+                    dt = rt.now() - t0
+                    report.checkpoint_time += dt
+                    report.checkpoint_durations.append(dt)
+                    report.checkpoints += 1
+                    last_checkpoint_iter = iteration
+                    t_attempt = rt.now()
+
+                t0 = rt.now()
+                self.app.step()
+                report.step_time += rt.now() - t0
+                report.iterations_executed += 1
+                iteration += 1
+                restore_attempts = 0
+            except (DeadPlaceException, MultipleException) as failure:
+                report.lost_time += rt.now() - t_attempt
+                report.failures_observed += len(failure.places)
+                if self.store.in_progress:
+                    self.store.cancel_snapshot()
+                if self.store.latest() is None:
+                    raise DataLossError(
+                        "place failed before the first checkpoint committed; "
+                        "no recovery point exists"
+                    ) from failure
+                restore_attempts += 1
+                if restore_attempts > self.max_restore_attempts:
+                    raise DataLossError(
+                        f"restore failed {restore_attempts - 1} consecutive times"
+                    ) from failure
+
+                new_group, effective_mode = self._replacement_group(self.app.places)
+                require(new_group.size > 0, "no live places remain")
+                self.app.restore_context = RestoreContext(
+                    rebalance=(effective_mode == RestoreMode.SHRINK_REBALANCE)
+                )
+                t0 = rt.now()
+                try:
+                    self.app.restore(
+                        new_group, self.store, self.store.latest_iteration
+                    )
+                except (DeadPlaceException, MultipleException):
+                    # A further failure during restore: account the time and
+                    # go around again with a fresh group.
+                    report.restore_time += rt.now() - t0
+                    continue
+                dt = rt.now() - t0
+                report.restore_time += dt
+                report.restore_durations.append(dt)
+                report.restores += 1
+                iteration = self.store.latest_iteration
+                last_checkpoint_iter = iteration
+                report.useful_iterations = iteration
+
+        report.total_time = rt.now() - t_begin
+        report.useful_iterations = iteration
+        report.final_group_size = self.app.places.size
+        return report
+
+
+class NonResilientExecutor:
+    """Baseline executor: plain loop, no checkpoints, no recovery.
+
+    Used for the "non-resilient (no failure)" baselines of Figs. 5–7 and
+    for the non-resilient sides of Figs. 2–4.
+    """
+
+    def __init__(self, runtime: Runtime, app):
+        self.runtime = runtime
+        self.app = app
+
+    def run(self) -> ExecutionReport:
+        report = ExecutionReport()
+        t_begin = self.runtime.now()
+        while not self.app.is_finished():
+            t0 = self.runtime.now()
+            self.app.step()
+            report.step_time += self.runtime.now() - t0
+            report.iterations_executed += 1
+        report.total_time = self.runtime.now() - t_begin
+        report.useful_iterations = report.iterations_executed
+        report.final_group_size = self.app.places.size
+        return report

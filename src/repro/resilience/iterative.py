@@ -1,0 +1,64 @@
+"""The iterative application programming model (paper §V-A2).
+
+A resilient iterative GML application implements exactly four methods —
+``is_finished``, ``step``, ``checkpoint``, ``restore`` — and hands control
+to the executor.  Restricting the programming model is what lets the
+framework provide fault tolerance with near-transparency, the same trade
+MapReduce makes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.resilience.store import AppResilientStore
+from repro.runtime.place import PlaceGroup
+
+
+@dataclass(frozen=True)
+class RestoreContext:
+    """Extra information the executor exposes to ``restore``.
+
+    The paper passes ``(newPlaces, store, snapshotIter)``; the executor's
+    restoration *mode* additionally determines whether a
+    ``DistBlockMatrix`` keeps its grid (shrink / replace-redundant) or
+    repartitions (shrink-rebalance), so the chosen rebalance flag rides
+    along here.
+    """
+
+    rebalance: bool = False
+
+
+class ResilientIterativeApp(ABC):
+    """Base class for applications run by the resilient executor."""
+
+    #: Populated by the executor before each ``restore`` call.
+    restore_context: RestoreContext = RestoreContext()
+
+    @property
+    @abstractmethod
+    def places(self) -> PlaceGroup:
+        """The place group the application currently runs on."""
+
+    @abstractmethod
+    def is_finished(self) -> bool:
+        """Evaluate the termination condition (iteration count or
+        convergence)."""
+
+    @abstractmethod
+    def step(self) -> None:
+        """One iteration of the algorithm's body."""
+
+    @abstractmethod
+    def checkpoint(self, store: AppResilientStore) -> None:
+        """Save the state of every contributing GML object into *store*
+        (start → save/save_read_only → commit)."""
+
+    @abstractmethod
+    def restore(
+        self, new_places: PlaceGroup, store: AppResilientStore, snapshot_iter: int
+    ) -> None:
+        """Roll back to the snapshot iteration: ``remake`` every GML object
+        over *new_places*, then ``store.restore()``, then reset the loop
+        counter to *snapshot_iter*."""

@@ -1,0 +1,220 @@
+"""Snapshot/restore for GML objects (paper §IV-B).
+
+``Snapshottable`` is the paper's Listing 3 interface.  A
+:class:`DistObjectSnapshot` stores an object's state as key/value pairs —
+key = the place's *index* in the object's place group, value = that place's
+data partition — in a **double in-memory store**: the primary copy on the
+owning place and a backup copy on the *next* place of the group (wrapping
+around).  Saving costs the same from every place (one local copy plus one
+remote copy); loading is cheap when the requested key is local and costs a
+transfer otherwise.
+
+The store survives any single place failure.  If two *adjacent* places die
+before the next checkpoint commits, both copies of one key are lost and
+:meth:`DistObjectSnapshot.fetch` raises :class:`DataLossError` — tested
+behaviour, not a corner we paper over.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.runtime.exceptions import DataLossError
+from repro.runtime.place import PlaceGroup
+from repro.runtime.runtime import PlaceContext, Runtime
+from repro.util.bytesize import payload_nbytes
+from repro.util.validation import require
+
+_snap_counter = itertools.count()
+
+
+class Snapshottable(ABC):
+    """The paper's Listing 3: objects that can save and restore themselves."""
+
+    @abstractmethod
+    def make_snapshot(self) -> "DistObjectSnapshot":
+        """Capture this object's distributed state into a resilient store."""
+
+    @abstractmethod
+    def restore_snapshot(self, snapshot: "DistObjectSnapshot") -> None:
+        """Reload this object's state (possibly onto a different group)."""
+
+
+class DistObjectSnapshot:
+    """Double in-memory key/value store for one GML object's partitions.
+
+    Entries live in the place heaps under ``("snap", id, key)`` (primary)
+    and ``("snapb", id, key)`` (backup on the next place), so a place's
+    death destroys exactly the copies it held.
+
+    ``meta`` carries object-specific restore metadata (the data grid, the
+    block→place owner map, the vector partition) captured at snapshot time.
+    """
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        group: PlaceGroup,
+        meta: Optional[Dict[str, Any]] = None,
+        backups: int = 1,
+    ):
+        require(backups >= 0, "backups must be >= 0")
+        self.runtime = runtime
+        self.group = group
+        self.snap_id = next(_snap_counter)
+        self.meta: Dict[str, Any] = dict(meta or {})
+        self.backups = backups
+        self._saved_keys: set = set()
+        self.total_nbytes = 0.0
+
+    # -- keys ------------------------------------------------------------
+
+    def _primary_key(self, key: int) -> tuple:
+        return ("snap", self.snap_id, key)
+
+    def _backup_key(self, key: int, replica: int = 1) -> tuple:
+        return ("snapb", self.snap_id, key, replica)
+
+    def _backup_place(self, key: int, replica: int):
+        """The place holding the *replica*-th backup of *key* (wrapping)."""
+        return self.group[(key + replica) % self.group.size]
+
+    # -- saving ------------------------------------------------------------
+
+    def save_from(self, ctx: PlaceContext, key: int, payload: Any) -> None:
+        """Save one partition from within a finish task at the owning place.
+
+        The caller must pass an already-copied payload (the snapshot must
+        not alias live data).  Charges one local copy plus one transfer per
+        backup replica (the paper's double store is ``backups=1``: uniform
+        save cost from any place).
+        """
+        require(
+            self.group.index_of(ctx.place) == key,
+            f"partition {key} must be saved from group index {key}, "
+            f"not from {ctx.place}",
+        )
+        nbytes = payload_nbytes(payload)
+        ctx.heap.put(self._primary_key(key), payload)
+        ctx.charge_memcpy(nbytes)
+        for replica in range(1, self.backups + 1):
+            backup_place = self._backup_place(key, replica)
+            if backup_place != ctx.place:
+                ctx.write_remote(
+                    backup_place.id, self._backup_key(key, replica), payload, nbytes
+                )
+            else:
+                # Group smaller than the replica ring: degenerate local copy.
+                ctx.heap.put(self._backup_key(key, replica), payload)
+                ctx.charge_memcpy(nbytes)
+        self._saved_keys.add(key)
+        self.total_nbytes += nbytes
+
+    @property
+    def num_keys(self) -> int:
+        """Number of partitions saved so far."""
+        return len(self._saved_keys)
+
+    def has_key(self, key: int) -> bool:
+        return key in self._saved_keys
+
+    # -- locating / loading -------------------------------------------------
+
+    def locate(self, key: int) -> Tuple[int, tuple]:
+        """``(place_id, heap_key)`` of a surviving copy of *key*.
+
+        Prefers the primary copy, then the backups in ring order; raises
+        :class:`DataLossError` when every copy is gone (``backups + 1``
+        consecutive ring places died before the next checkpoint).
+        """
+        require(key in self._saved_keys, f"snapshot has no key {key}")
+        rt = self.runtime
+        primary = self.group[key]
+        if rt.is_alive(primary.id) and rt.heap_of(primary.id).contains(self._primary_key(key)):
+            return primary.id, self._primary_key(key)
+        for replica in range(1, self.backups + 1):
+            backup = self._backup_place(key, replica)
+            heap_key = self._backup_key(key, replica)
+            if rt.is_alive(backup.id) and rt.heap_of(backup.id).contains(heap_key):
+                return backup.id, heap_key
+        raise DataLossError(
+            f"all {self.backups + 1} copies of snapshot key {key} lost "
+            f"(primary {primary} and its backup ring)"
+        )
+
+    def fetch(
+        self,
+        ctx: PlaceContext,
+        key: int,
+        extract: Optional[Callable[[Any], Any]] = None,
+        extract_flops: float = 0.0,
+        extract_bytes: float = 0.0,
+    ) -> Any:
+        """Load partition *key* (or an extracted part) to the calling place.
+
+        ``extract`` runs at the *source* place — this models the paper's
+        repartitioned restore, where the owning place cuts out only the
+        overlap region and ships just that sub-block.  ``extract_flops``
+        charges the scanning work (e.g. the sparse non-zero counting pass)
+        and ``extract_bytes`` the copy that materializes the sub-block.
+        """
+        src_id, heap_key = self.locate(key)
+        payload = self.runtime.heap_of(src_id).get(heap_key)
+        if extract is not None:
+            cost = self.runtime.cost
+            charge = cost.flops(extract_flops) + cost.memcpy(extract_bytes)
+            if charge:
+                self.runtime.clock.advance(src_id, charge)
+            payload = extract(payload)
+        nbytes = payload_nbytes(payload)
+        if src_id == ctx.place.id:
+            ctx.charge_memcpy(nbytes)
+        else:
+            _ = ctx.read_remote(src_id, heap_key, nbytes)
+        return payload
+
+    def fully_redundant(self) -> bool:
+        """True if every key still has its primary AND all backup copies.
+
+        A snapshot that survived a failure is down to fewer copies for some
+        keys; the store only reuses read-only snapshots while full
+        redundancy holds, otherwise the next failure could destroy the last
+        copy.
+        """
+        rt = self.runtime
+        for key in self._saved_keys:
+            copies = [(self.group[key], self._primary_key(key))]
+            copies += [
+                (self._backup_place(key, r), self._backup_key(key, r))
+                for r in range(1, self.backups + 1)
+            ]
+            for place, heap_key in copies:
+                if not rt.is_alive(place.id):
+                    return False
+                if not rt.heap_of(place.id).contains(heap_key):
+                    return False
+        return True
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def delete(self) -> None:
+        """Free all surviving copies (old checkpoints are deleted on commit)."""
+        rt = self.runtime
+        for key in self._saved_keys:
+            copies = [(self.group[key], self._primary_key(key))]
+            copies += [
+                (self._backup_place(key, r), self._backup_key(key, r))
+                for r in range(1, self.backups + 1)
+            ]
+            for place, heap_key in copies:
+                if rt.is_alive(place.id):
+                    rt.heap_of(place.id).remove_if_present(heap_key)
+        self._saved_keys.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"DistObjectSnapshot(id={self.snap_id}, keys={sorted(self._saved_keys)}, "
+            f"group={self.group.ids})"
+        )

@@ -1,0 +1,43 @@
+"""Young's first-order optimal checkpoint interval (paper §V).
+
+``interval = sqrt(2 * T_checkpoint * MTTF)`` — the classic trade-off between
+checkpoint overhead (interval too short) and recomputation after a failure
+(interval too long).  The framework exposes it both in wall-time form and as
+an iteration count given a measured time per iteration.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.validation import require
+
+
+def optimal_interval(checkpoint_time: float, mttf: float) -> float:
+    """Young's formula: seconds between checkpoints."""
+    require(checkpoint_time >= 0, "checkpoint_time must be >= 0")
+    require(mttf > 0, "mttf must be positive")
+    return math.sqrt(2.0 * checkpoint_time * mttf)
+
+
+def optimal_interval_iterations(
+    checkpoint_time: float, mttf: float, time_per_iteration: float
+) -> int:
+    """Young's interval expressed in iterations (at least 1)."""
+    require(time_per_iteration > 0, "time_per_iteration must be positive")
+    seconds = optimal_interval(checkpoint_time, mttf)
+    return max(1, int(round(seconds / time_per_iteration)))
+
+
+def expected_overhead_fraction(
+    checkpoint_time: float, mttf: float, restart_time: float = 0.0
+) -> float:
+    """First-order expected fractional runtime overhead at the optimum.
+
+    With interval ``τ = sqrt(2 C M)``, the checkpoint overhead is ``C/τ``
+    and the expected rework per failure is ``τ/2`` every ``M`` seconds —
+    both equal at the optimum, giving ``sqrt(2C/M)`` plus restart costs.
+    """
+    require(mttf > 0, "mttf must be positive")
+    base = math.sqrt(2.0 * checkpoint_time / mttf) if checkpoint_time > 0 else 0.0
+    return base + restart_time / mttf

@@ -1,0 +1,58 @@
+"""The APGAS runtime simulator (the "X10" substrate).
+
+Public surface:
+
+* :class:`~repro.runtime.runtime.Runtime` — the simulated world of places;
+* :class:`~repro.runtime.place.Place` / :class:`~repro.runtime.place.PlaceGroup`;
+* :class:`~repro.runtime.cost.CostModel` — virtual-time rates;
+* :class:`~repro.runtime.failure.FailureInjector` — scripted fail-stop kills;
+* the exception family mirroring Resilient X10's failure surface.
+"""
+
+from repro.runtime.clock import VirtualClock
+from repro.runtime.cost import CostModel
+from repro.runtime.exceptions import (
+    DanglingReferenceError,
+    DataLossError,
+    DeadPlaceException,
+    MultipleException,
+    PlaceZeroDeadError,
+    RuntimeFault,
+    SpareExhaustedError,
+)
+from repro.runtime.failure import ExponentialFailureModel, FailureInjector, ScriptedKill
+from repro.runtime.finish import FinishReport, PlaceZeroLedger
+from repro.runtime.globalref import GlobalRef, PlaceLocalHandle
+from repro.runtime.heap import PlaceHeap
+from repro.runtime.place import Place, PlaceGroup
+from repro.runtime.runtime import PlaceContext, Runtime, RuntimeStats
+from repro.runtime.sugar import AsyncHandle, FinishScope, at, finish
+
+__all__ = [
+    "VirtualClock",
+    "CostModel",
+    "DanglingReferenceError",
+    "DataLossError",
+    "DeadPlaceException",
+    "MultipleException",
+    "PlaceZeroDeadError",
+    "RuntimeFault",
+    "SpareExhaustedError",
+    "ExponentialFailureModel",
+    "FailureInjector",
+    "ScriptedKill",
+    "FinishReport",
+    "PlaceZeroLedger",
+    "GlobalRef",
+    "PlaceLocalHandle",
+    "PlaceHeap",
+    "Place",
+    "PlaceGroup",
+    "PlaceContext",
+    "Runtime",
+    "RuntimeStats",
+    "AsyncHandle",
+    "FinishScope",
+    "at",
+    "finish",
+]

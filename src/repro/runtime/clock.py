@@ -1,0 +1,77 @@
+"""Per-place virtual clocks.
+
+The simulator computes real numerical results but charges *time* on virtual
+clocks, one per place, so that timing is deterministic and reflects the
+modeled cluster rather than the host laptop.  A bulk-synchronous GML phase
+advances the clocks of the participating places independently and then
+synchronizes them at the finish join.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+
+class VirtualClock:
+    """Tracks one virtual timeline per place id.
+
+    Times are seconds (floats) since runtime start.  New place ids (spares,
+    elastic places) start at the current global maximum so a freshly created
+    place cannot appear to be "in the past".
+    """
+
+    def __init__(self) -> None:
+        self._times: Dict[int, float] = {}
+
+    def register(self, place_id: int, at_time: float = 0.0) -> None:
+        """Start a timeline for *place_id* at *at_time*."""
+        if place_id in self._times:
+            raise ValueError(f"place {place_id} already registered")
+        self._times[place_id] = at_time
+
+    def now(self, place_id: int) -> float:
+        """Current virtual time at *place_id*."""
+        return self._times[place_id]
+
+    def advance(self, place_id: int, seconds: float) -> float:
+        """Charge *seconds* of work to *place_id*'s timeline."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by negative time {seconds}")
+        self._times[place_id] += seconds
+        return self._times[place_id]
+
+    def set(self, place_id: int, time: float) -> None:
+        """Force a timeline to *time* (runtime-internal: used by the finish
+        engine to start concurrent tasks from the phase-start time even
+        though the interpreter runs them one after another)."""
+        self._times[place_id] = time
+
+    def set_at_least(self, place_id: int, time: float) -> float:
+        """Move *place_id* forward to *time* if it is behind (message wait)."""
+        if time > self._times[place_id]:
+            self._times[place_id] = time
+        return self._times[place_id]
+
+    def barrier(self, place_ids: Iterable[int]) -> float:
+        """Synchronize the given places to their common maximum time."""
+        ids = list(place_ids)
+        if not ids:
+            return 0.0
+        t = max(self._times[i] for i in ids)
+        for i in ids:
+            self._times[i] = t
+        return t
+
+    def global_time(self) -> float:
+        """Maximum time across all registered places."""
+        return max(self._times.values()) if self._times else 0.0
+
+    def snapshot(self) -> Dict[int, float]:
+        """Copy of all timelines (for assertions in tests)."""
+        return dict(self._times)
+
+    def __contains__(self, place_id: int) -> bool:
+        return place_id in self._times
+
+    def __repr__(self) -> str:
+        return f"VirtualClock({self._times})"

@@ -1,0 +1,231 @@
+"""Collective communication with modeled timing.
+
+GML's multi-place operations move data in three patterns, all reproduced
+here with explicit virtual-time models:
+
+* **tree broadcast** — ``DupVector.sync()`` ships one place's copy to every
+  other place; GML uses a binomial tree, so cost grows as
+  ``log2(P) * (latency + bytes/bw)``;
+* **flat gather** — ``DistVector.copyTo(local)`` pulls every segment to one
+  place, which absorbs the messages serially (cost grows linearly in P);
+* **tree reduce / allreduce** — dot products and gradient sums.
+
+Each collective is an X10 *finish* under the hood, so under resilience it
+posts spawn/termination events to the place-zero ledger exactly like
+:meth:`repro.runtime.runtime.Runtime.finish_all` does.
+
+These helpers only account *time and liveness*; the caller (the matrix
+layer) performs the actual NumPy data movement between heaps.  They raise
+``DeadPlaceException`` when a participating place is dead.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.runtime.exceptions import DeadPlaceException, MultipleException
+from repro.runtime.finish import FinishReport
+from repro.runtime.place import PlaceGroup
+from repro.runtime.runtime import Runtime
+from repro.util.validation import check_index
+
+
+def check_group_alive(rt: Runtime, group: PlaceGroup) -> None:
+    """Raise for any dead member of *group* (before moving any data)."""
+    dead = [p.id for p in group if not rt.is_alive(p.id)]
+    if len(dead) == 1:
+        raise DeadPlaceException(dead[0])
+    if dead:
+        raise MultipleException([DeadPlaceException(d) for d in dead])
+
+
+def _finish_phase(
+    rt: Runtime,
+    label: str,
+    t_start: float,
+    task_ends: List[float],
+    n_tasks: int,
+) -> float:
+    """Join + ledger accounting shared by all collectives.
+
+    The driver serially absorbs one termination message per task; under
+    resilience the phase additionally waits for the ledger to drain two
+    events per task (spawn + termination).
+    """
+    clock, cost = rt.clock, rt.cost
+    driver = rt.DRIVER_ID
+    t_join = clock.now(driver)
+    for t_end in sorted(task_ends):
+        t_join = max(t_join, t_end + cost.latency) + cost.task_join_time
+        rt.stats.messages += 1
+
+    task_end_max = max(task_ends) if task_ends else t_start
+    ledger_ready = 0.0
+    t_finish = t_join
+    if rt.resilient:
+        arrivals = [t_start + cost.latency] * n_tasks
+        arrivals += [t + cost.latency for t in task_ends]
+        ledger_ready = rt.ledger.process(arrivals)
+        if ledger_ready > t_finish:
+            rt.ledger.record_stall(ledger_ready - t_finish)
+            t_finish = ledger_ready
+    clock.set_at_least(driver, t_finish)
+
+    rt.stats.finishes += 1
+    rt.stats.tasks += n_tasks
+    rt.stats.finish_reports.append(
+        FinishReport(
+            label=label,
+            start=t_start,
+            end=t_finish,
+            n_tasks=n_tasks,
+            task_end_max=task_end_max,
+            ledger_ready=ledger_ready,
+        )
+    )
+    return t_finish
+
+
+def point_to_point(rt: Runtime, src_id: int, dst_id: int, nbytes: float) -> float:
+    """One payload message from *src* to *dst*; returns arrival time.
+
+    The receive is served by the destination's communication server
+    (concurrent with its compute, serialized against other transfers).
+    """
+    rt.check_alive(src_id)
+    rt.check_alive(dst_id)
+    t_arrive = rt.transfer(src_id, dst_id, nbytes, rt.clock.now(src_id))
+    rt.stats.messages += 1
+    rt.stats.bytes_sent += rt.cost.scaled_bytes(nbytes)
+    return t_arrive
+
+
+def tree_broadcast(
+    rt: Runtime,
+    group: PlaceGroup,
+    root_index: int,
+    nbytes: float,
+    label: str = "bcast",
+) -> float:
+    """Binomial-tree broadcast of *nbytes* from the group's *root_index*.
+
+    Returns the finish completion time at the driver.
+    """
+    check_index(root_index, group.size, "root_index")
+    check_group_alive(rt, group)
+    clock, cost = rt.clock, rt.cost
+    size = group.size
+    t_start = clock.now(rt.DRIVER_ID)
+
+    # Virtual ranks: rank 0 = root; rank r lives at group index
+    # (root_index + r) % size.  Round k: ranks < 2^k send to rank + 2^k.
+    def pid(rank: int) -> int:
+        return group[(root_index + rank) % size].id
+
+    ready = {0: max(clock.now(pid(0)), t_start)}
+    span = 1
+    while span < size:
+        for rank in range(span):
+            peer = rank + span
+            if peer >= size:
+                break
+            t_send = ready[rank]
+            t_arrive = max(t_send, clock.now(pid(peer))) + cost.message(nbytes)
+            ready[peer] = t_arrive
+            ready[rank] = t_send + cost.message(nbytes)  # sender busy per send
+            rt.stats.messages += 1
+            rt.stats.bytes_sent += cost.scaled_bytes(nbytes)
+        span *= 2
+    for rank, t in ready.items():
+        clock.set_at_least(pid(rank), t)
+
+    task_ends = [ready[r] for r in range(size)]
+    return _finish_phase(rt, label, t_start, task_ends, n_tasks=size)
+
+
+def flat_gather(
+    rt: Runtime,
+    group: PlaceGroup,
+    root_index: int,
+    nbytes_each: float,
+    label: str = "gather",
+) -> float:
+    """Flat gather: every place sends *nbytes_each* to the root serially.
+
+    The root absorbs one message per sender, one after another — this is the
+    linear-in-P pattern of GML's ``copyTo`` (gather into a local vector).
+    Returns the finish completion time at the driver.
+    """
+    check_index(root_index, group.size, "root_index")
+    check_group_alive(rt, group)
+    clock, cost = rt.clock, rt.cost
+    root_id = group[root_index].id
+    t_start = clock.now(rt.DRIVER_ID)
+
+    t_root = max(clock.now(root_id), t_start)
+    task_ends = []
+    senders = [(clock.now(p.id), p.id) for p in group if p.id != root_id]
+    for t_sender, sender_id in sorted(senders):
+        send_done = max(t_sender, t_start) + cost.latency
+        t_root = max(t_root, send_done) + cost.byte_time * cost.scaled_bytes(nbytes_each)
+        clock.set_at_least(sender_id, send_done)
+        task_ends.append(t_root)
+        rt.stats.messages += 1
+        rt.stats.bytes_sent += cost.scaled_bytes(nbytes_each)
+    clock.set_at_least(root_id, t_root)
+    task_ends.append(t_root)
+    return _finish_phase(rt, label, t_start, task_ends, n_tasks=group.size)
+
+
+def tree_reduce(
+    rt: Runtime,
+    group: PlaceGroup,
+    root_index: int,
+    nbytes: float,
+    reduce_flops: float = 0.0,
+    label: str = "reduce",
+) -> float:
+    """Binomial-tree reduction of *nbytes* payloads toward the root.
+
+    Each merge step receives a peer's payload and folds it in at
+    *reduce_flops* cost.  Returns the finish completion time at the driver.
+    """
+    check_index(root_index, group.size, "root_index")
+    check_group_alive(rt, group)
+    clock, cost = rt.clock, rt.cost
+    size = group.size
+    t_start = clock.now(rt.DRIVER_ID)
+
+    def pid(rank: int) -> int:
+        return group[(root_index + rank) % size].id
+
+    ready = {r: max(clock.now(pid(r)), t_start) for r in range(size)}
+    span = 1
+    while span < size:
+        for rank in range(0, size, span * 2):
+            peer = rank + span
+            if peer >= size:
+                continue
+            t_arrive = max(ready[peer], ready[rank]) + cost.message(nbytes)
+            ready[rank] = t_arrive + cost.flops(reduce_flops)
+            ready[peer] = ready[peer] + cost.message(0)
+            rt.stats.messages += 1
+            rt.stats.bytes_sent += cost.scaled_bytes(nbytes)
+        span *= 2
+    for rank, t in ready.items():
+        clock.set_at_least(pid(rank), t)
+
+    task_ends = [ready[r] for r in range(size)]
+    return _finish_phase(rt, label, t_start, task_ends, n_tasks=size)
+
+
+def tree_allreduce(
+    rt: Runtime,
+    group: PlaceGroup,
+    nbytes: float,
+    reduce_flops: float = 0.0,
+    label: str = "allreduce",
+) -> float:
+    """Reduce to the group's first place, then broadcast back out."""
+    tree_reduce(rt, group, 0, nbytes, reduce_flops, label=label + ":reduce")
+    return tree_broadcast(rt, group, 0, nbytes, label=label + ":bcast")

@@ -1,0 +1,162 @@
+"""The virtual-time cost model.
+
+All timing in the simulator is *charged* from operation parameters (flop
+counts, byte volumes, message counts) using the rates collected here, rather
+than measured from the host machine.  ``repro.bench.calibration`` fixes the
+rates from the paper's measured two-place points (see EXPERIMENTS.md); unit
+tests use :meth:`CostModel.zero` (pure functional behaviour) or
+:meth:`CostModel.unit` (easily assertable accounting).
+
+The model distinguishes the components the paper's evaluation isolates:
+
+* per-message **latency** and per-byte **bandwidth** of the transport;
+* per-task **spawn/join** CPU cost at the finish home (this is what makes
+  even *non-resilient* time/iteration grow with places — GML's collectives
+  fan out from one place);
+* the per-event cost of the serialized **place-zero bookkeeping ledger**
+  used by resilient finish (this is the paper's "Resilient X10 overhead");
+* a **flop rate** for compute and a **copy rate** for local memory movement.
+
+``logical_scale`` decouples the physical arrays (kept small so the test
+suite is fast) from the logical problem size whose time we charge: all
+flop/byte charges are multiplied by it.  Benchmarks use it to charge the
+paper's full problem sizes while computing on proportionally smaller data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Rates for the virtual-time charge model (all times in seconds)."""
+
+    #: Seconds per floating-point operation (inverse of sustained flop/s).
+    flop_time: float = 0.0
+    #: One-way network latency per message.
+    latency: float = 0.0
+    #: Seconds per byte on the wire (inverse of bandwidth).
+    byte_time: float = 0.0
+    #: CPU cost at the spawning place to launch one remote task.
+    task_spawn_time: float = 0.0
+    #: CPU cost at the finish home to process one task-termination message.
+    task_join_time: float = 0.0
+    #: Serialized processing cost per bookkeeping event at place zero
+    #: (only charged when the runtime is resilient).
+    ledger_event_time: float = 0.0
+    #: Seconds per byte for local memory copies (snapshot local copy, etc.).
+    memcpy_byte_time: float = 0.0
+    #: Effective slowdown of sparse (irregular-access) flops relative to
+    #: dense BLAS flops: CSR SpMV streams indices and gathers randomly, so
+    #: its per-entry cost is several times a dense multiply-add.
+    sparse_flop_factor: float = 1.0
+    #: Places hosted per physical node (0 = every place on its own node,
+    #: no NIC sharing).  Places map to nodes in consecutive blocks — the
+    #: X10 convention of launching several places per host — and all
+    #: cross-node transfers of one node serialize through its NIC.
+    places_per_node: int = 0
+    #: Seconds per byte for *intra-node* transfers (shared memory /
+    #: loopback); only used when ``places_per_node`` > 0.
+    shm_byte_time: float = 0.0
+    #: Seconds per byte to/from reliable stable storage (a shared
+    #: distributed filesystem).  Only used by the stable-store snapshot
+    #: variant; 0 keeps disk access free for functional tests.
+    disk_byte_time: float = 0.0
+    #: Multiplier applied to all flop/byte charges (logical problem scale).
+    logical_scale: float = 1.0
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def zero() -> "CostModel":
+        """All-zero rates: virtual time never advances (functional tests)."""
+        return CostModel()
+
+    @staticmethod
+    def unit() -> "CostModel":
+        """Unit rates for accounting tests: every component costs 1.0."""
+        return CostModel(
+            flop_time=1.0,
+            latency=1.0,
+            byte_time=1.0,
+            task_spawn_time=1.0,
+            task_join_time=1.0,
+            ledger_event_time=1.0,
+            memcpy_byte_time=1.0,
+        )
+
+    @staticmethod
+    def laptop() -> "CostModel":
+        """A generic commodity-cluster profile for the examples."""
+        return CostModel(
+            flop_time=5e-10,       # ~2 Gflop/s per place, one worker thread
+            latency=50e-6,         # sockets transport over GigE
+            byte_time=1e-9,        # ~1 GB/s
+            task_spawn_time=5e-6,
+            task_join_time=5e-6,
+            ledger_event_time=20e-6,
+            memcpy_byte_time=0.2e-9,
+        )
+
+    # -- charge helpers ----------------------------------------------------
+
+    def flops(self, n: float) -> float:
+        """Time to execute *n* floating-point operations."""
+        return self.flop_time * n * self.logical_scale
+
+    def message(self, nbytes: float = 0.0) -> float:
+        """Wire time of one message carrying *nbytes* of payload."""
+        return self.latency + self.byte_time * nbytes * self.logical_scale
+
+    def memcpy(self, nbytes: float) -> float:
+        """Time of a local memory copy of *nbytes*."""
+        return self.memcpy_byte_time * nbytes * self.logical_scale
+
+    def shm_message(self, nbytes: float = 0.0) -> float:
+        """Wire time of one intra-node (shared-memory) message."""
+        return self.latency + self.shm_byte_time * nbytes * self.logical_scale
+
+    def disk(self, nbytes: float) -> float:
+        """Time to read or write *nbytes* on stable storage."""
+        return self.disk_byte_time * nbytes * self.logical_scale
+
+    def node_of(self, place_id: int) -> int:
+        """The physical node hosting a place (block placement)."""
+        if self.places_per_node <= 0:
+            return place_id
+        return place_id // self.places_per_node
+
+    def scaled_bytes(self, nbytes: float) -> float:
+        """Logical byte volume corresponding to a physical payload size."""
+        return nbytes * self.logical_scale
+
+    def with_scale(self, scale: float) -> "CostModel":
+        """Copy of this model with a different logical scale."""
+        return replace(self, logical_scale=scale)
+
+    def with_rates(self, **kwargs: float) -> "CostModel":
+        """Copy of this model with selected rates overridden."""
+        return replace(self, **kwargs)
+
+
+def validate_cost_model(model: CostModel) -> Optional[str]:
+    """Return an error message if any rate is negative, else ``None``."""
+    for name in (
+        "flop_time",
+        "latency",
+        "byte_time",
+        "task_spawn_time",
+        "task_join_time",
+        "ledger_event_time",
+        "memcpy_byte_time",
+        "sparse_flop_factor",
+        "places_per_node",
+        "shm_byte_time",
+        "disk_byte_time",
+        "logical_scale",
+    ):
+        if getattr(model, name) < 0:
+            return f"cost rate {name} must be >= 0"
+    return None

@@ -1,0 +1,78 @@
+"""Exception types mirroring Resilient X10's failure surface.
+
+Resilient X10 turns the death of a place into a ``DeadPlaceException``
+delivered at the enclosing ``finish``; multiple simultaneous failures are
+aggregated.  Place zero is immortal by assumption — its death aborts the
+whole run — and losing both copies of a snapshot partition is unrecoverable
+data loss.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+class RuntimeFault(Exception):
+    """Base class for all simulator faults."""
+
+
+class DeadPlaceException(RuntimeFault):
+    """A task touched (or was to be spawned on) a dead place.
+
+    Mirrors ``x10.lang.DeadPlaceException``: raised at the enclosing finish
+    after all surviving tasks have terminated.
+    """
+
+    def __init__(self, place_id: int, message: str = ""):
+        self.place_id = place_id
+        super().__init__(message or f"place {place_id} is dead")
+
+    @property
+    def places(self) -> List[int]:
+        """Uniform accessor shared with :class:`MultipleException`."""
+        return [self.place_id]
+
+
+class MultipleException(RuntimeFault):
+    """Several tasks of one finish failed (e.g. several places died).
+
+    Mirrors ``x10.lang.MultipleExceptions``; carries the individual
+    exceptions so handlers can extract every dead place.
+    """
+
+    def __init__(self, exceptions: Sequence[Exception]):
+        self.exceptions = list(exceptions)
+        super().__init__(f"{len(self.exceptions)} tasks failed: {self.exceptions!r}")
+
+    @property
+    def places(self) -> List[int]:
+        """Ids of all dead places named by the aggregated exceptions."""
+        ids: List[int] = []
+        for exc in self.exceptions:
+            if isinstance(exc, (DeadPlaceException, MultipleException)):
+                ids.extend(exc.places)
+        return sorted(set(ids))
+
+
+class PlaceZeroDeadError(RuntimeFault):
+    """Place zero died: the whole application fails (X10 assumption)."""
+
+    def __init__(self) -> None:
+        super().__init__("place 0 died: resilient X10 cannot survive place zero")
+
+
+class DataLossError(RuntimeFault):
+    """Both the primary and the backup copy of a snapshot entry are gone.
+
+    Happens when two *adjacent* places in a snapshot's place group die
+    between a checkpoint and the restore — the double in-memory store only
+    protects against non-adjacent failures.
+    """
+
+
+class DanglingReferenceError(RuntimeFault):
+    """A GlobalRef / PlaceLocalHandle was resolved on the wrong or a dead place."""
+
+
+class SpareExhaustedError(RuntimeFault):
+    """Replace-redundant restoration requested more spare places than remain."""

@@ -1,0 +1,137 @@
+"""Fail-stop failure injection.
+
+The paper's experiments kill one place at a chosen iteration; the framework
+must also survive arbitrary additional failures (including failures *during*
+checkpoint or restore).  The injector supports:
+
+* scripted kills — "kill place *p* before iteration *n*" or "at the *k*-th
+  runtime phase" (a phase is one collective finish), which lets tests kill a
+  place in the middle of an iteration or mid-checkpoint;
+* random kills drawn from an exponential MTTF model, as assumed by Young's
+  checkpoint-interval formula.
+
+The injector only *decides* when a place dies; the runtime performs the kill
+(destroying the heap) and surfaces ``DeadPlaceException`` at the enclosing
+finish, mirroring Resilient X10 semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ScriptedKill:
+    """One planned failure."""
+
+    place_id: int
+    #: Fire before the executor starts this iteration (None = not used).
+    iteration: Optional[int] = None
+    #: Fire before the runtime executes this phase number (None = not used).
+    phase: Optional[int] = None
+    #: Fire once virtual global time reaches this value (None = not used).
+    time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        triggers = [t is not None for t in (self.iteration, self.phase, self.time)]
+        if sum(triggers) != 1:
+            raise ValueError("exactly one of iteration/phase/time must be set")
+
+
+class FailureInjector:
+    """Decides which places die and when.
+
+    The runtime polls :meth:`due_at_phase` at every phase boundary and the
+    executor polls :meth:`due_at_iteration` at every iteration boundary.
+    """
+
+    def __init__(self, kills: Optional[List[ScriptedKill]] = None):
+        self.kills: List[ScriptedKill] = list(kills or [])
+        self._fired: Set[int] = set()
+
+    # -- scripting ----------------------------------------------------------
+
+    def kill_at_iteration(self, place_id: int, iteration: int) -> "FailureInjector":
+        """Schedule *place_id* to die just before *iteration* starts."""
+        self.kills.append(ScriptedKill(place_id=place_id, iteration=iteration))
+        return self
+
+    def kill_at_phase(self, place_id: int, phase: int) -> "FailureInjector":
+        """Schedule *place_id* to die just before runtime phase *phase*."""
+        self.kills.append(ScriptedKill(place_id=place_id, phase=phase))
+        return self
+
+    def kill_at_time(self, place_id: int, time: float) -> "FailureInjector":
+        """Schedule *place_id* to die once virtual time reaches *time*."""
+        self.kills.append(ScriptedKill(place_id=place_id, time=time))
+        return self
+
+    # -- polling -------------------------------------------------------------
+
+    def _take(self, predicate) -> List[int]:
+        due: List[int] = []
+        for idx, kill in enumerate(self.kills):
+            if idx in self._fired:
+                continue
+            if predicate(kill):
+                self._fired.add(idx)
+                due.append(kill.place_id)
+        return due
+
+    def due_at_iteration(self, iteration: int) -> List[int]:
+        """Place ids that should die before this iteration."""
+        return self._take(
+            lambda k: k.iteration is not None and iteration >= k.iteration
+        )
+
+    def due_at_phase(self, phase: int, global_time: float) -> List[int]:
+        """Place ids that should die before this phase (incl. timed kills)."""
+        return self._take(
+            lambda k: (k.phase is not None and phase >= k.phase)
+            or (k.time is not None and global_time >= k.time)
+        )
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled kills that have not fired yet."""
+        return len(self.kills) - len(self._fired)
+
+
+@dataclass
+class ExponentialFailureModel:
+    """Random fail-stop model with exponential inter-failure times.
+
+    Used by the Young's-formula utilities and by the random-failure
+    integration tests.  Draws (time, victim) pairs over a given set of
+    candidate places; place zero is never a victim (immortality assumption).
+    """
+
+    mttf: float
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.mttf <= 0:
+            raise ValueError("mttf must be positive")
+        object.__setattr__(self, "_rng", np.random.default_rng(self.seed))
+
+    def schedule(
+        self, candidate_ids: List[int], horizon: float
+    ) -> List[ScriptedKill]:
+        """Sample scripted kills up to virtual time *horizon*."""
+        victims = [i for i in candidate_ids if i != 0]
+        if not victims:
+            return []
+        kills: List[ScriptedKill] = []
+        t = 0.0
+        remaining = list(victims)
+        while remaining:
+            t += float(self._rng.exponential(self.mttf))
+            if t > horizon:
+                break
+            victim = remaining.pop(int(self._rng.integers(len(remaining))))
+            kills.append(ScriptedKill(place_id=victim, time=t))
+        return kills

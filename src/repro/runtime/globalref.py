@@ -1,0 +1,117 @@
+"""GlobalRef and PlaceLocalHandle — X10's remote-reference types.
+
+``GlobalRef[T]`` names an object on one specific place; it can only be
+dereferenced *at* that place (the simulator raises
+``DanglingReferenceError`` for a wrong-place dereference, the static error
+X10 prevents by construction, and ``DeadPlaceException`` when the home place
+has died — the dangling-reference hazard the paper's §III-C describes).
+
+``PlaceLocalHandle`` (PLH) names a *family* of objects, one per place of a
+group.  Resilient GML's key fix was allowing PLHs to be re-created over a
+new group (``remake``) instead of permanently binding the world.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable
+
+from repro.runtime.exceptions import DanglingReferenceError
+from repro.runtime.place import Place, PlaceGroup
+from repro.runtime.runtime import PlaceContext, Runtime
+
+_ref_counter = itertools.count()
+
+
+class GlobalRef:
+    """A reference to an object living on one home place."""
+
+    def __init__(self, runtime: Runtime, home: Place, value: Any):
+        self.runtime = runtime
+        self.home = home
+        self._key = ("gref", next(_ref_counter))
+        runtime.heap_of(home.id).put(self._key, value)
+
+    def __call__(self, ctx: PlaceContext) -> Any:
+        """Dereference — only legal at the home place (X10 ``gr()``)."""
+        if ctx.place != self.home:
+            raise DanglingReferenceError(
+                f"GlobalRef home is {self.home}, dereferenced at {ctx.place}"
+            )
+        self.runtime.check_alive(self.home.id)
+        return ctx.heap.get(self._key)
+
+    def free(self) -> None:
+        """Drop the referenced object from the home heap."""
+        if self.runtime.is_alive(self.home.id):
+            self.runtime.heap_of(self.home.id).remove_if_present(self._key)
+
+
+class PlaceLocalHandle:
+    """One value per place of a group, addressed uniformly.
+
+    Created with an initializer that runs at every member place; a PLH over
+    a group containing a place that later dies yields dangling entries — the
+    condition resilient GML repairs via :meth:`remake`.
+    """
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        group: PlaceGroup,
+        init: Callable[[PlaceContext], Any],
+        label: str = "plh",
+    ):
+        self.runtime = runtime
+        self.group = group
+        self._key = ("plh", next(_ref_counter))
+        self._label = label
+        self._initialize(group, init)
+
+    def _initialize(self, group: PlaceGroup, init: Callable[[PlaceContext], Any]) -> None:
+        key = self._key
+
+        def store(ctx: PlaceContext) -> None:
+            ctx.heap.put(key, init(ctx))
+
+        self.runtime.finish_all(group, store, label=f"{self._label}:init")
+
+    def local(self, ctx: PlaceContext) -> Any:
+        """This place's member of the family (X10 ``plh()``)."""
+        if self.group.index_of(ctx.place) < 0:
+            raise DanglingReferenceError(
+                f"{ctx.place} is not in this PLH's group {self.group}"
+            )
+        return ctx.heap.get(self._key)
+
+    def set_local(self, ctx: PlaceContext, value: Any) -> None:
+        """Replace this place's member."""
+        if self.group.index_of(ctx.place) < 0:
+            raise DanglingReferenceError(
+                f"{ctx.place} is not in this PLH's group {self.group}"
+            )
+        ctx.heap.put(self._key, value)
+
+    def remake(
+        self,
+        new_group: PlaceGroup,
+        init: Callable[[PlaceContext], Any],
+        destroy_old: bool = True,
+    ) -> None:
+        """Re-create the family over *new_group* (resilient GML §IV-A).
+
+        Old entries on surviving places are dropped first; entries on dead
+        places died with their heaps.
+        """
+        if destroy_old:
+            for place in self.group:
+                if self.runtime.is_alive(place.id):
+                    self.runtime.heap_of(place.id).remove_if_present(self._key)
+        self.group = new_group
+        self._initialize(new_group, init)
+
+    def destroy(self) -> None:
+        """Free every live member of the family."""
+        for place in self.group:
+            if self.runtime.is_alive(place.id):
+                self.runtime.heap_of(place.id).remove_if_present(self._key)

@@ -1,0 +1,100 @@
+"""Per-place object heaps.
+
+Each place owns a private heap; the APGAS contract says remote data is only
+reachable by shifting execution to the owning place (``at``).  The simulator
+enforces that contract: closures receive a :class:`~repro.runtime.runtime.PlaceContext`
+bound to exactly one heap.  Killing a place destroys its heap — this is what
+makes snapshots necessary and what the double in-memory store protects
+against.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterator, List
+
+
+class PlaceHeap:
+    """The private object store of one place.
+
+    Keys are arbitrary hashable values; multi-place GML objects namespace
+    their entries as ``("gml", object_id, ...)`` and snapshots as
+    ``("snap", snapshot_id, key)``.
+    """
+
+    __slots__ = ("place_id", "_store", "destroyed")
+
+    def __init__(self, place_id: int):
+        self.place_id = place_id
+        self._store: Dict[Hashable, Any] = {}
+        self.destroyed = False
+
+    def _check_live(self) -> None:
+        if self.destroyed:
+            raise RuntimeError(f"heap of dead place {self.place_id} accessed")
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Store *value* under *key*, replacing any previous entry."""
+        self._check_live()
+        self._store[key] = value
+
+    def get(self, key: Hashable) -> Any:
+        """Fetch the entry for *key*; ``KeyError`` if absent."""
+        self._check_live()
+        if key not in self._store:
+            raise KeyError(f"place {self.place_id} heap has no entry {key!r}")
+        return self._store[key]
+
+    def get_or(self, key: Hashable, default: Any = None) -> Any:
+        """Fetch the entry for *key* or *default* when absent."""
+        self._check_live()
+        return self._store.get(key, default)
+
+    def contains(self, key: Hashable) -> bool:
+        """True if an entry exists for *key*."""
+        self._check_live()
+        return key in self._store
+
+    def remove(self, key: Hashable) -> Any:
+        """Delete and return the entry for *key*; ``KeyError`` if absent."""
+        self._check_live()
+        if key not in self._store:
+            raise KeyError(f"place {self.place_id} heap has no entry {key!r}")
+        return self._store.pop(key)
+
+    def remove_if_present(self, key: Hashable) -> None:
+        """Delete the entry for *key* if it exists."""
+        self._check_live()
+        self._store.pop(key, None)
+
+    def keys_with_prefix(self, prefix: tuple) -> List[Hashable]:
+        """All tuple keys starting with *prefix* (for bulk eviction)."""
+        self._check_live()
+        return [
+            k
+            for k in self._store
+            if isinstance(k, tuple) and len(k) >= len(prefix) and k[: len(prefix)] == prefix
+        ]
+
+    def remove_prefix(self, prefix: tuple) -> int:
+        """Delete all entries whose tuple key starts with *prefix*."""
+        keys = self.keys_with_prefix(prefix)
+        for k in keys:
+            del self._store[k]
+        return len(keys)
+
+    def destroy(self) -> None:
+        """Irrevocably drop all contents (the place died)."""
+        self._store.clear()
+        self.destroyed = True
+
+    def __len__(self) -> int:
+        self._check_live()
+        return len(self._store)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        self._check_live()
+        return iter(self._store)
+
+    def __repr__(self) -> str:
+        state = "destroyed" if self.destroyed else f"{len(self._store)} entries"
+        return f"PlaceHeap(place={self.place_id}, {state})"

@@ -1,0 +1,525 @@
+"""The APGAS runtime simulator — the X10 substrate of this reproduction.
+
+A :class:`Runtime` owns a set of places (each with a private heap and a
+virtual clock), executes *finish*-scoped task groups against them, injects
+fail-stop failures, and — when resilient — charges the place-zero
+bookkeeping ledger that Resilient X10 uses to track task lifecycles.
+
+Execution model
+---------------
+The simulator is sequential and deterministic: closures run one after
+another in the host interpreter, but each is bound to exactly one place's
+heap via a :class:`PlaceContext`, and time is charged per place on virtual
+clocks.  A ``finish_all`` models X10's ubiquitous
+
+.. code-block:: text
+
+    finish for (p in group) at (p) async { body(p); }
+
+pattern (the backbone of every GML collective operation):
+
+1. the caller (the "driver", place zero) serially spawns one task per group
+   place — each spawn costs ``task_spawn_time`` plus one message;
+2. each task starts when its spawn message arrives, runs ``body`` (which
+   charges compute to that place's clock), and sends a termination message
+   back;
+3. the caller serially processes the termination messages
+   (``task_join_time`` each) — the finish join;
+4. under resilience, every spawn and termination additionally posts an
+   event to the serialized place-zero ledger, and the finish cannot
+   complete until the ledger has drained its events.
+
+Tasks addressed to dead places are not run; X10 semantics are preserved by
+letting every *live* task complete and then raising ``DeadPlaceException``
+(or ``MultipleException``) at the finish.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.runtime.clock import VirtualClock
+from repro.runtime.cost import CostModel, validate_cost_model
+from repro.runtime.exceptions import (
+    DeadPlaceException,
+    MultipleException,
+    PlaceZeroDeadError,
+)
+from repro.runtime.failure import FailureInjector
+from repro.runtime.finish import FinishReport, PlaceZeroLedger
+from repro.runtime.heap import PlaceHeap
+from repro.runtime.place import Place, PlaceGroup
+from repro.util.logging import TraceLog
+from repro.util.validation import check_positive, require
+
+
+@dataclass
+class RuntimeStats:
+    """Global counters exposed for tests and the overhead benchmarks."""
+
+    finishes: int = 0
+    tasks: int = 0
+    messages: int = 0
+    bytes_sent: float = 0.0
+    kills: int = 0
+    finish_reports: List[FinishReport] = field(default_factory=list)
+
+    def reset_reports(self) -> None:
+        self.finish_reports.clear()
+
+
+class PlaceContext:
+    """Execution context of one task: bound to a single place's heap.
+
+    Closures receive a context and may only touch their own place's heap
+    directly; remote data requires :meth:`read_remote` / :meth:`write_remote`
+    (the moral equivalent of X10's ``at``), which charge communication and
+    honour failure semantics.
+    """
+
+    __slots__ = ("runtime", "place", "heap")
+
+    def __init__(self, runtime: "Runtime", place: Place, heap: PlaceHeap):
+        self.runtime = runtime
+        self.place = place
+        self.heap = heap
+
+    # -- time ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """This place's current virtual time."""
+        return self.runtime.clock.now(self.place.id)
+
+    def charge_seconds(self, seconds: float) -> None:
+        """Charge raw seconds of work to this place."""
+        self.runtime.clock.advance(self.place.id, seconds)
+
+    def charge_flops(self, n: float) -> None:
+        """Charge *n* floating-point operations to this place."""
+        self.runtime.clock.advance(self.place.id, self.runtime.cost.flops(n))
+
+    def charge_memcpy(self, nbytes: float) -> None:
+        """Charge a local memory copy of *nbytes* to this place."""
+        self.runtime.clock.advance(self.place.id, self.runtime.cost.memcpy(nbytes))
+
+    # -- remote access --------------------------------------------------------
+
+    def read_remote(self, src_place_id: int, key: Any, nbytes: float) -> Any:
+        """Fetch a heap entry from another place (request + reply messages).
+
+        The transfer is served by the owner's *communication server* — it
+        runs concurrently with the owner's own task, but concurrent readers
+        of one owner serialize behind each other (the NIC/serialization
+        bottleneck).  Raises ``DeadPlaceException`` if the owner is dead.
+        """
+        rt = self.runtime
+        if src_place_id == self.place.id:
+            return self.heap.get(key)
+        rt.check_alive(src_place_id)
+        cost = rt.cost
+        clock = rt.clock
+        t_req = self.now + cost.message(0)
+        t_reply = rt.transfer(src_place_id, self.place.id, nbytes, t_req)
+        clock.set_at_least(self.place.id, t_reply)
+        rt.stats.messages += 2
+        rt.stats.bytes_sent += cost.scaled_bytes(nbytes)
+        return rt.heap_of(src_place_id).get(key)
+
+    def write_remote(self, dst_place_id: int, key: Any, value: Any, nbytes: float) -> None:
+        """Push a value into another place's heap (one payload message).
+
+        The receive is served by the destination's communication server:
+        concurrent with its task, serialized against other transfers it is
+        absorbing.
+        """
+        rt = self.runtime
+        if dst_place_id == self.place.id:
+            self.heap.put(key, value)
+            return
+        rt.check_alive(dst_place_id)
+        cost = rt.cost
+        clock = rt.clock
+        rt.transfer(self.place.id, dst_place_id, nbytes, self.now)
+        clock.set_at_least(self.place.id, self.now + cost.message(0))
+        rt.stats.messages += 1
+        rt.stats.bytes_sent += cost.scaled_bytes(nbytes)
+        rt.heap_of(dst_place_id).put(key, value)
+
+
+class Runtime:
+    """A simulated APGAS world of places.
+
+    Parameters
+    ----------
+    nplaces:
+        Number of *active* places (the initial world).
+    cost:
+        Virtual-time :class:`CostModel`; defaults to all-zero rates.
+    resilient:
+        When True, every finish pays place-zero bookkeeping — this switch is
+        the paper's "resilient X10" vs "non-resilient X10" axis (Figs. 2–4).
+    spares:
+        Extra *redundant* places started up-front for the replace-redundant
+        restoration mode.  They are alive but hold no application data.
+    """
+
+    def __init__(
+        self,
+        nplaces: int,
+        cost: Optional[CostModel] = None,
+        resilient: bool = False,
+        spares: int = 0,
+        trace: bool = False,
+    ):
+        check_positive(nplaces, "nplaces")
+        require(spares >= 0, "spares must be >= 0")
+        self.cost = cost if cost is not None else CostModel.zero()
+        err = validate_cost_model(self.cost)
+        require(err is None, err or "")
+        self.resilient = resilient
+
+        total = nplaces + spares
+        all_places = [Place(i) for i in range(total)]
+        self.world = PlaceGroup(all_places[:nplaces])
+        self._spares: deque = deque(all_places[nplaces:])
+        self._heaps: Dict[int, PlaceHeap] = {p.id: PlaceHeap(p.id) for p in all_places}
+        self._alive: Dict[int, bool] = {p.id: True for p in all_places}
+        self.clock = VirtualClock()
+        for p in all_places:
+            self.clock.register(p.id)
+        self._next_place_id = total
+
+        self.ledger = PlaceZeroLedger(self.cost.ledger_event_time)
+        self.injector = FailureInjector()
+        self.stats = RuntimeStats()
+        self.trace = TraceLog(enabled=trace)
+        self.phase = 0
+        #: Communication-server availability, keyed by place id or by
+        #: ("nic", node) when node topology is modeled.  Transfers serialize
+        #: against each other at one server but run concurrently with the
+        #: places' own task compute.
+        self._server_free: Dict[Any, float] = {}
+
+    # -- place management ------------------------------------------------------
+
+    def is_alive(self, place_id: int) -> bool:
+        """True if the place exists and has not been killed."""
+        return self._alive.get(place_id, False)
+
+    def check_alive(self, place_id: int) -> None:
+        """Raise ``DeadPlaceException`` unless the place is alive."""
+        if not self.is_alive(place_id):
+            raise DeadPlaceException(place_id)
+
+    def heap_of(self, place_id: int) -> PlaceHeap:
+        """The heap of a live place (``DeadPlaceException`` otherwise)."""
+        self.check_alive(place_id)
+        return self._heaps[place_id]
+
+    def kill(self, place_id: int) -> None:
+        """Fail-stop the place: destroy its heap, mark it dead.
+
+        Killing place zero aborts the whole run (Resilient X10 assumes an
+        immortal place zero).
+        """
+        if place_id == 0:
+            raise PlaceZeroDeadError()
+        if not self.is_alive(place_id):
+            return
+        self._alive[place_id] = False
+        self._heaps[place_id].destroy()
+        self._spares = deque(p for p in self._spares if p.id != place_id)
+        self.stats.kills += 1
+        self.trace.emit("kill", self.clock.global_time(), place=place_id)
+
+    def dead_ids(self) -> List[int]:
+        """Ids of all places that have died so far."""
+        return sorted(pid for pid, alive in self._alive.items() if not alive)
+
+    def live_group(self, group: PlaceGroup) -> PlaceGroup:
+        """Survivors of *group*, order preserved, indices shifted."""
+        return group.filter_dead(self.dead_ids())
+
+    def claim_spare(self) -> Optional[Place]:
+        """Take one live spare place (or ``None`` if exhausted)."""
+        while self._spares:
+            place = self._spares.popleft()
+            if self.is_alive(place.id):
+                return place
+        return None
+
+    @property
+    def spares_remaining(self) -> int:
+        """Number of live spare places not yet claimed."""
+        return sum(1 for p in self._spares if self.is_alive(p.id))
+
+    def add_place(self) -> Place:
+        """Elastically create a brand-new place (Replace-Elastic extension).
+
+        The new place starts with an empty heap and a clock at the current
+        global time plus a process-startup charge.
+        """
+        place = Place(self._next_place_id)
+        self._next_place_id += 1
+        self._heaps[place.id] = PlaceHeap(place.id)
+        self._alive[place.id] = True
+        # Process spawn is not free: charge one message round-trip of setup.
+        self.clock.register(place.id, self.clock.global_time() + self.cost.message(0))
+        self.trace.emit("add_place", self.clock.global_time(), place=place.id)
+        return place
+
+    def serve_transfer(self, place_id: int, t_request: float, duration: float) -> float:
+        """Schedule a transfer on a place's communication server.
+
+        Returns the completion time.  The server is busy from the request
+        until completion; subsequent transfers involving the same place
+        queue behind it.  The served place's timeline is advanced to the
+        completion (absorbed into its current finish task's end via the
+        arrival backlog).
+        """
+        free = max(self._server_free.get(place_id, 0.0), t_request)
+        done = free + duration
+        self._server_free[place_id] = done
+        self.clock.set_at_least(place_id, done)
+        return done
+
+    def transfer(self, src_id: int, dst_id: int, nbytes: float, t_request: float) -> float:
+        """Topology-aware point-to-point transfer; returns completion time.
+
+        Without node topology (``cost.num_nodes == 0``) this is the plain
+        per-place communication server.  With topology, intra-node
+        transfers use the shared-memory rate and the destination place's
+        server, while cross-node transfers serialize through *both*
+        endpoints' node NICs — the contention that makes checkpointing
+        4-places-per-node clusters slower than per-place models predict.
+        """
+        cost = self.cost
+        if cost.places_per_node <= 0:
+            # Per-place links: the transfer occupies the sender's transmit
+            # side and the receiver's receive side (full duplex), so
+            # concurrent readers of one place serialize at its tx server.
+            return self._duplex_transfer(
+                ("tx", src_id), ("rx", dst_id), dst_id, t_request, cost.message(nbytes)
+            )
+        src_node, dst_node = cost.node_of(src_id), cost.node_of(dst_id)
+        if src_node == dst_node:
+            return self.serve_transfer(dst_id, t_request, cost.shm_message(nbytes))
+        # Shared full-duplex NICs: all of a node's cross-node traffic
+        # serializes per direction.
+        return self._duplex_transfer(
+            ("nic-tx", src_node),
+            ("nic-rx", dst_node),
+            dst_id,
+            t_request,
+            cost.message(nbytes),
+        )
+
+    def _duplex_transfer(
+        self, tx_key, rx_key, dst_id: int, t_request: float, duration: float
+    ) -> float:
+        free = max(
+            self._server_free.get(tx_key, 0.0),
+            self._server_free.get(rx_key, 0.0),
+            t_request,
+        )
+        done = free + duration
+        self._server_free[tx_key] = done
+        self._server_free[rx_key] = done
+        self.clock.set_at_least(dst_id, done)
+        return done
+
+    # -- failure-injection hook ---------------------------------------------
+
+    def _fire_due_failures(self) -> None:
+        for victim in self.injector.due_at_phase(self.phase, self.clock.global_time()):
+            self.kill(victim)
+
+    # -- execution -----------------------------------------------------------
+
+    DRIVER_ID = 0
+
+    def now(self) -> float:
+        """The driver's (place zero's) current virtual time."""
+        return self.clock.now(self.DRIVER_ID)
+
+    def context(self, place: Place) -> PlaceContext:
+        """Build a context for a live place (library-internal)."""
+        return PlaceContext(self, place, self.heap_of(place.id))
+
+    def at(
+        self,
+        place: Place,
+        fn: Callable[[PlaceContext], Any],
+        arg_bytes: float = 0.0,
+        ret_bytes: float = 0.0,
+    ) -> Any:
+        """Run ``fn`` at *place* and return its result to the driver.
+
+        Models ``at (p) { ... }``: ship the closure, run it, ship the result
+        back.  Raises ``DeadPlaceException`` if the target is dead.
+        """
+        self.check_alive(place.id)
+        clock, cost = self.clock, self.cost
+        driver = self.DRIVER_ID
+        if place.id == driver:
+            result = fn(self.context(place))
+            return result
+        t_arrive = max(clock.now(driver), clock.now(place.id)) + cost.message(arg_bytes)
+        clock.set_at_least(place.id, t_arrive)
+        result = fn(self.context(place))
+        t_back = clock.now(place.id) + cost.message(ret_bytes)
+        clock.set_at_least(driver, t_back)
+        self.stats.messages += 2
+        self.stats.bytes_sent += cost.scaled_bytes(arg_bytes + ret_bytes)
+        return result
+
+    def finish_all(
+        self,
+        group: PlaceGroup,
+        fn: Callable[[PlaceContext], Any],
+        arg_bytes: float = 0.0,
+        ret_bytes: float = 0.0,
+        label: str = "",
+    ) -> List[Any]:
+        """Run ``fn`` once at every place of *group* under one finish.
+
+        Returns the per-place results in group order (``None`` in the slots
+        of dead places).  After every live task has completed, raises
+        ``DeadPlaceException`` / ``MultipleException`` if any group member
+        was dead or died during the phase — exactly X10's finish semantics.
+        """
+        return self.finish_tasks(
+            [(place, fn) for place in group],
+            arg_bytes=arg_bytes,
+            ret_bytes=ret_bytes,
+            label=label,
+        )
+
+    def finish_tasks(
+        self,
+        tasks: Sequence,
+        arg_bytes: float = 0.0,
+        ret_bytes: float = 0.0,
+        label: str = "",
+    ) -> List[Any]:
+        """Run an explicit list of ``(place, fn)`` tasks under one finish.
+
+        The general form behind :meth:`finish_all` (and the ``with
+        rt.finish()`` sugar): tasks may target any places, including the
+        same place several times.
+        """
+        self.phase += 1
+        self._fire_due_failures()
+
+        clock, cost = self.clock, self.cost
+        driver = self.DRIVER_ID
+        t_start = clock.now(driver)
+
+        failures: List[Exception] = []
+        results: List[Any] = [None] * len(tasks)
+        ledger_arrivals: List[float] = []
+        task_ends: List[float] = []
+
+        # All tasks of this finish run concurrently: capture every member's
+        # phase-start time up front so a message sent by an (interpreter-)
+        # earlier task cannot delay a peer task's *start* — only the phase
+        # end accounts for such in-flight arrivals (the backlog below).
+        # avail[pid]: when the place's (single) worker can start a task —
+        # the phase-start time initially, then the previous task's end when
+        # one finish runs several tasks at the same place.
+        avail = {}
+        for place, _fn in tasks:
+            if self.is_alive(place.id) and place.id not in avail:
+                avail[place.id] = clock.now(place.id)
+
+        t_spawn = t_start
+        n_live = 0
+        for index, (place, fn) in enumerate(tasks):
+            if not self.is_alive(place.id):
+                failures.append(DeadPlaceException(place.id))
+                continue
+            n_live += 1
+            # Serial spawn at the caller, then the spawn message travels.
+            t_spawn += cost.task_spawn_time
+            if place.id == driver:
+                task_begin = max(t_spawn, avail[place.id])
+            else:
+                task_begin = max(t_spawn + cost.message(arg_bytes), avail[place.id])
+                self.stats.messages += 1
+                self.stats.bytes_sent += cost.scaled_bytes(arg_bytes)
+            # In-phase arrivals recorded so far are merged back at the end.
+            arrival_backlog = clock.now(place.id)
+            clock.set(place.id, task_begin)
+            if self.resilient:
+                ledger_arrivals.append(task_begin + cost.latency)
+            try:
+                results[index] = fn(self.context(place))
+            except DeadPlaceException as exc:
+                failures.append(exc)
+            t_end = max(clock.now(place.id), arrival_backlog)
+            clock.set(place.id, t_end)
+            avail[place.id] = t_end
+            task_ends.append(t_end)
+            if self.resilient:
+                ledger_arrivals.append(t_end + cost.latency)
+
+        # The finish join: the caller serially absorbs termination messages.
+        t_join = max(t_spawn, clock.now(driver))
+        for t_end in sorted(task_ends):
+            arrival = t_end + cost.message(ret_bytes)
+            t_join = max(t_join, arrival) + cost.task_join_time
+            self.stats.messages += 1
+            self.stats.bytes_sent += cost.scaled_bytes(ret_bytes)
+
+        task_end_max = max(task_ends) if task_ends else t_start
+        ledger_ready = 0.0
+        t_finish = t_join
+        if self.resilient:
+            ledger_ready = self.ledger.process(ledger_arrivals)
+            if ledger_ready > t_finish:
+                self.ledger.record_stall(ledger_ready - t_finish)
+                t_finish = ledger_ready
+        clock.set_at_least(driver, t_finish)
+
+        self.stats.finishes += 1
+        self.stats.tasks += n_live
+        report = FinishReport(
+            label=label,
+            start=t_start,
+            end=t_finish,
+            n_tasks=n_live,
+            task_end_max=task_end_max,
+            ledger_ready=ledger_ready,
+            dead_places=[pid for f in failures for pid in getattr(f, "places", [])],
+        )
+        self.stats.finish_reports.append(report)
+        self.trace.emit(
+            "finish", t_finish, label=label, tasks=n_live, dead=report.dead_places
+        )
+
+        if len(failures) == 1:
+            raise failures[0]
+        if failures:
+            raise MultipleException(failures)
+        return results
+
+    def barrier(self, group: PlaceGroup) -> float:
+        """Synchronize the clocks of the group's live places (plus driver)."""
+        ids = [p.id for p in group if self.is_alive(p.id)]
+        ids.append(self.DRIVER_ID)
+        return self.clock.barrier(ids)
+
+    # -- convenience -----------------------------------------------------------
+
+    def live_world(self) -> PlaceGroup:
+        """Survivors of the initial world."""
+        return self.live_group(self.world)
+
+    def __repr__(self) -> str:
+        return (
+            f"Runtime(world={self.world.size}, spares={self.spares_remaining}, "
+            f"resilient={self.resilient}, dead={self.dead_ids()})"
+        )

@@ -1,0 +1,98 @@
+"""X10-style programming sugar: ``finish`` / ``async at`` (paper §II).
+
+The raw runtime API (`finish_all` / `finish_tasks`) is collective-shaped;
+this module exposes the constructs the paper's X10 snippets use, so the
+examples and tests can be written the way a GML user would write X10:
+
+.. code-block:: python
+
+    with finish(rt) as f:
+        for place in rt.world:
+            f.async_at(place, lambda ctx: ctx.heap.put("x", 1))
+    # <- blocks until all tasks terminated; DeadPlaceException surfaces here
+
+``async_at`` only *records* the task; the whole batch executes under one
+finish when the scope exits — matching the simulator's virtual-time model
+(all tasks of a finish run concurrently).  Results are available from the
+returned handles after the scope exits.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Tuple
+
+from repro.runtime.place import Place
+from repro.runtime.runtime import PlaceContext, Runtime
+from repro.util.validation import require
+
+
+class AsyncHandle:
+    """Future-like handle for one ``async_at`` task's result."""
+
+    __slots__ = ("_value", "_done")
+
+    def __init__(self) -> None:
+        self._value: Any = None
+        self._done = False
+
+    def _resolve(self, value: Any) -> None:
+        self._value = value
+        self._done = True
+
+    @property
+    def done(self) -> bool:
+        """True once the enclosing finish has completed."""
+        return self._done
+
+    def result(self) -> Any:
+        """The task's return value (after the finish scope exits)."""
+        require(self._done, "result() before the enclosing finish completed")
+        return self._value
+
+
+class FinishScope:
+    """A ``finish`` block: collects asyncs, runs them on exit."""
+
+    def __init__(self, runtime: Runtime, label: str = "finish"):
+        self.runtime = runtime
+        self.label = label
+        self._tasks: List[Tuple[Place, Callable[[PlaceContext], Any]]] = []
+        self._handles: List[AsyncHandle] = []
+        self._entered = False
+        self._completed = False
+
+    def __enter__(self) -> "FinishScope":
+        require(not self._entered, "finish scope is not reentrant")
+        self._entered = True
+        return self
+
+    def async_at(
+        self, place: Place, fn: Callable[[PlaceContext], Any]
+    ) -> AsyncHandle:
+        """Record ``at (place) async { fn }`` inside this finish."""
+        require(self._entered and not self._completed, "async_at outside the scope")
+        handle = AsyncHandle()
+        self._tasks.append((place, fn))
+        self._handles.append(handle)
+        return handle
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._completed = True
+        if exc_type is not None:
+            return False  # propagate the body's own exception
+        if not self._tasks:
+            return False
+        results = self.runtime.finish_tasks(self._tasks, label=self.label)
+        for handle, value in zip(self._handles, results):
+            handle._resolve(value)
+        return False
+
+
+def finish(runtime: Runtime, label: str = "finish") -> FinishScope:
+    """Open an X10-style ``finish`` scope on *runtime*."""
+    return FinishScope(runtime, label)
+
+
+def at(runtime: Runtime, place: Place, fn: Callable[[PlaceContext], Any]) -> Any:
+    """Synchronous ``at (place) { fn }`` — ship, run, return the value."""
+    return runtime.at(place, fn)

@@ -1,0 +1,59 @@
+"""Minimal structured logging for the simulator.
+
+The runtime and executor emit trace events (task launches, failures,
+checkpoints, restores) that tests and examples can capture.  A tiny
+purpose-built recorder is used instead of the stdlib ``logging`` module so
+that events are structured data (inspectable in assertions) rather than
+formatted strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+
+@dataclass
+class TraceEvent:
+    """A single structured trace event."""
+
+    kind: str
+    time: float
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[t={self.time:.6f}] {self.kind}({parts})"
+
+
+class TraceLog:
+    """Append-only event log with optional live listener callbacks."""
+
+    def __init__(self, enabled: bool = True, capacity: Optional[int] = None):
+        self.enabled = enabled
+        self.capacity = capacity
+        self.events: List[TraceEvent] = []
+        self._listeners: List[Callable[[TraceEvent], None]] = []
+
+    def emit(self, kind: str, time: float, **detail: Any) -> None:
+        """Record an event (no-op when disabled)."""
+        if not self.enabled:
+            return
+        event = TraceEvent(kind=kind, time=time, detail=detail)
+        self.events.append(event)
+        if self.capacity is not None and len(self.events) > self.capacity:
+            del self.events[: len(self.events) - self.capacity]
+        for listener in self._listeners:
+            listener(event)
+
+    def add_listener(self, fn: Callable[[TraceEvent], None]) -> None:
+        """Register a callback invoked for every emitted event."""
+        self._listeners.append(fn)
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        """Return all recorded events of the given kind."""
+        return [e for e in self.events if e.kind == kind]
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self.events.clear()

@@ -1,0 +1,48 @@
+"""Argument validation helpers.
+
+GML's public factory methods validate their configuration eagerly (matrix
+dimensions, grid shapes, place-group sizes) so that misconfiguration fails
+at object-creation time rather than deep inside a distributed kernel.  These
+helpers centralise the checks and produce uniform error messages.
+"""
+
+from __future__ import annotations
+
+from typing import Sized
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError`` with *message* unless *condition* holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_positive(value: int, name: str) -> int:
+    """Validate that *value* is a positive integer and return it."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_non_negative(value: int, name: str) -> int:
+    """Validate that *value* is a non-negative integer and return it."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_index(index: int, size: int, name: str = "index") -> int:
+    """Validate ``0 <= index < size`` and return *index*."""
+    if not 0 <= index < size:
+        raise IndexError(f"{name} {index} out of range [0, {size})")
+    return index
+
+
+def check_same_length(a: Sized, b: Sized, what: str = "operands") -> None:
+    """Validate two sized operands have equal length."""
+    if len(a) != len(b):
+        raise ValueError(f"{what} differ in length: {len(a)} vs {len(b)}")

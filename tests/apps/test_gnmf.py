@@ -1,0 +1,112 @@
+"""Tests for the GNMF extension application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.data import GnmfWorkload
+from repro.apps.nonresilient.gnmf import GnmfNonResilient
+from repro.apps.resilient.gnmf import GnmfResilient
+from repro.resilience.executor import IterativeExecutor, NonResilientExecutor, RestoreMode
+from repro.runtime import CostModel, Runtime
+
+
+def make_rt(n=3, **kw):
+    return Runtime(n, cost=CostModel.zero(), **kw)
+
+
+def numpy_gnmf_step(V, W, H, eps=1e-12):
+    """Reference Lee-Seung multiplicative updates."""
+    H = H * (W.T @ V) / np.maximum(W.T @ W @ H, eps)
+    W = W * (V @ H.T) / np.maximum(W @ (H @ H.T), eps)
+    return W, H
+
+
+class TestAlgorithm:
+    def test_matches_numpy_reference(self):
+        rt = make_rt()
+        wl = GnmfWorkload.small(iterations=5)
+        app = GnmfNonResilient(rt, wl)
+        V = app.V.to_dense().data
+        W, H = app.factors()
+        for _ in range(5):
+            W, H = numpy_gnmf_step(V, W, H)
+        app.run()
+        Wa, Ha = app.factors()
+        assert np.allclose(Wa, W, atol=1e-8)
+        assert np.allclose(Ha, H, atol=1e-8)
+
+    def test_reconstruction_error_decreases(self):
+        rt = make_rt()
+        app = GnmfNonResilient(rt, GnmfWorkload.small(iterations=15))
+        e0 = app.reconstruction_error()
+        app.run()
+        assert app.reconstruction_error() < e0 * 0.6
+
+    def test_factors_stay_nonnegative(self):
+        rt = make_rt()
+        app = GnmfNonResilient(rt, GnmfWorkload.small(iterations=10))
+        app.run()
+        W, H = app.factors()
+        assert W.min() >= 0.0
+        assert H.min() >= 0.0
+
+    def test_replicas_consistent_after_run(self):
+        rt = make_rt()
+        app = GnmfNonResilient(rt, GnmfWorkload.small(iterations=4))
+        app.run()
+        assert app.H.replicas_consistent(1e-12)
+
+    def test_resilient_equals_nonresilient_without_failure(self):
+        wl = GnmfWorkload.small(iterations=8)
+        rt1, rt2 = make_rt(), make_rt()
+        a = GnmfNonResilient(rt1, wl)
+        NonResilientExecutor(rt1, a).run()
+        b = GnmfResilient(rt2, wl)
+        IterativeExecutor(rt2, b, checkpoint_interval=3).run()
+        Wa, Ha = a.factors()
+        Wb, Hb = b.factors()
+        assert np.array_equal(Wa, Wb)
+        assert np.array_equal(Ha, Hb)
+
+
+class TestFailureRecovery:
+    @pytest.mark.parametrize(
+        "mode",
+        [
+            RestoreMode.SHRINK,
+            RestoreMode.SHRINK_REBALANCE,
+            RestoreMode.REPLACE_REDUNDANT,
+            RestoreMode.REPLACE_ELASTIC,
+        ],
+        ids=lambda m: m.value,
+    )
+    def test_failure_matches_failure_free(self, mode):
+        wl = GnmfWorkload.small(iterations=10)
+        base_rt = make_rt(4)
+        base = GnmfNonResilient(base_rt, wl)
+        base.run()
+        Wb, Hb = base.factors()
+
+        spares = 1 if mode == RestoreMode.REPLACE_REDUNDANT else 0
+        rt = make_rt(4, resilient=True, spares=spares)
+        app = GnmfResilient(rt, wl)
+        rt.injector.kill_at_iteration(2, iteration=6)
+        report = IterativeExecutor(rt, app, checkpoint_interval=4, mode=mode).run()
+        assert report.restores == 1
+        Wa, Ha = app.factors()
+        if mode in (RestoreMode.REPLACE_REDUNDANT, RestoreMode.REPLACE_ELASTIC):
+            assert np.array_equal(Wa, Wb)
+            assert np.array_equal(Ha, Hb)
+        else:
+            assert np.allclose(Wa, Wb, atol=1e-8)
+            assert np.allclose(Ha, Hb, atol=1e-8)
+
+    def test_read_only_input_saved_once(self):
+        rt = make_rt(3, resilient=True)
+        app = GnmfResilient(rt, GnmfWorkload.small(iterations=9))
+        ex = IterativeExecutor(rt, app, checkpoint_interval=4)
+        ex.run()
+        latest = ex.store.latest()
+        assert app.V in latest.read_only
+        assert app.W in latest.snapshots
+        assert app.H in latest.snapshots

@@ -1,0 +1,141 @@
+"""Tests for the LinReg application (both variants) against NumPy."""
+
+import numpy as np
+import pytest
+
+from repro.apps.data import RegressionWorkload
+from repro.apps.nonresilient.linreg import LinRegNonResilient
+from repro.apps.resilient.linreg import LinRegResilient
+from repro.resilience.executor import IterativeExecutor, NonResilientExecutor
+from repro.runtime import CostModel, Runtime
+
+
+def small_wl(iterations=25, features=12, examples=60):
+    return RegressionWorkload(
+        features=features,
+        examples_per_place=examples,
+        iterations=iterations,
+        blocks_per_place=2,
+    )
+
+
+def make_rt(n=3):
+    return Runtime(n, cost=CostModel.zero())
+
+
+class TestAlgorithm:
+    def test_cg_converges_to_normal_equations_solution(self):
+        rt = make_rt(3)
+        wl = small_wl(iterations=60)
+        app = LinRegNonResilient(rt, wl)
+        X = app.X.to_dense().data
+        y = app.y.to_array()
+        app.run()
+        expected = np.linalg.solve(
+            X.T @ X + wl.ridge_lambda * np.eye(wl.features), X.T @ y
+        )
+        assert np.allclose(app.model(), expected, atol=1e-6)
+
+    def test_residual_decreases(self):
+        rt = make_rt(2)
+        app = LinRegNonResilient(rt, small_wl(iterations=10))
+        norms = [app.norm_r2]
+        for _ in range(10):
+            app.step()
+            norms.append(app.norm_r2)
+        assert norms[-1] < norms[0] * 1e-2
+
+    def test_result_independent_of_place_count(self):
+        wl = small_wl(iterations=15)
+        models = []
+        for places in (2, 3):
+            rt = make_rt(places)
+            # Same total data: rescale per-place share so N is constant.
+            wl_p = RegressionWorkload(
+                features=wl.features,
+                examples_per_place=120 // places,
+                iterations=wl.iterations,
+                blocks_per_place=2,
+            )
+            app = LinRegNonResilient(rt, wl_p)
+            app.run()
+            models.append(app.model())
+        # Same logical N and D but different random blocks → only check both converge.
+        assert all(np.isfinite(m).all() for m in models)
+
+    def test_resilient_equals_nonresilient_without_failure(self):
+        wl = small_wl(iterations=12)
+        rt1, rt2 = make_rt(3), make_rt(3)
+        a = LinRegNonResilient(rt1, wl)
+        NonResilientExecutor(rt1, a).run()
+        b = LinRegResilient(rt2, wl)
+        IterativeExecutor(rt2, b, checkpoint_interval=5).run()
+        assert np.array_equal(a.model(), b.model())
+
+    def test_executor_counts(self):
+        rt = make_rt(2)
+        app = LinRegResilient(rt, small_wl(iterations=10))
+        report = IterativeExecutor(rt, app, checkpoint_interval=4).run()
+        assert report.iterations_executed == 10
+        assert report.checkpoints == 3  # at 0, 4, 8
+
+    def test_read_only_data_saved_once(self):
+        rt = make_rt(2)
+        app = LinRegResilient(rt, small_wl(iterations=10))
+        ex = IterativeExecutor(rt, app, checkpoint_interval=4)
+        report = ex.run()
+        latest = ex.store.latest()
+        assert app.X in latest.read_only
+        assert app.y in latest.read_only
+        assert app.w in latest.snapshots
+        assert report.checkpoints == 3
+
+
+class TestConvergenceTermination:
+    def _wl(self, tol):
+        return RegressionWorkload(
+            features=12,
+            examples_per_place=60,
+            iterations=100,
+            blocks_per_place=2,
+            tolerance=tol,
+        )
+
+    def test_stops_early_when_converged(self):
+        rt = make_rt(3)
+        app = LinRegNonResilient(rt, self._wl(1e-8))
+        app.run()
+        assert app.is_finished()
+        assert app.iteration < 100
+        assert app.norm_r2 <= 1e-16 * app.initial_norm_r2
+
+    def test_zero_tolerance_runs_to_iteration_cap(self):
+        rt = make_rt(2)
+        wl = RegressionWorkload(
+            features=6, examples_per_place=30, iterations=5, blocks_per_place=2
+        )
+        app = LinRegNonResilient(rt, wl)
+        app.run()
+        assert app.iteration == 5
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            self._wl(-1.0)
+
+    def test_convergence_survives_failure(self):
+        # A failure mid-run must not change the converged answer, and the
+        # recomputed residual keeps the convergence test meaningful.
+        wl = self._wl(1e-8)
+        ref_rt = make_rt(4)
+        ref = LinRegNonResilient(ref_rt, wl)
+        ref.run()
+
+        rt = Runtime(4, cost=CostModel.zero(), resilient=True)
+        from repro.apps.resilient.linreg import LinRegResilient
+        from repro.resilience.executor import IterativeExecutor
+
+        app = LinRegResilient(rt, wl)
+        rt.injector.kill_at_iteration(2, iteration=5)
+        IterativeExecutor(rt, app, checkpoint_interval=4).run()
+        assert app.is_finished()
+        assert np.allclose(app.model(), ref.model(), atol=1e-8)

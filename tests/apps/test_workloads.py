@@ -1,0 +1,63 @@
+"""Tests for the workload dataclasses (validation and derived sizes)."""
+
+import pytest
+
+from repro.apps.data import GnmfWorkload, PageRankWorkload, RegressionWorkload
+
+
+class TestRegressionWorkload:
+    def test_derived_sizes(self):
+        wl = RegressionWorkload(features=10, examples_per_place=100, blocks_per_place=3)
+        assert wl.examples(4) == 400
+        assert wl.row_blocks(4) == 12
+
+    def test_paper_preset(self):
+        wl = RegressionWorkload.paper()
+        assert wl.features == 500
+        assert wl.examples_per_place == 50_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RegressionWorkload(features=0)
+        with pytest.raises(ValueError):
+            RegressionWorkload(ridge_lambda=-1.0)
+        with pytest.raises(ValueError):
+            RegressionWorkload(iterations=0)
+
+    def test_frozen(self):
+        wl = RegressionWorkload.small()
+        with pytest.raises(Exception):
+            wl.features = 7
+
+
+class TestPageRankWorkload:
+    def test_edges_per_place(self):
+        wl = PageRankWorkload(nodes_per_place=100, out_degree=7)
+        assert wl.edges_per_place() == 700
+        assert wl.nodes(3) == 300
+
+    def test_paper_preset_is_2m_edges(self):
+        assert PageRankWorkload.paper().edges_per_place() == 2_000_000
+
+    def test_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            PageRankWorkload(alpha=0.0)
+        with pytest.raises(ValueError):
+            PageRankWorkload(alpha=1.0)
+
+
+class TestGnmfWorkload:
+    def test_derived_sizes(self):
+        wl = GnmfWorkload(rows_per_place=50, blocks_per_place=2)
+        assert wl.rows(4) == 200
+        assert wl.row_blocks(4) == 8
+
+    def test_density_bounds(self):
+        with pytest.raises(ValueError):
+            GnmfWorkload(density=0.0)
+        with pytest.raises(ValueError):
+            GnmfWorkload(density=1.5)
+
+    def test_small_preset_is_fast(self):
+        wl = GnmfWorkload.small()
+        assert wl.rows_per_place * wl.cols < 10_000

@@ -1,0 +1,11 @@
+"""Test-suite configuration: pin BLAS to one thread.
+
+The test matrices are tiny; multi-threaded BLAS only adds synchronization
+overhead (and matches the paper's OPENBLAS_NUM_THREADS=1 setup anyway).
+"""
+
+import os
+
+os.environ.setdefault("OPENBLAS_NUM_THREADS", "1")
+os.environ.setdefault("OMP_NUM_THREADS", "1")
+os.environ.setdefault("MKL_NUM_THREADS", "1")

@@ -1,0 +1,155 @@
+"""Tests for the single-place DenseMatrix and Vector classes."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.matrix.dense import DenseMatrix, flops_cellwise, flops_matmul, flops_matvec
+from repro.matrix.vector import Vector
+
+finite = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestDenseMatrix:
+    def test_make_zero(self):
+        a = DenseMatrix.make(3, 4)
+        assert a.shape == (3, 4)
+        assert a.norm_f() == 0.0
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            DenseMatrix(np.zeros(5))
+
+    def test_cell_ops(self):
+        a = DenseMatrix(np.ones((2, 2)))
+        b = DenseMatrix(np.full((2, 2), 3.0))
+        a.cell_add(b).cell_sub(1.0).scale(2.0)
+        assert np.allclose(a.data, 6.0)
+        a.cell_mult(b)
+        assert np.allclose(a.data, 18.0)
+
+    def test_shape_mismatch(self):
+        a, b = DenseMatrix.make(2, 2), DenseMatrix.make(2, 3)
+        for op in (a.cell_add, a.cell_sub, a.cell_mult, a.max_abs_diff):
+            with pytest.raises(ValueError):
+                op(b)
+
+    def test_mult(self):
+        rng = np.random.default_rng(0)
+        a = DenseMatrix.random(3, 4, rng)
+        b = DenseMatrix.random(4, 5, rng)
+        c = DenseMatrix.make(3, 5).mult(a, b)
+        assert np.allclose(c.data, a.data @ b.data)
+
+    def test_mult_dim_check(self):
+        with pytest.raises(ValueError):
+            DenseMatrix.make(3, 5).mult(DenseMatrix.make(3, 4), DenseMatrix.make(5, 5))
+
+    def test_matvec_tmatvec(self):
+        rng = np.random.default_rng(1)
+        a = DenseMatrix.random(3, 4, rng)
+        x, y = rng.random(4), rng.random(3)
+        assert np.allclose(a.matvec(x), a.data @ x)
+        assert np.allclose(a.t_matvec(y), a.data.T @ y)
+
+    def test_transpose(self):
+        a = DenseMatrix.from_function(2, 3, lambda i, j: 10 * i + j)
+        assert np.array_equal(a.transpose().data, a.data.T)
+
+    def test_sub_matrix_roundtrip(self):
+        a = DenseMatrix.from_function(5, 6, lambda i, j: i * 6 + j)
+        sub = a.sub_matrix(1, 4, 2, 5)
+        assert sub.shape == (3, 3)
+        b = DenseMatrix.make(5, 6)
+        b.set_sub_matrix(1, 2, sub)
+        assert np.array_equal(b.data[1:4, 2:5], a.data[1:4, 2:5])
+
+    def test_sub_matrix_bounds(self):
+        a = DenseMatrix.make(3, 3)
+        with pytest.raises(ValueError):
+            a.sub_matrix(0, 4, 0, 2)
+        with pytest.raises(ValueError):
+            a.set_sub_matrix(2, 2, DenseMatrix.make(2, 2))
+
+    def test_equals_approx(self):
+        a = DenseMatrix(np.ones((2, 2)))
+        b = DenseMatrix(np.ones((2, 2)) + 1e-12)
+        assert a.equals_approx(b, tol=1e-9)
+        assert not a.equals_approx(DenseMatrix(np.zeros((2, 2))), tol=1e-9)
+
+    def test_copy_is_deep(self):
+        a = DenseMatrix(np.ones((2, 2)))
+        b = a.copy()
+        b.data[0, 0] = 9
+        assert a.data[0, 0] == 1.0
+
+    @given(arrays(np.float64, (3, 4), elements=finite))
+    def test_from_to_roundtrip(self, data):
+        assert np.array_equal(DenseMatrix(data).data, data)
+
+
+class TestVector:
+    def test_make(self):
+        v = Vector.make(5)
+        assert v.n == 5 and v.norm2() == 0.0
+
+    def test_rejects_non_1d(self):
+        with pytest.raises(ValueError):
+            Vector(np.zeros((2, 2)))
+
+    def test_cell_ops(self):
+        v = Vector.of([1.0, 2.0, 3.0])
+        v.cell_add(1.0).scale(2.0).cell_sub(Vector.of([1, 1, 1]))
+        assert np.allclose(v.data, [3, 5, 7])
+        v.cell_mult(Vector.of([2, 2, 2]))
+        assert np.allclose(v.data, [6, 10, 14])
+
+    def test_axpy(self):
+        v = Vector.of([1.0, 1.0])
+        v.axpy(2.0, Vector.of([3.0, 4.0]))
+        assert np.allclose(v.data, [7, 9])
+
+    def test_dot_norm_sum(self):
+        v = Vector.of([3.0, 4.0])
+        assert v.dot(v) == 25.0
+        assert v.norm2() == 5.0
+        assert v.sum() == 7.0
+
+    def test_map(self):
+        v = Vector.of([1.0, 4.0, 9.0]).map(np.sqrt)
+        assert np.allclose(v.data, [1, 2, 3])
+
+    def test_sub_vector(self):
+        v = Vector.of(np.arange(6.0))
+        s = v.sub_vector(2, 5)
+        assert np.allclose(s.data, [2, 3, 4])
+        w = Vector.make(6)
+        w.set_sub_vector(1, s)
+        assert np.allclose(w.data, [0, 2, 3, 4, 0, 0])
+
+    def test_length_mismatch(self):
+        v, w = Vector.make(3), Vector.make(4)
+        for op in (v.cell_add, v.cell_sub, v.cell_mult, v.dot, v.max_abs_diff):
+            with pytest.raises(ValueError):
+                op(w)
+
+    def test_bounds(self):
+        v = Vector.make(3)
+        with pytest.raises(ValueError):
+            v.sub_vector(1, 5)
+        with pytest.raises(ValueError):
+            v.set_sub_vector(2, Vector.make(2))
+
+    @given(arrays(np.float64, 10, elements=finite), arrays(np.float64, 10, elements=finite))
+    def test_dot_matches_numpy(self, a, b):
+        assert Vector(a).dot(Vector(b)) == pytest.approx(float(a @ b), rel=1e-12, abs=1e-9)
+
+
+class TestFlopFormulas:
+    def test_values(self):
+        assert flops_matvec(3, 4) == 24
+        assert flops_matmul(2, 3, 4) == 48
+        assert flops_cellwise(5) == 5
+        assert flops_cellwise(5, 2) == 10

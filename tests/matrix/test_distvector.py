@@ -1,0 +1,167 @@
+"""Tests for DistVector: segments, reductions, gather, restore paths."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matrix.distvector import DistVector
+from repro.matrix.dupvector import DupVector
+from repro.matrix.grid import Partition1D
+from repro.runtime import CostModel, DeadPlaceException, PlaceGroup, Runtime
+
+
+def make_rt(n=4):
+    return Runtime(n, cost=CostModel.zero())
+
+
+class TestConstruction:
+    def test_default_even_partition(self):
+        rt = make_rt(3)
+        v = DistVector.make(rt, 10)
+        assert v.partition.sizes == [4, 3, 3]
+        assert v.segment(0).n == 4
+
+    def test_custom_partition(self):
+        rt = make_rt(3)
+        v = DistVector.make(rt, 10, partition=Partition1D(10, [2, 5, 3]))
+        assert v.segment(1).n == 5
+
+    def test_partition_must_match_group(self):
+        rt = make_rt(3)
+        with pytest.raises(ValueError):
+            DistVector.make(rt, 10, partition=Partition1D(10, [5, 5]))
+
+    def test_subgroup(self):
+        rt = make_rt(4)
+        g = PlaceGroup.of_ids([1, 3])
+        v = DistVector.make(rt, 6, g)
+        assert v.partition.sizes == [3, 3]
+
+
+class TestOps:
+    def test_init_random_partition_independent(self):
+        # The logical vector must not depend on how it is partitioned.
+        rt3, rt4 = make_rt(3), make_rt(4)
+        a = DistVector.make(rt3, 11).init_random(7)
+        b = DistVector.make(rt4, 11).init_random(7)
+        assert np.array_equal(a.to_array(), b.to_array())
+
+    def test_arithmetic_matches_numpy(self):
+        rt = make_rt()
+        v = DistVector.make(rt, 9).init_random(1)
+        w = DistVector.make(rt, 9).init_random(2)
+        a, b = v.to_array(), w.to_array()
+        v.scale(2.0).cell_add(w).axpy(-0.5, w).cell_sub(1.0)
+        assert np.allclose(v.to_array(), 2 * a + b - 0.5 * b - 1)
+
+    def test_cell_mult_map_fill(self):
+        rt = make_rt()
+        v = DistVector.make(rt, 5).fill(4.0)
+        w = DistVector.make(rt, 5).fill(0.25)
+        v.cell_mult(w).map(np.sqrt)
+        assert np.allclose(v.to_array(), 1.0)
+
+    def test_dot_with_dup(self):
+        rt = make_rt(3)
+        v = DistVector.make(rt, 8).init_random(3)
+        p = DupVector.make(rt, 8).init_random(4)
+        expected = float(v.to_array() @ p.to_array())
+        assert v.dot(p) == pytest.approx(expected)
+
+    def test_dot_dist_and_norm(self):
+        rt = make_rt(3)
+        v = DistVector.make(rt, 8).init_random(3)
+        a = v.to_array()
+        assert v.dot_dist(v) == pytest.approx(float(a @ a))
+        assert v.norm2() == pytest.approx(float(np.linalg.norm(a)))
+
+    def test_sum(self):
+        rt = make_rt(3)
+        v = DistVector.make(rt, 8).fill(0.5)
+        assert v.sum() == pytest.approx(4.0)
+
+    def test_copy_to_gathers(self):
+        rt = make_rt(3)
+        v = DistVector.make(rt, 7).init_random(5)
+        p = DupVector.make(rt, 7)
+        v.copy_to(p.local())
+        assert np.allclose(p.local().data, v.to_array())
+
+    def test_misaligned_operands_rejected(self):
+        rt = make_rt(3)
+        v = DistVector.make(rt, 10)
+        w = DistVector.make(rt, 10, partition=Partition1D(10, [2, 4, 4]))
+        with pytest.raises(ValueError):
+            v.cell_add(w)
+
+    def test_dot_requires_dup(self):
+        rt = make_rt(3)
+        v = DistVector.make(rt, 10)
+        with pytest.raises(ValueError):
+            v.dot(DistVector.make(rt, 10))
+
+
+class TestResilience:
+    def test_dead_member_raises(self):
+        rt = make_rt()
+        v = DistVector.make(rt, 8).fill(1.0)
+        rt.kill(1)
+        with pytest.raises(DeadPlaceException):
+            v.scale(2.0)
+
+    def test_remake_recalculates_partition(self):
+        rt = make_rt(4)
+        v = DistVector.make(rt, 12).fill(1.0)
+        rt.kill(2)
+        v.remake(rt.live_world())
+        assert v.partition.sizes == [4, 4, 4]
+
+    def test_restore_same_partition(self):
+        rt = make_rt(4)
+        v = DistVector.make(rt, 10).init_random(9)
+        ref = v.to_array()
+        snap = v.make_snapshot()
+        v.fill(0.0)
+        v.restore_snapshot(snap)
+        assert np.array_equal(v.to_array(), ref)
+
+    def test_restore_repartitioned_after_failure(self):
+        rt = make_rt(4)
+        v = DistVector.make(rt, 13).init_random(11)
+        ref = v.to_array()
+        snap = v.make_snapshot()
+        rt.kill(3)
+        v.remake(rt.live_world())
+        v.restore_snapshot(snap)
+        assert np.array_equal(v.to_array(), ref)
+
+    @settings(max_examples=25)
+    @given(
+        n=st.integers(2, 60),
+        old_places=st.integers(1, 6),
+        kill_count=st.integers(0, 2),
+        seed=st.integers(0, 50),
+    )
+    def test_restore_any_shrink_is_identity(self, n, old_places, kill_count, seed):
+        """Snapshot → kill non-adjacent places → remake → restore == identity."""
+        rt = make_rt(max(old_places, kill_count * 2 + 1) + 1)
+        group = PlaceGroup.dense(old_places)
+        v = DistVector.make(rt, n, group).init_random(seed)
+        ref = v.to_array()
+        snap = v.make_snapshot()
+        # Kill up to kill_count non-adjacent, non-zero members.
+        victims = [i for i in group.ids if i not in (0,)][::2][:kill_count]
+        for victim in victims:
+            rt.kill(victim)
+        v.remake(rt.live_group(group))
+        v.restore_snapshot(snap)
+        assert np.array_equal(v.to_array(), ref)
+
+    def test_restore_wrong_length_rejected(self):
+        rt = make_rt(3)
+        v = DistVector.make(rt, 10).fill(1.0)
+        snap = v.make_snapshot()
+        w = DistVector.make(rt, 11)
+        with pytest.raises(ValueError):
+            w.restore_snapshot(snap)

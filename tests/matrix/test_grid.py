@@ -1,0 +1,204 @@
+"""Tests for Grid / Partition1D: tiling, lookup, and overlap math."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matrix.grid import Grid, Partition1D, Region, offsets_of, split_even
+
+
+class TestSplitEven:
+    def test_exact_division(self):
+        assert split_even(12, 4) == [3, 3, 3, 3]
+
+    def test_remainder_goes_first(self):
+        assert split_even(10, 3) == [4, 3, 3]
+
+    def test_more_parts_than_items(self):
+        assert split_even(2, 4) == [1, 1, 0, 0]
+
+    def test_zero_total(self):
+        assert split_even(0, 3) == [0, 0, 0]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            split_even(5, 0)
+        with pytest.raises(ValueError):
+            split_even(-1, 2)
+
+    @given(total=st.integers(0, 10_000), parts=st.integers(1, 64))
+    def test_properties(self, total, parts):
+        sizes = split_even(total, parts)
+        assert sum(sizes) == total
+        assert max(sizes) - min(sizes) <= 1
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestPartition1D:
+    def test_even(self):
+        p = Partition1D.even(10, 3)
+        assert p.sizes == [4, 3, 3]
+        assert p.offsets == [0, 4, 7, 10]
+
+    def test_range_and_segment_of(self):
+        p = Partition1D.even(10, 3)
+        assert p.range_of(1) == (4, 7)
+        assert p.segment_of(0) == 0
+        assert p.segment_of(4) == 1
+        assert p.segment_of(9) == 2
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            Partition1D(10, [5, 4])
+        with pytest.raises(ValueError):
+            Partition1D(5, [6, -1])
+
+    def test_overlapping_segments(self):
+        p = Partition1D(10, [4, 3, 3])
+        assert p.overlapping_segments(2, 9) == [(0, 2, 4), (1, 4, 7), (2, 7, 9)]
+        assert p.overlapping_segments(4, 7) == [(1, 4, 7)]
+        assert p.overlapping_segments(3, 3) == []
+
+    def test_overlaps_identity(self):
+        p = Partition1D.even(10, 3)
+        ovs = p.overlaps(p)
+        assert ovs == [(0, 0, 0, 4), (1, 1, 4, 7), (2, 2, 7, 10)]
+
+    def test_overlaps_shrink(self):
+        new = Partition1D.even(10, 2)  # [5, 5]
+        old = Partition1D.even(10, 3)  # [4, 3, 3]
+        ovs = new.overlaps(old)
+        assert ovs == [
+            (0, 0, 0, 4),
+            (0, 1, 4, 5),
+            (1, 1, 5, 7),
+            (1, 2, 7, 10),
+        ]
+
+    @given(
+        n=st.integers(1, 500),
+        old_parts=st.integers(1, 12),
+        new_parts=st.integers(1, 12),
+    )
+    def test_overlaps_cover_exactly(self, n, old_parts, new_parts):
+        """Overlap ranges tile each new segment exactly once."""
+        old = Partition1D.even(n, old_parts)
+        new = Partition1D.even(n, new_parts)
+        covered = np.zeros(n, dtype=int)
+        for _new_seg, _old_seg, start, end in new.overlaps(old):
+            covered[start:end] += 1
+        assert np.all(covered == 1)
+
+
+class TestGrid:
+    def test_partition(self):
+        g = Grid.partition(10, 7, 3, 2)
+        assert g.row_sizes == [4, 3, 3]
+        assert g.col_sizes == [4, 3]
+        assert g.num_blocks == 6
+
+    def test_block_dims_origin(self):
+        g = Grid.partition(10, 7, 3, 2)
+        assert g.block_dims(1, 1) == (3, 3)
+        assert g.block_origin(1, 1) == (4, 4)
+        assert g.block_region(2, 0) == Region(7, 10, 0, 4)
+
+    def test_block_id_roundtrip(self):
+        g = Grid.partition(10, 7, 3, 2)
+        for rb in range(3):
+            for cb in range(2):
+                assert g.block_coords(g.block_id(rb, cb)) == (rb, cb)
+
+    def test_block_containing(self):
+        g = Grid.partition(10, 7, 3, 2)
+        assert g.block_containing(0, 0) == (0, 0)
+        assert g.block_containing(4, 4) == (1, 1)
+        assert g.block_containing(9, 6) == (2, 1)
+
+    def test_bad_sizes(self):
+        with pytest.raises(ValueError):
+            Grid(10, 7, [5, 4], [4, 3])
+        with pytest.raises(ValueError):
+            Grid(10, 7, [4, 3, 3], [4, 4])
+
+    def test_same_blocking(self):
+        a = Grid.partition(10, 7, 3, 2)
+        b = Grid(10, 7, [4, 3, 3], [4, 3])
+        c = Grid.partition(10, 7, 2, 2)
+        assert a.same_blocking(b)
+        assert not a.same_blocking(c)
+
+    def test_partitions(self):
+        g = Grid.partition(10, 7, 3, 2)
+        assert g.row_partition().sizes == [4, 3, 3]
+        assert g.col_partition().sizes == [4, 3]
+
+    def test_overlaps_same_grid(self):
+        g = Grid.partition(10, 7, 3, 2)
+        ovs = g.overlaps_of_block(1, 1, g)
+        assert len(ovs) == 1
+        assert ovs[0].old_block == (1, 1)
+        assert ovs[0].region == g.block_region(1, 1)
+
+    def test_overlaps_regridded(self):
+        old = Grid.partition(10, 10, 2, 2)  # 5x5 blocks
+        new = Grid.partition(10, 10, 3, 3)
+        ovs = new.overlaps_of_block(1, 1, old)  # rows 4-7, cols 4-7 spans all 4 old blocks
+        assert {o.old_block for o in ovs} == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    @settings(max_examples=60)
+    @given(
+        m=st.integers(1, 60),
+        n=st.integers(1, 60),
+        orb=st.integers(1, 6),
+        ocb=st.integers(1, 6),
+        nrb=st.integers(1, 6),
+        ncb=st.integers(1, 6),
+    )
+    def test_overlaps_tile_every_new_block(self, m, n, orb, ocb, nrb, ncb):
+        """For every new block, the overlap regions partition it exactly."""
+        old = Grid.partition(m, n, orb, ocb)
+        new = Grid.partition(m, n, nrb, ncb)
+        for rb in range(new.num_row_blocks):
+            for cb in range(new.num_col_blocks):
+                region = new.block_region(rb, cb)
+                if region.is_empty():
+                    continue
+                cover = np.zeros((region.rows, region.cols), dtype=int)
+                for ov in new.overlaps_of_block(rb, cb, old):
+                    r = ov.region
+                    cover[
+                        r.row_start - region.row_start : r.row_end - region.row_start,
+                        r.col_start - region.col_start : r.col_end - region.col_start,
+                    ] += 1
+                assert np.all(cover == 1)
+
+    @given(m=st.integers(1, 80), n=st.integers(1, 80), rb=st.integers(1, 8), cb=st.integers(1, 8))
+    def test_blocks_tile_matrix(self, m, n, rb, cb):
+        """All blocks of a grid tile the matrix exactly once."""
+        g = Grid.partition(m, n, rb, cb)
+        cover = np.zeros((m, n), dtype=int)
+        for brb, bcb in g.iter_blocks():
+            r = g.block_region(brb, bcb)
+            cover[r.row_start : r.row_end, r.col_start : r.col_end] += 1
+        assert np.all(cover == 1)
+
+
+class TestRegion:
+    def test_intersect(self):
+        a = Region(0, 5, 0, 5)
+        b = Region(3, 8, 2, 4)
+        assert a.intersect(b) == Region(3, 5, 2, 4)
+
+    def test_empty(self):
+        assert Region(3, 3, 0, 5).is_empty()
+        assert Region(0, 5, 0, 5).intersect(Region(5, 9, 0, 5)).is_empty()
+
+    def test_area(self):
+        assert Region(1, 4, 2, 7).area == 15
+
+
+def test_offsets_of():
+    assert offsets_of([3, 2, 4]) == [0, 3, 5, 9]
+    assert offsets_of([]) == [0]

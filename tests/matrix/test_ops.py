@@ -1,0 +1,150 @@
+"""Tests for the distributed kernels against NumPy references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matrix.distblock import DistBlockMatrix
+from repro.matrix.distvector import DistVector
+from repro.matrix.dupvector import DupVector
+from repro.matrix.grid import Grid
+from repro.matrix.mapping import CyclicBlockMap
+from repro.matrix.ops import dist_block_matvec, dist_block_t_matvec
+from repro.matrix.random import LinkMatrix
+from repro.runtime import CostModel, PlaceGroup, Runtime
+
+
+def make_rt(n=4):
+    return Runtime(n, cost=CostModel.zero())
+
+
+def aligned_out(rt, G):
+    return DistVector.make(rt, G.m, G.group, partition=G.aligned_row_partition())
+
+
+class TestMatvec:
+    @pytest.mark.parametrize("kind", ["dense", "sparse"])
+    def test_matches_numpy_aligned(self, kind):
+        rt = make_rt(4)
+        maker = DistBlockMatrix.make_dense if kind == "dense" else DistBlockMatrix.make_sparse
+        G = maker(rt, 16, 10, 8, 1).init_random(3, **({} if kind == "dense" else {"density": 0.4}))
+        x = DupVector.make(rt, 10).init_random(5)
+        y = aligned_out(rt, G).mult(G, x)
+        assert np.allclose(y.to_array(), G.to_dense().data @ x.to_array())
+
+    def test_multi_col_blocks(self):
+        rt = make_rt(3)
+        G = DistBlockMatrix.make_dense(rt, 12, 9, 6, 3).init_random(1)
+        x = DupVector.make(rt, 9).init_random(2)
+        y = DistVector.make(rt, 12)
+        dist_block_matvec(G, x, y)
+        assert np.allclose(y.to_array(), G.to_dense().data @ x.to_array())
+
+    def test_scattered_blocks_route_remotely(self):
+        # Cyclic map: a place's blocks do not match the output partition,
+        # so results are shipped — the answer must still be exact.
+        rt = Runtime(3, cost=CostModel.unit())
+        grid = Grid.partition(12, 6, 6, 1)
+        G = DistBlockMatrix(rt, grid, rt.world, "dense", CyclicBlockMap(grid, 3))
+        G.init_random(4)
+        x = DupVector.make(rt, 6).init_random(5)
+        y = DistVector.make(rt, 12)
+        messages_before = rt.stats.messages
+        dist_block_matvec(G, x, y)
+        assert np.allclose(y.to_array(), G.to_dense().data @ x.to_array())
+        assert rt.stats.messages > messages_before
+
+    def test_after_shrink_remap(self):
+        rt = make_rt(4)
+        G = DistBlockMatrix.make_dense(rt, 16, 6, 8, 1).init_random(1)
+        ref = G.to_dense().data
+        snap = G.make_snapshot()
+        rt.kill(2)
+        survivors = rt.live_world()
+        G.remake(survivors)
+        G.restore_snapshot(snap)
+        x = DupVector.make(rt, 6, survivors).init_random(2)
+        y = aligned_out(rt, G).mult(G, x)
+        assert np.allclose(y.to_array(), ref @ x.to_array())
+
+    def test_dimension_checks(self):
+        rt = make_rt(2)
+        G = DistBlockMatrix.make_dense(rt, 8, 4, 4, 1)
+        with pytest.raises(ValueError):
+            dist_block_matvec(G, DupVector.make(rt, 5), DistVector.make(rt, 8))
+        with pytest.raises(ValueError):
+            dist_block_matvec(G, DupVector.make(rt, 4), DistVector.make(rt, 9))
+
+    def test_group_checks(self):
+        rt = make_rt(3)
+        G = DistBlockMatrix.make_dense(rt, 8, 4, 4, 1, group=PlaceGroup.of_ids([0, 1]))
+        x = DupVector.make(rt, 4, PlaceGroup.of_ids([0, 2]))
+        with pytest.raises(ValueError):
+            dist_block_matvec(G, x, DistVector.make(rt, 8, PlaceGroup.of_ids([0, 1])))
+
+
+class TestTransposeMatvec:
+    @pytest.mark.parametrize("kind", ["dense", "sparse"])
+    def test_matches_numpy(self, kind):
+        rt = make_rt(4)
+        maker = DistBlockMatrix.make_dense if kind == "dense" else DistBlockMatrix.make_sparse
+        G = maker(rt, 16, 10, 8, 1).init_random(3, **({} if kind == "dense" else {"density": 0.4}))
+        r = aligned_out(rt, G).init_random(6)
+        g = DupVector.make(rt, 10)
+        dist_block_t_matvec(G, r, g)
+        assert np.allclose(g.to_array(), G.to_dense().data.T @ r.to_array())
+        assert g.replicas_consistent(1e-12)
+
+    def test_misaligned_operand_fetches_remote(self):
+        rt = Runtime(3, cost=CostModel.unit())
+        grid = Grid.partition(12, 6, 6, 1)
+        G = DistBlockMatrix(rt, grid, rt.world, "dense", CyclicBlockMap(grid, 3))
+        G.init_random(4)
+        r = DistVector.make(rt, 12).init_random(5)  # even partition != cyclic blocks
+        g = DupVector.make(rt, 6)
+        dist_block_t_matvec(G, r, g)
+        assert np.allclose(g.to_array(), G.to_dense().data.T @ r.to_array())
+
+    def test_dimension_checks(self):
+        rt = make_rt(2)
+        G = DistBlockMatrix.make_dense(rt, 8, 4, 4, 1)
+        with pytest.raises(ValueError):
+            dist_block_t_matvec(G, DistVector.make(rt, 7), DupVector.make(rt, 4))
+        with pytest.raises(ValueError):
+            dist_block_t_matvec(G, DistVector.make(rt, 8), DupVector.make(rt, 5))
+
+
+class TestPageRankKernelChain:
+    def test_one_power_iteration_matches_numpy(self):
+        # The exact Listing 2 chain on a small graph.
+        rt = make_rt(4)
+        n, alpha = 20, 0.85
+        link = LinkMatrix(n, 3, seed=1)
+        G = DistBlockMatrix.make_sparse(rt, n, n, 8, 1).init_link_matrix(link)
+        P = DupVector.make(rt, n).init(1.0 / n)
+        GP = DistVector.make(rt, n, partition=G.aligned_row_partition())
+
+        Gd = G.to_dense().data
+        expected = alpha * (Gd @ P.to_array()) + (1 - alpha) / n
+
+        GP.mult(G, P).scale(alpha)
+        GP.copy_to(P.local())
+        P.local().cell_add((1 - alpha) / n)
+        P.sync()
+
+        assert np.allclose(P.to_array(), expected)
+        assert P.replicas_consistent(1e-12)
+
+    @settings(max_examples=10, deadline=None)
+    @given(places=st.integers(1, 6), row_blocks=st.integers(1, 10), seed=st.integers(0, 20))
+    def test_matvec_place_count_invariance(self, places, row_blocks, seed):
+        """The kernel result is independent of distribution."""
+        n = 15
+        row_blocks = max(row_blocks, places)
+        link = LinkMatrix(n, 2, seed=seed)
+        rt = make_rt(places)
+        G = DistBlockMatrix.make_sparse(rt, n, n, row_blocks, 1).init_link_matrix(link)
+        x = DupVector.make(rt, n).init_random(seed)
+        y = aligned_out(rt, G).mult(G, x)
+        assert np.allclose(y.to_array(), link.block(0, n, 0, n).to_dense() @ x.to_array())

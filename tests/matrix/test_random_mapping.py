@@ -1,0 +1,168 @@
+"""Tests for deterministic random init and block→place mappings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matrix.grid import Grid
+from repro.matrix.mapping import (
+    CyclicBlockMap,
+    GroupedBlockMap,
+    PlaceGridBlockMap,
+    factor_place_grid,
+)
+from repro.matrix.random import (
+    LinkMatrix,
+    random_dense_block,
+    random_sparse_block,
+    random_vector,
+)
+
+
+class TestRandomBlocks:
+    def test_dense_deterministic(self):
+        a = random_dense_block(7, 1, 2, 4, 5)
+        b = random_dense_block(7, 1, 2, 4, 5)
+        assert np.array_equal(a.data, b.data)
+
+    def test_dense_blocks_differ(self):
+        a = random_dense_block(7, 1, 2, 4, 5)
+        b = random_dense_block(7, 2, 1, 4, 5)
+        assert not np.array_equal(a.data, b.data)
+
+    def test_sparse_deterministic_and_sized(self):
+        a = random_sparse_block(3, 0, 0, 10, 10, 0.2)
+        b = random_sparse_block(3, 0, 0, 10, 10, 0.2)
+        assert a.nnz == 20
+        assert np.array_equal(a.to_dense(), b.to_dense())
+
+    def test_sparse_density_bounds(self):
+        with pytest.raises(ValueError):
+            random_sparse_block(0, 0, 0, 4, 4, 1.5)
+
+    def test_sparse_empty(self):
+        assert random_sparse_block(0, 0, 0, 4, 4, 0.0).nnz == 0
+        assert random_sparse_block(0, 0, 0, 0, 4, 0.5).nnz == 0
+
+    def test_vector_deterministic_by_tag(self):
+        assert np.array_equal(random_vector(5, 8, tag=1), random_vector(5, 8, tag=1))
+        assert not np.array_equal(random_vector(5, 8, tag=1), random_vector(5, 8, tag=2))
+
+
+class TestLinkMatrix:
+    def test_column_stochastic(self):
+        link = LinkMatrix(30, 4, seed=1)
+        full = link.block(0, 30, 0, 30).to_dense()
+        assert np.allclose(full.sum(axis=0), 1.0)
+
+    @settings(max_examples=20)
+    @given(
+        n=st.integers(4, 50),
+        rb=st.integers(1, 4),
+        cb=st.integers(1, 4),
+        seed=st.integers(0, 100),
+    )
+    def test_grid_independence(self, n, rb, cb, seed):
+        """Any blocking of the link matrix reassembles to the same matrix."""
+        link = LinkMatrix(n, 3, seed=seed)
+        full = link.block(0, n, 0, n).to_dense()
+        grid = Grid.partition(n, n, rb, cb)
+        assembled = np.zeros((n, n))
+        for brb, bcb in grid.iter_blocks():
+            r = grid.block_region(brb, bcb)
+            assembled[r.row_start : r.row_end, r.col_start : r.col_end] = link.block(
+                r.row_start, r.row_end, r.col_start, r.col_end
+            ).to_dense()
+        assert np.array_equal(assembled, full)
+
+    def test_destination_range(self):
+        link = LinkMatrix(10, 5, seed=3)
+        rows, cols = link.destinations(0, 10)
+        assert rows.min() >= 0 and rows.max() < 10
+        assert len(rows) == 50
+
+    def test_nnz_estimate(self):
+        assert LinkMatrix(10, 5).nnz_estimate() == 50
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            LinkMatrix(0, 5)
+        with pytest.raises(ValueError):
+            LinkMatrix(5, 0)
+
+
+class TestBlockMaps:
+    def grid(self, blocks=8):
+        return Grid.partition(16, 4, blocks, 1)
+
+    def test_grouped_consecutive(self):
+        # Fig 1-b: blocks dealt as consecutive near-even runs.
+        m = GroupedBlockMap(self.grid(6), 3)
+        assert m.blocks_of_place(0) == [(0, 0), (1, 0)]
+        assert m.blocks_of_place(1) == [(2, 0), (3, 0)]
+        assert m.blocks_of_place(2) == [(4, 0), (5, 0)]
+
+    def test_grouped_uneven(self):
+        m = GroupedBlockMap(self.grid(7), 3)
+        assert m.load_per_place() == [3, 2, 2]
+
+    def test_grouped_rejects_too_few_blocks(self):
+        with pytest.raises(ValueError):
+            GroupedBlockMap(self.grid(2), 3)
+
+    def test_cyclic(self):
+        m = CyclicBlockMap(self.grid(6), 3)
+        assert m.place_index_of(0, 0) == 0
+        assert m.place_index_of(1, 0) == 1
+        assert m.place_index_of(3, 0) == 0
+        assert m.load_per_place() == [2, 2, 2]
+
+    def test_place_grid_map(self):
+        grid = Grid.partition(8, 8, 4, 4)
+        m = PlaceGridBlockMap(grid, 2, 2)
+        assert m.num_places == 4
+        assert m.place_index_of(0, 0) == 0
+        assert m.place_index_of(0, 1) == 1
+        assert m.place_index_of(1, 0) == 2
+        assert m.place_index_of(2, 2) == 0  # wraps cyclically
+
+    def test_place_grid_validation(self):
+        grid = Grid.partition(8, 8, 2, 2)
+        with pytest.raises(ValueError):
+            PlaceGridBlockMap(grid, 4, 1)
+
+    @given(blocks=st.integers(1, 40), places=st.integers(1, 10))
+    def test_grouped_properties(self, blocks, places):
+        if blocks < places:
+            return
+        grid = Grid.partition(blocks * 2, 3, blocks, 1)
+        m = GroupedBlockMap(grid, places)
+        loads = m.load_per_place()
+        assert sum(loads) == blocks
+        assert max(loads) - min(loads) <= 1
+        # Consistency between the two lookup directions.
+        for p in range(places):
+            for rb, cb in m.blocks_of_place(p):
+                assert m.place_index_of(rb, cb) == p
+
+    @given(blocks=st.integers(1, 30), places=st.integers(1, 8))
+    def test_cyclic_even_load(self, blocks, places):
+        grid = Grid.partition(blocks, 3, blocks, 1)
+        m = CyclicBlockMap(grid, places)
+        loads = m.load_per_place()
+        assert sum(loads) == blocks
+        assert max(loads) - min(loads) <= 1
+
+
+class TestFactorPlaceGrid:
+    def test_square(self):
+        assert factor_place_grid(16) == (4, 4)
+
+    def test_rectangular(self):
+        rp, cp = factor_place_grid(12)
+        assert rp * cp == 12
+        assert factor_place_grid(7) == (7, 1)
+
+    def test_one(self):
+        assert factor_place_grid(1) == (1, 1)

@@ -1,0 +1,201 @@
+"""Tests for the from-scratch CSR/CSC implementations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matrix.sparse import SparseCSC, SparseCSR, flops_spmv
+
+
+def random_dense(m, n, density, seed):
+    rng = np.random.default_rng(seed)
+    data = rng.random((m, n))
+    data[rng.random((m, n)) >= density] = 0.0
+    return data
+
+
+sparse_case = st.tuples(
+    st.integers(1, 20),  # m
+    st.integers(1, 20),  # n
+    st.floats(0.0, 0.6),  # density
+    st.integers(0, 10_000),  # seed
+)
+
+
+class TestCSRConstruction:
+    def test_empty(self):
+        a = SparseCSR.empty(3, 4)
+        assert a.nnz == 0
+        assert np.all(a.to_dense() == 0)
+
+    def test_from_coo(self):
+        a = SparseCSR.from_coo(3, 3, [0, 2, 1], [1, 2, 0], [5.0, 7.0, 3.0])
+        dense = np.zeros((3, 3))
+        dense[0, 1], dense[2, 2], dense[1, 0] = 5, 7, 3
+        assert np.array_equal(a.to_dense(), dense)
+
+    def test_duplicates_summed(self):
+        a = SparseCSR.from_coo(2, 2, [0, 0, 0], [1, 1, 0], [1.0, 2.0, 4.0])
+        assert a.nnz == 2
+        assert a.to_dense()[0, 1] == 3.0
+        assert a.to_dense()[0, 0] == 4.0
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            SparseCSR.from_coo(2, 2, [0, 2], [0, 0], [1.0, 1.0])
+        with pytest.raises(ValueError):
+            SparseCSR.from_coo(2, 2, [0], [5], [1.0])
+
+    def test_invalid_structure(self):
+        with pytest.raises(ValueError):
+            SparseCSR(2, 2, [0, 1], [0], [1.0])  # indptr too short
+        with pytest.raises(ValueError):
+            SparseCSR(2, 2, [0, 1, 3], [0, 1], [1.0, 2.0])  # end != nnz
+
+    def test_density(self):
+        a = SparseCSR.from_coo(2, 2, [0], [0], [1.0])
+        assert a.density() == 0.25
+        assert SparseCSR.empty(0, 0).density() == 0.0
+
+    @given(sparse_case)
+    def test_dense_roundtrip(self, case):
+        m, n, density, seed = case
+        dense = random_dense(m, n, density, seed)
+        assert np.array_equal(SparseCSR.from_dense(dense).to_dense(), dense)
+
+
+class TestCSRKernels:
+    @given(sparse_case)
+    def test_spmv_matches_dense(self, case):
+        m, n, density, seed = case
+        dense = random_dense(m, n, density, seed)
+        a = SparseCSR.from_dense(dense)
+        x = np.random.default_rng(seed + 1).random(n)
+        assert np.allclose(a.spmv(x), dense @ x)
+
+    @given(sparse_case)
+    def test_spmv_t_matches_dense(self, case):
+        m, n, density, seed = case
+        dense = random_dense(m, n, density, seed)
+        a = SparseCSR.from_dense(dense)
+        y = np.random.default_rng(seed + 2).random(m)
+        assert np.allclose(a.spmv_t(y), dense.T @ y)
+
+    @given(sparse_case)
+    def test_transpose(self, case):
+        m, n, density, seed = case
+        dense = random_dense(m, n, density, seed)
+        assert np.array_equal(SparseCSR.from_dense(dense).transpose().to_dense(), dense.T)
+
+    def test_scale(self):
+        a = SparseCSR.from_coo(2, 2, [0, 1], [0, 1], [2.0, 4.0]).scale(0.5)
+        assert np.array_equal(np.diag(a.to_dense()), [1.0, 2.0])
+
+    def test_spmv_wrong_length(self):
+        a = SparseCSR.empty(2, 3)
+        with pytest.raises(ValueError):
+            a.spmv(np.zeros(2))
+        with pytest.raises(ValueError):
+            a.spmv_t(np.zeros(3))
+
+
+class TestCSRRegions:
+    @settings(max_examples=60)
+    @given(
+        case=sparse_case,
+        cuts=st.tuples(st.floats(0, 1), st.floats(0, 1), st.floats(0, 1), st.floats(0, 1)),
+    )
+    def test_sub_matrix_matches_dense(self, case, cuts):
+        m, n, density, seed = case
+        dense = random_dense(m, n, density, seed)
+        a = SparseCSR.from_dense(dense)
+        r0, r1 = sorted((int(cuts[0] * m), int(cuts[1] * m)))
+        c0, c1 = sorted((int(cuts[2] * n), int(cuts[3] * n)))
+        sub = a.sub_matrix(r0, r1, c0, c1)
+        assert np.array_equal(sub.to_dense(), dense[r0:r1, c0:c1])
+        # The counting pass agrees with the extraction.
+        assert a.count_nnz_region(r0, r1, c0, c1) == sub.nnz
+
+    def test_region_bounds(self):
+        a = SparseCSR.empty(3, 3)
+        with pytest.raises(ValueError):
+            a.sub_matrix(0, 4, 0, 3)
+        with pytest.raises(ValueError):
+            a.count_nnz_region(0, 3, 2, 1)
+
+
+class TestCSRAssembly:
+    def test_hstack_vstack(self):
+        d = random_dense(6, 8, 0.4, 3)
+        a = SparseCSR.from_dense(d)
+        left = a.sub_matrix(0, 6, 0, 3)
+        right = a.sub_matrix(0, 6, 3, 8)
+        assert np.array_equal(SparseCSR.hstack([left, right]).to_dense(), d)
+        top = a.sub_matrix(0, 2, 0, 8)
+        bottom = a.sub_matrix(2, 6, 0, 8)
+        assert np.array_equal(SparseCSR.vstack([top, bottom]).to_dense(), d)
+
+    def test_assemble_tiles(self):
+        d = random_dense(7, 9, 0.5, 4)
+        a = SparseCSR.from_dense(d)
+        tiles = [
+            [a.sub_matrix(0, 3, 0, 4), a.sub_matrix(0, 3, 4, 9)],
+            [a.sub_matrix(3, 7, 0, 4), a.sub_matrix(3, 7, 4, 9)],
+        ]
+        assert np.array_equal(SparseCSR.assemble(tiles).to_dense(), d)
+
+    def test_stack_validation(self):
+        with pytest.raises(ValueError):
+            SparseCSR.hstack([])
+        with pytest.raises(ValueError):
+            SparseCSR.hstack([SparseCSR.empty(2, 2), SparseCSR.empty(3, 2)])
+        with pytest.raises(ValueError):
+            SparseCSR.vstack([SparseCSR.empty(2, 2), SparseCSR.empty(2, 3)])
+
+
+class TestCSC:
+    @given(sparse_case)
+    def test_dense_roundtrip(self, case):
+        m, n, density, seed = case
+        dense = random_dense(m, n, density, seed)
+        assert np.array_equal(SparseCSC.from_dense(dense).to_dense(), dense)
+
+    @given(sparse_case)
+    def test_spmv(self, case):
+        m, n, density, seed = case
+        dense = random_dense(m, n, density, seed)
+        a = SparseCSC.from_dense(dense)
+        x = np.random.default_rng(seed + 1).random(n)
+        y = np.random.default_rng(seed + 2).random(m)
+        assert np.allclose(a.spmv(x), dense @ x)
+        assert np.allclose(a.spmv_t(y), dense.T @ y)
+
+    @given(sparse_case)
+    def test_format_conversion_roundtrip(self, case):
+        m, n, density, seed = case
+        dense = random_dense(m, n, density, seed)
+        csr = SparseCSR.from_dense(dense)
+        assert np.array_equal(csr.to_csc().to_csr().to_dense(), dense)
+
+    def test_sub_matrix_and_count(self):
+        dense = random_dense(8, 8, 0.4, 7)
+        a = SparseCSC.from_dense(dense)
+        sub = a.sub_matrix(2, 6, 1, 7)
+        assert np.array_equal(sub.to_dense(), dense[2:6, 1:7])
+        assert a.count_nnz_region(2, 6, 1, 7) == sub.nnz
+
+    def test_duplicates_summed(self):
+        a = SparseCSC.from_coo(2, 2, [1, 1], [0, 0], [1.5, 2.5])
+        assert a.nnz == 1
+        assert a.to_dense()[1, 0] == 4.0
+
+    def test_scale_and_copy(self):
+        a = SparseCSC.from_coo(2, 2, [0], [1], [2.0])
+        b = a.copy().scale(2.0)
+        assert a.to_dense()[0, 1] == 2.0
+        assert b.to_dense()[0, 1] == 4.0
+
+
+def test_flops_spmv():
+    assert flops_spmv(10) == 20

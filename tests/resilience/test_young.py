@@ -1,0 +1,65 @@
+"""Tests for Young's checkpoint-interval formula."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.resilience.young import (
+    expected_overhead_fraction,
+    optimal_interval,
+    optimal_interval_iterations,
+)
+
+
+class TestOptimalInterval:
+    def test_formula(self):
+        assert optimal_interval(2.0, 100.0) == pytest.approx(20.0)
+
+    def test_zero_checkpoint_cost(self):
+        assert optimal_interval(0.0, 100.0) == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            optimal_interval(-1.0, 100.0)
+        with pytest.raises(ValueError):
+            optimal_interval(1.0, 0.0)
+
+    @given(c=st.floats(0.001, 100), m=st.floats(0.001, 1e6))
+    def test_monotone(self, c, m):
+        # More expensive checkpoints and rarer failures both widen the interval.
+        assert optimal_interval(2 * c, m) > optimal_interval(c, m)
+        assert optimal_interval(c, 2 * m) > optimal_interval(c, m)
+
+    @given(c=st.floats(0.001, 100), m=st.floats(0.001, 1e6))
+    def test_matches_definition(self, c, m):
+        assert optimal_interval(c, m) == pytest.approx(math.sqrt(2 * c * m))
+
+
+class TestIterationForm:
+    def test_rounds_to_iterations(self):
+        # τ = 20s at 2.1s/iter → ~10 iterations.
+        assert optimal_interval_iterations(2.0, 100.0, 2.1) == 10
+
+    def test_at_least_one(self):
+        assert optimal_interval_iterations(1e-9, 1.0, 100.0) == 1
+
+    def test_invalid_iteration_time(self):
+        with pytest.raises(ValueError):
+            optimal_interval_iterations(1.0, 1.0, 0.0)
+
+
+class TestOverhead:
+    def test_zero_cost_zero_overhead(self):
+        assert expected_overhead_fraction(0.0, 100.0) == 0.0
+
+    def test_restart_term(self):
+        base = expected_overhead_fraction(1.0, 100.0)
+        assert expected_overhead_fraction(1.0, 100.0, restart_time=10.0) == pytest.approx(
+            base + 0.1
+        )
+
+    def test_invalid_mttf(self):
+        with pytest.raises(ValueError):
+            expected_overhead_fraction(1.0, 0.0)

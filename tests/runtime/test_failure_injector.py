@@ -1,0 +1,73 @@
+"""Tests for scripted and random failure injection."""
+
+import pytest
+
+from repro.runtime.failure import (
+    ExponentialFailureModel,
+    FailureInjector,
+    ScriptedKill,
+)
+
+
+class TestScriptedKill:
+    def test_exactly_one_trigger(self):
+        with pytest.raises(ValueError):
+            ScriptedKill(place_id=1)
+        with pytest.raises(ValueError):
+            ScriptedKill(place_id=1, iteration=1, phase=2)
+        ScriptedKill(place_id=1, iteration=3)  # ok
+
+
+class TestFailureInjector:
+    def test_iteration_trigger_fires_once(self):
+        inj = FailureInjector().kill_at_iteration(2, iteration=5)
+        assert inj.due_at_iteration(4) == []
+        assert inj.due_at_iteration(5) == [2]
+        assert inj.due_at_iteration(6) == []
+        assert inj.pending == 0
+
+    def test_late_poll_still_fires(self):
+        inj = FailureInjector().kill_at_iteration(1, iteration=3)
+        assert inj.due_at_iteration(10) == [1]
+
+    def test_phase_trigger(self):
+        inj = FailureInjector().kill_at_phase(3, phase=7)
+        assert inj.due_at_phase(6, 0.0) == []
+        assert inj.due_at_phase(7, 0.0) == [3]
+
+    def test_time_trigger(self):
+        inj = FailureInjector().kill_at_time(2, time=1.5)
+        assert inj.due_at_phase(1, 1.0) == []
+        assert inj.due_at_phase(2, 2.0) == [2]
+
+    def test_multiple_kills_same_trigger(self):
+        inj = (
+            FailureInjector()
+            .kill_at_iteration(1, iteration=4)
+            .kill_at_iteration(3, iteration=4)
+        )
+        assert sorted(inj.due_at_iteration(4)) == [1, 3]
+
+
+class TestExponentialModel:
+    def test_deterministic_given_seed(self):
+        a = ExponentialFailureModel(mttf=10.0, seed=42).schedule([1, 2, 3], 100.0)
+        b = ExponentialFailureModel(mttf=10.0, seed=42).schedule([1, 2, 3], 100.0)
+        assert [(k.place_id, k.time) for k in a] == [(k.place_id, k.time) for k in b]
+
+    def test_never_kills_place_zero(self):
+        kills = ExponentialFailureModel(mttf=0.01, seed=1).schedule([0, 1, 2], 1e9)
+        assert all(k.place_id != 0 for k in kills)
+
+    def test_respects_horizon(self):
+        kills = ExponentialFailureModel(mttf=50.0, seed=7).schedule([1, 2], 0.0)
+        assert kills == []
+
+    def test_no_duplicate_victims(self):
+        kills = ExponentialFailureModel(mttf=0.1, seed=3).schedule(list(range(1, 9)), 1e9)
+        victims = [k.place_id for k in kills]
+        assert len(victims) == len(set(victims))
+
+    def test_invalid_mttf(self):
+        with pytest.raises(ValueError):
+            ExponentialFailureModel(mttf=0.0)

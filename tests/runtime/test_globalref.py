@@ -1,0 +1,99 @@
+"""Tests for GlobalRef / PlaceLocalHandle reference semantics."""
+
+import pytest
+
+from repro.runtime import (
+    CostModel,
+    DanglingReferenceError,
+    DeadPlaceException,
+    Place,
+    PlaceGroup,
+    Runtime,
+)
+from repro.runtime.globalref import GlobalRef, PlaceLocalHandle
+
+
+def make_rt(n=4):
+    return Runtime(n, cost=CostModel.zero())
+
+
+class TestGlobalRef:
+    def test_deref_at_home(self):
+        rt = make_rt()
+        ref = GlobalRef(rt, Place(2), value={"payload": 1})
+        result = rt.at(Place(2), lambda ctx: ref(ctx)["payload"])
+        assert result == 1
+
+    def test_deref_at_wrong_place(self):
+        rt = make_rt()
+        ref = GlobalRef(rt, Place(2), value=5)
+        with pytest.raises(DanglingReferenceError):
+            rt.at(Place(1), lambda ctx: ref(ctx))
+
+    def test_dangling_after_death(self):
+        rt = make_rt()
+        GlobalRef(rt, Place(2), value=5)
+        rt.kill(2)
+        with pytest.raises(DeadPlaceException):
+            rt.at(Place(2), lambda ctx: None)
+
+    def test_free(self):
+        rt = make_rt()
+        ref = GlobalRef(rt, Place(1), value=5)
+        ref.free()
+        with pytest.raises(KeyError):
+            rt.at(Place(1), lambda ctx: ref(ctx))
+
+
+class TestPlaceLocalHandle:
+    def test_one_value_per_place(self):
+        rt = make_rt()
+        plh = PlaceLocalHandle(rt, rt.world, init=lambda ctx: ctx.place.id * 100)
+        values = rt.finish_all(rt.world, lambda ctx: plh.local(ctx))
+        assert values == [0, 100, 200, 300]
+
+    def test_access_outside_group(self):
+        rt = make_rt()
+        group = PlaceGroup.of_ids([0, 1])
+        plh = PlaceLocalHandle(rt, group, init=lambda ctx: 1)
+        with pytest.raises(DanglingReferenceError):
+            rt.at(Place(3), lambda ctx: plh.local(ctx))
+
+    def test_set_local(self):
+        rt = make_rt()
+        plh = PlaceLocalHandle(rt, rt.world, init=lambda ctx: 0)
+        rt.at(Place(1), lambda ctx: plh.set_local(ctx, 42))
+        assert rt.at(Place(1), lambda ctx: plh.local(ctx)) == 42
+
+    def test_remake_over_survivors(self):
+        # The §IV-A fix: PLHs can be re-created over a new group.
+        rt = make_rt()
+        plh = PlaceLocalHandle(rt, rt.world, init=lambda ctx: "old")
+        rt.kill(2)
+        survivors = rt.live_world()
+        plh.remake(survivors, init=lambda ctx: "new")
+        values = rt.finish_all(survivors, lambda ctx: plh.local(ctx))
+        assert values == ["new", "new", "new"]
+        assert plh.group == survivors
+
+    def test_remake_drops_old_entries(self):
+        rt = make_rt()
+        plh = PlaceLocalHandle(rt, rt.world, init=lambda ctx: "old")
+        smaller = PlaceGroup.of_ids([0, 1])
+        plh.remake(smaller, init=lambda ctx: "new")
+        # Place 3 no longer holds an entry for this PLH.
+        with pytest.raises(DanglingReferenceError):
+            rt.at(Place(3), lambda ctx: plh.local(ctx))
+
+    def test_init_failure_on_dead_place(self):
+        rt = make_rt()
+        rt.kill(1)
+        with pytest.raises(DeadPlaceException):
+            PlaceLocalHandle(rt, rt.world, init=lambda ctx: 0)
+
+    def test_destroy(self):
+        rt = make_rt()
+        plh = PlaceLocalHandle(rt, rt.world, init=lambda ctx: 1)
+        plh.destroy()
+        with pytest.raises(KeyError):
+            rt.at(Place(0), lambda ctx: ctx.heap.get(plh._key))

@@ -1,0 +1,60 @@
+"""Tests for per-place heaps and their destruction on failure."""
+
+import pytest
+
+from repro.runtime.heap import PlaceHeap
+
+
+class TestPlaceHeap:
+    def test_put_get_remove(self):
+        h = PlaceHeap(0)
+        h.put("a", 1)
+        assert h.get("a") == 1
+        assert h.contains("a")
+        assert h.remove("a") == 1
+        assert not h.contains("a")
+
+    def test_missing_key(self):
+        h = PlaceHeap(0)
+        with pytest.raises(KeyError):
+            h.get("missing")
+        with pytest.raises(KeyError):
+            h.remove("missing")
+        assert h.get_or("missing", 42) == 42
+        h.remove_if_present("missing")  # no raise
+
+    def test_replace(self):
+        h = PlaceHeap(0)
+        h.put("k", 1)
+        h.put("k", 2)
+        assert h.get("k") == 2
+        assert len(h) == 1
+
+    def test_prefix_queries(self):
+        h = PlaceHeap(0)
+        h.put(("snap", 1, 0), "a")
+        h.put(("snap", 1, 1), "b")
+        h.put(("snap", 2, 0), "c")
+        h.put(("gml", 1), "d")
+        assert sorted(h.keys_with_prefix(("snap", 1))) == [("snap", 1, 0), ("snap", 1, 1)]
+        assert h.remove_prefix(("snap",)) == 3
+        assert len(h) == 1
+
+    def test_destroy_loses_everything(self):
+        h = PlaceHeap(3)
+        h.put("x", 1)
+        h.destroy()
+        assert h.destroyed
+        for op in (
+            lambda: h.get("x"),
+            lambda: h.put("y", 2),
+            lambda: h.contains("x"),
+            lambda: len(h),
+        ):
+            with pytest.raises(RuntimeError):
+                op()
+
+    def test_non_tuple_keys_ignored_by_prefix(self):
+        h = PlaceHeap(0)
+        h.put("plain", 1)
+        assert h.keys_with_prefix(("snap",)) == []

@@ -1,0 +1,107 @@
+"""Tests for Place and PlaceGroup semantics (identity vs index)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.runtime.place import Place, PlaceGroup
+
+
+class TestPlace:
+    def test_identity(self):
+        assert Place(3) == Place(3)
+        assert Place(3) != Place(4)
+        assert hash(Place(3)) == hash(Place(3))
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            Place(-1)
+
+    def test_ordering(self):
+        assert sorted([Place(2), Place(0), Place(1)]) == [Place(0), Place(1), Place(2)]
+
+
+class TestPlaceGroup:
+    def test_dense_construction(self):
+        g = PlaceGroup.dense(4)
+        assert g.size == 4
+        assert g.ids == [0, 1, 2, 3]
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            PlaceGroup.of_ids([1, 2, 1])
+
+    def test_arbitrary_group(self):
+        # Resilient GML's key enabler: groups need not be 0..n-1.
+        g = PlaceGroup.of_ids([5, 2, 9])
+        assert g.ids == [5, 2, 9]
+        assert g[1] == Place(2)
+        assert g.index_of(Place(9)) == 2
+        assert g.index_of(Place(7)) == -1
+
+    def test_contains(self):
+        g = PlaceGroup.of_ids([1, 3])
+        assert Place(3) in g
+        assert Place(2) not in g
+        assert g.contains_id(1)
+        assert not g.contains_id(0)
+
+    def test_next_place_wraps(self):
+        g = PlaceGroup.of_ids([4, 7, 9])
+        assert g.next_place(0) == Place(7)
+        assert g.next_place(2) == Place(4)
+
+    def test_filter_dead_shifts_indices(self):
+        # Paper §IV-B1: ids stay, indices shift after filtering the dead.
+        g = PlaceGroup.dense(5)
+        survivors = g.filter_dead([2])
+        assert survivors.ids == [0, 1, 3, 4]
+        assert survivors.index_of(Place(3)) == 2  # was 3
+
+    def test_replace_keeps_index(self):
+        # Replace-redundant: the spare inherits the dead place's index.
+        g = PlaceGroup.dense(4)
+        g2 = g.replace(Place(2), Place(10))
+        assert g2.ids == [0, 1, 10, 3]
+        assert g2.index_of(Place(10)) == 2
+
+    def test_replace_validates(self):
+        g = PlaceGroup.dense(3)
+        with pytest.raises(ValueError):
+            g.replace(Place(9), Place(10))
+        with pytest.raises(ValueError):
+            g.replace(Place(1), Place(2))
+
+    def test_extend_and_remove(self):
+        g = PlaceGroup.dense(2).extend([Place(7)])
+        assert g.ids == [0, 1, 7]
+        assert g.remove(Place(1)).ids == [0, 7]
+
+    def test_index_out_of_range(self):
+        g = PlaceGroup.dense(2)
+        with pytest.raises(IndexError):
+            g[2]
+        with pytest.raises(IndexError):
+            g.next_place(5)
+
+    def test_equality_and_hash(self):
+        assert PlaceGroup.dense(3) == PlaceGroup.of_ids([0, 1, 2])
+        assert PlaceGroup.of_ids([1, 0]) != PlaceGroup.of_ids([0, 1])
+        assert hash(PlaceGroup.dense(3)) == hash(PlaceGroup.of_ids([0, 1, 2]))
+
+
+@given(
+    ids=st.lists(st.integers(0, 100), min_size=1, max_size=30, unique=True),
+    dead=st.sets(st.integers(0, 100), max_size=10),
+)
+def test_filter_dead_properties(ids, dead):
+    """Survivor groups preserve order and drop exactly the dead places."""
+    g = PlaceGroup.of_ids(ids)
+    survivors = g.filter_dead(sorted(dead))
+    expected = [i for i in ids if i not in dead]
+    assert survivors.ids == expected
+    # Index shift: each survivor's new index <= old index.
+    for place_id in expected:
+        old = g.index_of(Place(place_id))
+        new = survivors.index_of(Place(place_id))
+        assert new <= old

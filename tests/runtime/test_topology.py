@@ -1,0 +1,94 @@
+"""Tests for the node-topology (NIC contention) transfer model."""
+
+import pytest
+
+from repro.runtime import CostModel, Place, Runtime
+
+
+def topo_cost(places_per_node=2, shm=0.1, wire=1.0, latency=0.0):
+    return CostModel(
+        byte_time=wire, shm_byte_time=shm, latency=latency, places_per_node=places_per_node
+    )
+
+
+class TestNodeMapping:
+    def test_block_placement(self):
+        c = topo_cost(places_per_node=4)
+        assert [c.node_of(i) for i in range(9)] == [0, 0, 0, 0, 1, 1, 1, 1, 2]
+
+    def test_disabled_every_place_its_own_node(self):
+        c = CostModel()
+        assert c.node_of(7) == 7
+
+    def test_shm_message(self):
+        c = topo_cost(shm=0.5, latency=1.0)
+        assert c.shm_message(4) == pytest.approx(3.0)
+
+    def test_validation(self):
+        from repro.runtime.cost import validate_cost_model
+
+        assert validate_cost_model(topo_cost()) is None
+
+
+class TestTransfer:
+    def test_intra_node_uses_shm_rate(self):
+        rt = Runtime(4, cost=topo_cost(places_per_node=2, shm=0.1, wire=1.0))
+        done = rt.transfer(0, 1, nbytes=10, t_request=0.0)  # same node
+        assert done == pytest.approx(1.0)
+
+    def test_cross_node_uses_wire_rate(self):
+        rt = Runtime(4, cost=topo_cost(places_per_node=2, shm=0.1, wire=1.0))
+        done = rt.transfer(1, 2, nbytes=10, t_request=0.0)  # node 0 -> node 1
+        assert done == pytest.approx(10.0)
+
+    def test_nic_contention_serializes_same_node_senders(self):
+        # Places 0 and 1 share node 0's NIC: their cross-node sends queue.
+        rt = Runtime(6, cost=topo_cost(places_per_node=2, wire=1.0))
+        first = rt.transfer(0, 2, nbytes=5, t_request=0.0)
+        second = rt.transfer(1, 4, nbytes=5, t_request=0.0)
+        assert first == pytest.approx(5.0)
+        assert second == pytest.approx(10.0)  # queued behind the first
+
+    def test_full_duplex_rx_and_tx_independent(self):
+        # Node 0 sending and node 0 receiving do not block each other.
+        rt = Runtime(6, cost=topo_cost(places_per_node=2, wire=1.0))
+        send = rt.transfer(0, 2, nbytes=5, t_request=0.0)  # node0 tx
+        recv = rt.transfer(4, 1, nbytes=5, t_request=0.0)  # node0 rx
+        assert send == pytest.approx(5.0)
+        assert recv == pytest.approx(5.0)
+
+    def test_different_nodes_transfer_in_parallel(self):
+        rt = Runtime(8, cost=topo_cost(places_per_node=2, wire=1.0))
+        a = rt.transfer(0, 2, nbytes=5, t_request=0.0)  # node0 -> node1
+        b = rt.transfer(4, 6, nbytes=5, t_request=0.0)  # node2 -> node3
+        assert a == pytest.approx(5.0)
+        assert b == pytest.approx(5.0)
+
+    def test_no_topology_per_place_server(self):
+        rt = Runtime(4, cost=CostModel(byte_time=1.0))
+        a = rt.transfer(0, 2, nbytes=5, t_request=0.0)
+        b = rt.transfer(1, 2, nbytes=5, t_request=0.0)  # same destination
+        assert a == pytest.approx(5.0)
+        assert b == pytest.approx(10.0)
+
+    def test_intra_node_skips_nic_queue(self):
+        rt = Runtime(4, cost=topo_cost(places_per_node=2, shm=0.1, wire=1.0))
+        rt.transfer(0, 2, nbytes=100, t_request=0.0)  # busy NIC until t=100
+        # An intra-node copy on node 0 is unaffected by the NIC backlog.
+        done = rt.transfer(0, 1, nbytes=10, t_request=0.0)
+        assert done == pytest.approx(1.0)
+
+
+class TestEndToEnd:
+    def test_snapshot_cheaper_when_colocated(self):
+        """A 2-place world on one node backs up via shared memory."""
+        from repro.matrix.dupvector import DupVector
+
+        times = {}
+        for ppn in (0, 2):
+            rt = Runtime(2, cost=topo_cost(places_per_node=ppn, shm=0.01, wire=1.0))
+            v = DupVector.make(rt, 64).init(1.0)
+            t0 = rt.now()
+            v.make_snapshot()
+            times[ppn] = rt.now() - t0
+        assert times[2] < times[0]

@@ -1,0 +1,100 @@
+"""Tests for the benchmark harness (small axes so they run quickly)."""
+
+import pytest
+
+from repro.bench import calibration, figures
+from repro.bench.harness import (
+    APP_REGISTRY,
+    run_checkpoint_sweep,
+    run_overhead_sweep,
+    run_restore_sweep,
+    table4_from_reports,
+)
+
+
+class TestCalibration:
+    def test_places_axis_matches_paper(self):
+        axis = calibration.places_axis()
+        assert axis[0] == 2 and axis[-1] == 44
+        assert axis == [2, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44]
+
+    def test_cluster_profile_valid(self):
+        from repro.runtime.cost import validate_cost_model
+
+        assert validate_cost_model(calibration.cluster_2015()) is None
+
+    def test_scales_applied(self):
+        assert calibration.regression_cost().logical_scale == calibration.REGRESSION_SCALE
+        assert calibration.pagerank_cost().logical_scale == calibration.PAGERANK_SCALE
+
+    def test_registry_covers_all_apps(self):
+        assert set(APP_REGISTRY) == {"linreg", "logreg", "pagerank", "gnmf"}
+
+
+class TestOverheadSweep:
+    def test_produces_both_series(self):
+        s = run_overhead_sweep("linreg", places_list=[2, 4], iterations=3)
+        assert s.places == [2, 4]
+        assert set(s.values) == {"non-resilient finish", "resilient finish"}
+        assert all(len(v) == 2 for v in s.values.values())
+
+    def test_resilient_costs_more(self):
+        s = run_overhead_sweep("pagerank", places_list=[4], iterations=3)
+        assert s.values["resilient finish"][0] >= s.values["non-resilient finish"][0]
+
+
+class TestCheckpointSweep:
+    def test_three_checkpoints_per_run(self):
+        s = run_checkpoint_sweep("linreg", places_list=[3], iterations=30)
+        assert s.values["checkpoints"] == [3.0]
+        assert s.values["mean checkpoint (ms)"][0] > 0
+
+
+class TestRestoreSweep:
+    def test_all_modes_and_baseline(self):
+        out = run_restore_sweep(
+            "pagerank", places_list=[4], iterations=12, checkpoint_interval=5,
+            failure_iteration=7,
+        )
+        series = out["series"]
+        assert set(series.values) == {
+            "shrink",
+            "shrink-rebalance",
+            "replace-redundant",
+            "non-resilient (no failure)",
+        }
+        t4 = table4_from_reports(out["reports"], places=4)
+        for mode, row in t4.items():
+            assert 0 <= row["C%"] <= 100
+            assert 0 <= row["R%"] <= 100
+
+    def test_failure_actually_happened(self):
+        out = run_restore_sweep(
+            "linreg", places_list=[4], iterations=12, checkpoint_interval=5,
+            failure_iteration=7,
+        )
+        for by_places in out["reports"].values():
+            assert by_places[4].restores == 1
+
+
+class TestFigures:
+    def test_series_table(self):
+        table = figures.series_table([2, 4], {"a": [1.0, 2.0], "b": [3.0, 4.0]})
+        assert "places" in table
+        assert len(table.splitlines()) == 3
+
+    def test_ascii_chart(self):
+        chart = figures.ascii_chart([2, 4], {"a": [1.0, 2.0]}, title="t")
+        assert "t" in chart and "█" in chart
+
+    def test_write_csv(self, tmp_path):
+        path = figures.write_csv(
+            str(tmp_path / "x.csv"), [2, 4], {"a": [1.0, 2.0]}
+        )
+        content = open(path).read().splitlines()
+        assert content[0] == "places,a"
+        assert content[1].startswith("2,")
+
+    def test_comparison_line(self):
+        line = figures.comparison_line("w", 100.0, 150.0)
+        assert "1.50x" in line

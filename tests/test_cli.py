@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_apps_and_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("linreg", "logreg", "pagerank", "gnmf", "fig2", "table4"):
+            assert name in out
+
+
+class TestRun:
+    def test_nonresilient_run(self, capsys):
+        assert main(["run", "pagerank", "--places", "3", "--iterations", "4",
+                     "--non-resilient"]) == 0
+        out = capsys.readouterr().out
+        assert "iterations executed:  4" in out
+        assert "checkpoints/restores: 0/0" in out
+
+    def test_resilient_run_with_failure(self, capsys):
+        assert main([
+            "run", "linreg", "--places", "4", "--iterations", "8",
+            "--ckpt-interval", "4", "--fail-at", "5", "--victim", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "failures observed:    1" in out
+        assert "[0, 1, 3]" in out  # shrank
+
+    def test_replace_redundant_with_spares(self, capsys):
+        assert main([
+            "run", "pagerank", "--places", "4", "--iterations", "6",
+            "--ckpt-interval", "3", "--fail-at", "4", "--victim", "1",
+            "--mode", "replace-redundant", "--spares", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "[0, 4, 2, 3]" in out  # spare took index 1
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "nosuchapp"])
+
+
+class TestSweep:
+    def test_overhead_sweep(self, capsys):
+        assert main(["sweep", "fig4", "--max-places", "4", "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "non-resilient finish" in out
+        assert "resilient finish" in out
+
+    def test_restore_sweep(self, capsys):
+        assert main(["sweep", "fig7", "--max-places", "4", "--iterations", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "shrink-rebalance" in out
+
+    def test_table4(self, capsys):
+        assert main(["sweep", "table4", "--max-places", "4", "--iterations", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "C%" in out and "R%" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "fig99"])

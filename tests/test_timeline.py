@@ -1,0 +1,87 @@
+"""Tests for the finish-profiling and timeline rendering tools."""
+
+import pytest
+
+from repro.bench.timeline import (
+    OpProfile,
+    profile_finishes,
+    render_profile,
+    render_timeline,
+)
+from repro.runtime import CostModel, Runtime
+from repro.runtime.finish import FinishReport
+
+
+def make_report(label, start, end, n_tasks=2, ledger_ready=0.0, task_end_max=0.0):
+    return FinishReport(
+        label=label,
+        start=start,
+        end=end,
+        n_tasks=n_tasks,
+        task_end_max=task_end_max or end,
+        ledger_ready=ledger_ready,
+    )
+
+
+class TestProfile:
+    def test_groups_by_operation_suffix(self):
+        reports = [
+            make_report("DupVector:axpy", 0.0, 1.0),
+            make_report("DistVector:axpy", 1.0, 3.0),
+            make_report("matvec", 3.0, 4.0),
+        ]
+        profiles = {p.op: p for p in profile_finishes(reports)}
+        assert profiles["axpy"].count == 2
+        assert profiles["axpy"].total_time == pytest.approx(3.0)
+        assert profiles["matvec"].count == 1
+
+    def test_sorted_by_total_time(self):
+        reports = [
+            make_report("a", 0.0, 1.0),
+            make_report("b", 0.0, 5.0),
+        ]
+        assert [p.op for p in profile_finishes(reports)] == ["b", "a"]
+
+    def test_stall_fraction(self):
+        # Finish ends at the ledger-ready time, 1s past the last task.
+        report = make_report("x", 0.0, 3.0, ledger_ready=3.0, task_end_max=2.0)
+        profile = profile_finishes([report])[0]
+        assert profile.ledger_stall == pytest.approx(1.0)
+        assert profile.stall_fraction == pytest.approx(1.0 / 3.0)
+
+    def test_empty_profile(self):
+        assert profile_finishes([]) == []
+        assert OpProfile(op="x").mean_time == 0.0
+        assert OpProfile(op="x").stall_fraction == 0.0
+
+    def test_render_profile_table(self):
+        reports = [make_report(f"op{i}", 0.0, float(i + 1)) for i in range(15)]
+        text = render_profile(reports, top=5)
+        assert "operation" in text
+        assert "(other)" in text  # overflow row present
+
+    def test_render_from_real_run(self):
+        rt = Runtime(3, cost=CostModel.unit())
+        rt.finish_all(rt.world, lambda ctx: None, label="Thing:work")
+        text = render_profile(rt.stats.finish_reports)
+        assert "work" in text
+
+
+class TestTimeline:
+    def test_empty(self):
+        assert "no finishes" in render_timeline([])
+
+    def test_bars_scale_with_duration(self):
+        reports = [
+            make_report("short", 0.0, 1.0),
+            make_report("long", 1.0, 10.0),
+        ]
+        text = render_timeline(reports, width=20)
+        lines = text.splitlines()
+        assert "short" in lines[1] and "long" in lines[2]
+        assert lines[2].count("█") > lines[1].count("█")
+
+    def test_row_cap(self):
+        reports = [make_report("x", float(i), float(i + 1)) for i in range(50)]
+        text = render_timeline(reports, max_rows=10)
+        assert "40 more finishes not shown" in text

@@ -1,0 +1,135 @@
+"""Tests for the util package: validation, byte sizing, LOC, trace log."""
+
+import numpy as np
+import pytest
+
+from repro.util.bytesize import FRAMING_BYTES, payload_nbytes
+from repro.util.loc import AppLocRow, count_loc, loc_of_object, loc_report, method_loc_map
+from repro.util.logging import TraceLog
+from repro.util.validation import (
+    check_index,
+    check_non_negative,
+    check_positive,
+    check_same_length,
+    require,
+)
+
+
+class TestValidation:
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+    def test_check_positive(self):
+        assert check_positive(3, "x") == 3
+        with pytest.raises(ValueError):
+            check_positive(0, "x")
+        with pytest.raises(TypeError):
+            check_positive(1.5, "x")
+        with pytest.raises(TypeError):
+            check_positive(True, "x")
+
+    def test_check_non_negative(self):
+        assert check_non_negative(0, "x") == 0
+        with pytest.raises(ValueError):
+            check_non_negative(-1, "x")
+
+    def test_check_index(self):
+        assert check_index(2, 3) == 2
+        with pytest.raises(IndexError):
+            check_index(3, 3)
+        with pytest.raises(IndexError):
+            check_index(-1, 3)
+
+    def test_check_same_length(self):
+        check_same_length([1], [2])
+        with pytest.raises(ValueError):
+            check_same_length([1], [2, 3])
+
+
+class TestPayloadNbytes:
+    def test_none_and_scalars(self):
+        assert payload_nbytes(None) == 0
+        assert payload_nbytes(1) == 8
+        assert payload_nbytes(1.5) == 8
+        assert payload_nbytes(np.float64(2.0)) == 8
+
+    def test_array(self):
+        a = np.zeros(10)
+        assert payload_nbytes(a) == 80 + FRAMING_BYTES
+
+    def test_containers(self):
+        assert payload_nbytes([1, 2]) == FRAMING_BYTES + 16
+        assert payload_nbytes({"k": 1}) == FRAMING_BYTES + payload_nbytes("k") + 8
+
+    def test_matrix_classes(self):
+        from repro.matrix import DenseMatrix, SparseCSR, Vector
+
+        assert payload_nbytes(Vector.make(4)) == 32 + FRAMING_BYTES
+        assert payload_nbytes(DenseMatrix.make(2, 2)) == 32 + FRAMING_BYTES
+        s = SparseCSR.from_coo(2, 2, [0], [1], [1.0])
+        assert payload_nbytes(s) == s.nbytes + FRAMING_BYTES
+
+    def test_unknown_type(self):
+        with pytest.raises(TypeError):
+            payload_nbytes(object())
+
+
+class TestLoc:
+    def test_count_loc_skips_blank_and_comments(self):
+        source = "x = 1\n\n# comment\n  # indented comment\ny = 2\n"
+        assert count_loc(source) == 2
+
+    def test_loc_of_object(self):
+        def sample():
+            a = 1
+            return a
+
+        assert loc_of_object(sample) == 3
+
+    def test_method_loc_map(self):
+        class C:
+            def m(self):
+                return 1
+
+        assert method_loc_map(C, ["m"]) == {"m": 2}
+
+    def test_report_formatting(self):
+        rows = [AppLocRow("App", 10, 20, 3, 4)]
+        report = loc_report(rows)
+        assert "Application" in report and "App" in report
+
+
+class TestTraceLog:
+    def test_emit_and_filter(self):
+        log = TraceLog()
+        log.emit("kill", 1.0, place=3)
+        log.emit("finish", 2.0, label="x")
+        assert len(log.events) == 2
+        assert log.of_kind("kill")[0].detail["place"] == 3
+
+    def test_disabled(self):
+        log = TraceLog(enabled=False)
+        log.emit("kill", 1.0)
+        assert log.events == []
+
+    def test_capacity(self):
+        log = TraceLog(capacity=2)
+        for i in range(5):
+            log.emit("e", float(i))
+        assert len(log.events) == 2
+        assert log.events[-1].time == 4.0
+
+    def test_listener(self):
+        log = TraceLog()
+        seen = []
+        log.add_listener(lambda e: seen.append(e.kind))
+        log.emit("a", 0.0)
+        assert seen == ["a"]
+
+    def test_clear(self):
+        log = TraceLog()
+        log.emit("a", 0.0)
+        log.clear()
+        assert log.events == []
