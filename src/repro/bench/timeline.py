@@ -5,13 +5,19 @@ label, start/end times, task count and bookkeeping-stall component.  These
 helpers aggregate the reports into an operation profile — the tool used to
 understand, e.g., why PageRank hides resilient bookkeeping while LinReg
 does not — and render a coarse ASCII timeline.
+
+The same tooling works offline: the engine's typed event log (the CLI's
+``--trace-out`` JSONL dump) converts back into finish reports via
+:func:`finish_reports_from_events` / :func:`load_engine_events`, so a
+profile can be rendered from a trace file without re-running the app.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, Iterable, List, Sequence
 
+from repro.engine.timeline import EngineEvent, iter_spans, load_jsonl
 from repro.runtime.finish import FinishReport
 
 
@@ -22,6 +28,30 @@ def _op_of(label: str) -> str:
     groups by the part after the class prefix.
     """
     return label.rsplit(":", 1)[-1] if label else "(unlabeled)"
+
+
+def load_engine_events(path: str) -> List[EngineEvent]:
+    """Load a ``--trace-out`` JSONL dump back into typed engine events."""
+    return load_jsonl(path)
+
+
+def finish_reports_from_events(events: Iterable[EngineEvent]) -> List[FinishReport]:
+    """Rebuild finish reports from the engine's ``finish`` events.
+
+    Lets :func:`profile_finishes` / :func:`render_timeline` run on a dumped
+    trace instead of a live runtime's ``stats.finish_reports``.
+    """
+    return [
+        FinishReport(
+            label=e.label,
+            start=e.t_start,
+            end=e.t_end,
+            n_tasks=e.n_tasks,
+            task_end_max=e.task_end_max,
+            ledger_ready=e.ledger_ready,
+        )
+        for e in iter_spans(events, "finish")
+    ]
 
 
 @dataclass

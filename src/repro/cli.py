@@ -22,12 +22,18 @@ from typing import List, Optional
 from repro.bench import calibration, figures
 from repro.bench.harness import (
     APP_REGISTRY,
+    run_checkpoint_mode_sweep,
     run_checkpoint_sweep,
     run_overhead_sweep,
     run_restore_sweep,
     table4_from_reports,
 )
-from repro.resilience.executor import IterativeExecutor, NonResilientExecutor, RestoreMode
+from repro.resilience.executor import (
+    CHECKPOINT_MODES,
+    IterativeExecutor,
+    NonResilientExecutor,
+    RestoreMode,
+)
 from repro.runtime.runtime import Runtime
 
 SWEEPS = {
@@ -40,6 +46,7 @@ SWEEPS = {
     "fig7": ("restore", "pagerank"),
     "table4": ("table4", None),
     "gnmf": ("overhead", "gnmf"),
+    "overlap": ("ckpt-mode", "linreg"),
 }
 
 
@@ -72,6 +79,19 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--timeline", action="store_true", help="print an ASCII finish timeline"
     )
+    run.add_argument(
+        "--ckpt-mode",
+        choices=list(CHECKPOINT_MODES),
+        default="blocking",
+        help="blocking (paper) or overlapped (backups hidden behind compute)",
+    )
+    run.add_argument(
+        "--trace-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="dump the engine's typed event log to PATH as JSON lines",
+    )
 
     sweep = sub.add_parser("sweep", help="regenerate one paper experiment")
     sweep.add_argument("experiment", choices=sorted(SWEEPS))
@@ -91,12 +111,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     workload = wl_factory(args.iterations)
     if args.non_resilient:
         rt = Runtime(args.places, cost=cost_factory())
+        if args.trace_out:
+            rt.engine.timeline.enabled = True
         app = nonres_cls(rt, workload)
         report = NonResilientExecutor(rt, app).run()
     else:
         rt = Runtime(
             args.places, cost=cost_factory(), resilient=True, spares=args.spares
         )
+        if args.trace_out:
+            rt.engine.timeline.enabled = True
         app = res_cls(rt, workload)
         if args.fail_at is not None:
             victim = args.victim if args.victim is not None else args.places // 2
@@ -106,6 +130,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             app,
             checkpoint_interval=args.ckpt_interval,
             mode=RestoreMode(args.mode),
+            checkpoint_mode=args.ckpt_mode,
         )
         report = executor.run()
 
@@ -129,6 +154,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         print("\nfinish timeline:")
         print(render_timeline(rt.stats.finish_reports))
+    if args.trace_out:
+        try:
+            n = rt.engine.timeline.dump_jsonl(args.trace_out)
+        except OSError as exc:
+            print(f"error: cannot write trace to {args.trace_out}: {exc}", file=sys.stderr)
+            return 1
+        print(f"engine trace:         {n} events -> {args.trace_out}")
     return 0
 
 
@@ -150,6 +182,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(
             figures.series_table(
                 series.places, series.values, value_format="{:10.2f}", header_unit="total s"
+            )
+        )
+    elif kind == "ckpt-mode":
+        out = run_checkpoint_mode_sweep(app, places_list=axis, iterations=args.iterations)
+        series = out["series"]
+        print(
+            figures.series_table(
+                series.places, series.values, header_unit="see row labels"
             )
         )
     elif kind == "table4":

@@ -1,0 +1,379 @@
+"""The discrete-event scheduler: owner of virtual time and contended resources.
+
+One :class:`Scheduler` per :class:`~repro.runtime.runtime.Runtime` owns:
+
+* the per-place :class:`~repro.runtime.clock.VirtualClock`;
+* every contended :class:`~repro.engine.resource.Resource` — per-place
+  communication servers and duplex tx/rx sides, per-node NIC directions,
+  the serialized place-zero bookkeeping ledger, the shared stable-storage
+  disk;
+* the :class:`~repro.engine.timeline.Timeline` of typed events;
+* the *overlap scope* that defers transfer arrivals so checkpoint backups
+  can run on the communication resources concurrently with the next
+  iteration's compute (``checkpoint_mode="overlapped"``).
+
+All virtual-time advancement driven by communication, bookkeeping or disk
+flows through here; places' own compute still charges their clocks
+directly (a worker core is not a shared resource).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.engine.resource import DuplexLink, Resource
+from repro.engine.timeline import (
+    DiskEvent,
+    FinishEvent,
+    ServiceEvent,
+    Timeline,
+    TransferEvent,
+)
+from repro.runtime.clock import VirtualClock
+from repro.runtime.cost import CostModel
+from repro.runtime.exceptions import DeadPlaceException
+from repro.runtime.finish import FinishReport
+
+#: Resource-key tags whose second element is a place id (purged on kill).
+_PLACE_TAGS = ("srv", "tx", "rx")
+
+
+class Scheduler:
+    """Schedules work on contended resources and advances virtual time."""
+
+    def __init__(
+        self,
+        cost: CostModel,
+        clock: Optional[VirtualClock] = None,
+        timeline: Optional[Timeline] = None,
+    ):
+        self.cost = cost
+        self.clock = clock if clock is not None else VirtualClock()
+        self.timeline = timeline if timeline is not None else Timeline(enabled=False)
+        self._resources: Dict[Any, Resource] = {}
+        self._dead: Set[int] = set()
+        #: Overlap scope: while > 0, transfer arrivals are deferred.
+        self._overlap_depth = 0
+        #: place id -> latest deferred completion time.
+        self._pending_arrivals: Dict[int, float] = {}
+        self.ledger = self.resource(("ledger",))
+        self.ledger.on_acquire = self._record_service
+        self.disk = self.resource(("disk",))
+
+    # -- place lifecycle -----------------------------------------------------
+
+    def register_place(self, place_id: int, at_time: float = 0.0) -> None:
+        """Start a clock timeline for a new place."""
+        self.clock.register(place_id, at_time)
+
+    def purge_place(self, place_id: int) -> None:
+        """Drop a dead place's scheduling state.
+
+        Its per-place resources are retired and removed (their busy
+        frontiers would otherwise linger forever), any deferred overlap
+        arrival is discarded, and future attempts to schedule work on the
+        place's resources raise ``DeadPlaceException``.  Shared node NICs
+        survive — the node's other places still use them.
+        """
+        self._dead.add(place_id)
+        for tag in _PLACE_TAGS:
+            resource = self._resources.pop((tag, place_id), None)
+            if resource is not None:
+                resource.retire()
+        self._pending_arrivals.pop(place_id, None)
+
+    def is_place_dead(self, place_id: int) -> bool:
+        return place_id in self._dead
+
+    def _check_place(self, place_id: int) -> None:
+        if place_id in self._dead:
+            raise DeadPlaceException(place_id)
+
+    # -- resources -----------------------------------------------------------
+
+    def resource(self, key: Any, owner: Optional[int] = None) -> Resource:
+        """Get or lazily create the resource with the given key."""
+        res = self._resources.get(key)
+        if res is None:
+            if (
+                isinstance(key, tuple)
+                and len(key) == 2
+                and key[0] in _PLACE_TAGS
+            ):
+                owner = key[1]
+                self._check_place(owner)
+            res = Resource(key, owner=owner)
+            self._resources[key] = res
+        return res
+
+    def resources(self) -> List[Resource]:
+        """All live resources (stable order for reports)."""
+        return [self._resources[k] for k in sorted(self._resources, key=repr)]
+
+    def link(self, tx_key: Any, rx_key: Any) -> DuplexLink:
+        """The duplex link over two resource keys."""
+        return DuplexLink(self.resource(tx_key), self.resource(rx_key))
+
+    # -- arrivals and the overlap scope ---------------------------------------
+
+    def _arrive(self, place_id: int, t_done: float) -> None:
+        """Deliver a completion to a place's timeline.
+
+        Inside an overlap scope the arrival is deferred (recorded as
+        pending) instead of advancing the clock — the place keeps
+        computing while its communication server absorbs the transfer.
+        """
+        if self._overlap_depth > 0:
+            pending = self._pending_arrivals.get(place_id, 0.0)
+            if t_done > pending:
+                self._pending_arrivals[place_id] = t_done
+        else:
+            self.clock.set_at_least(place_id, t_done)
+
+    @contextmanager
+    def overlap(self):
+        """Scope in which transfer completions do not block place clocks."""
+        self._overlap_depth += 1
+        try:
+            yield self
+        finally:
+            self._overlap_depth -= 1
+
+    @property
+    def overlapping(self) -> bool:
+        return self._overlap_depth > 0
+
+    def pending_overlap(self) -> Dict[int, float]:
+        """Copy of the deferred completions (place id -> time)."""
+        return dict(self._pending_arrivals)
+
+    def drain_overlap(self, sync_place_id: Optional[int] = None) -> float:
+        """Apply all deferred completions to the place clocks.
+
+        Returns the largest residual lag — how far a place's clock had to
+        jump forward, i.e. the part of the overlapped work that compute
+        could not hide.  With *sync_place_id* (the driver, at the end of a
+        run) that place is additionally advanced to the latest pending
+        completion, modeling the wait for the final checkpoint to become
+        durable.
+        """
+        stall = 0.0
+        t_last = 0.0
+        for place_id, t_done in self._pending_arrivals.items():
+            if place_id in self._dead:
+                continue
+            t_last = max(t_last, t_done)
+            lag = t_done - self.clock.now(place_id)
+            if lag > 0:
+                stall = max(stall, lag)
+                self.clock.set_at_least(place_id, t_done)
+        if sync_place_id is not None and t_last > 0.0:
+            lag = t_last - self.clock.now(sync_place_id)
+            if lag > 0:
+                stall = max(stall, lag)
+                self.clock.set_at_least(sync_place_id, t_last)
+        self._pending_arrivals.clear()
+        return stall
+
+    # -- transfers -----------------------------------------------------------
+
+    def serve(self, place_id: int, t_request: float, duration: float) -> float:
+        """Schedule work on a place's communication server.
+
+        The server is busy from the request until completion; subsequent
+        requests queue behind it.  The served place's timeline is advanced
+        to the completion (deferred inside an overlap scope).
+        """
+        self._check_place(place_id)
+        done = self.resource(("srv", place_id)).acquire(t_request, duration)
+        self._arrive(place_id, done)
+        return done
+
+    def transfer(self, src_id: int, dst_id: int, nbytes: float, t_request: float) -> float:
+        """Topology-aware point-to-point transfer; returns completion time.
+
+        Without node topology (``cost.places_per_node == 0``) the transfer
+        occupies the sender's transmit side and the receiver's receive side
+        (full duplex).  With topology, intra-node transfers use the
+        shared-memory rate through the destination place's server, while
+        cross-node transfers serialize through *both* endpoints' node NICs.
+        """
+        self._check_place(src_id)
+        self._check_place(dst_id)
+        cost = self.cost
+        if cost.places_per_node <= 0:
+            done = self.link(("tx", src_id), ("rx", dst_id)).acquire(
+                t_request, cost.message(nbytes)
+            )
+            route = "p2p"
+            self._arrive(dst_id, done)
+        else:
+            src_node, dst_node = cost.node_of(src_id), cost.node_of(dst_id)
+            if src_node == dst_node:
+                done = self.resource(("srv", dst_id)).acquire(
+                    t_request, cost.shm_message(nbytes)
+                )
+                route = "shm"
+                self._arrive(dst_id, done)
+            else:
+                done = self.link(("nic-tx", src_node), ("nic-rx", dst_node)).acquire(
+                    t_request, cost.message(nbytes)
+                )
+                route = "nic"
+                self._arrive(dst_id, done)
+        if self.timeline.enabled:
+            self.timeline.record(
+                TransferEvent(
+                    t_start=t_request,
+                    t_end=done,
+                    src=src_id,
+                    dst=dst_id,
+                    nbytes=cost.scaled_bytes(nbytes),
+                    route=route,
+                )
+            )
+        return done
+
+    # -- stable storage --------------------------------------------------------
+
+    def stable_write(self, place_id: int, nbytes: float) -> float:
+        """Ship *nbytes* from a place to the shared stable store.
+
+        One network message to reach the store, then the write serializes
+        on the shared disk.  The writing place waits for the acknowledged
+        completion (deferred inside an overlap scope).
+        """
+        self._check_place(place_id)
+        cost = self.cost
+        t_request = self.clock.now(place_id) + cost.message(nbytes)
+        done = self.disk.acquire(t_request, cost.disk(nbytes))
+        self._arrive(place_id, done)
+        if self.timeline.enabled:
+            self.timeline.record(
+                DiskEvent(
+                    t_start=t_request,
+                    t_end=done,
+                    place=place_id,
+                    nbytes=cost.scaled_bytes(nbytes),
+                    op="write",
+                )
+            )
+        return done
+
+    def stable_read(self, place_id: int, nbytes: float) -> float:
+        """Read *nbytes* back from the stable store to a place.
+
+        The read serializes on the shared disk, then one network message
+        carries the data to the reader, which waits for the arrival.
+        """
+        self._check_place(place_id)
+        cost = self.cost
+        t_request = self.clock.now(place_id)
+        done = self.disk.acquire(t_request, cost.disk(nbytes))
+        arrival = done + cost.message(nbytes)
+        self._arrive(place_id, arrival)
+        if self.timeline.enabled:
+            self.timeline.record(
+                DiskEvent(
+                    t_start=t_request,
+                    t_end=arrival,
+                    place=place_id,
+                    nbytes=cost.scaled_bytes(nbytes),
+                    op="read",
+                )
+            )
+        return arrival
+
+    # -- finish completion ------------------------------------------------------
+
+    def complete_finish(
+        self,
+        runtime,
+        label: str,
+        t_start: float,
+        task_ends: Sequence[float],
+        n_tasks: int,
+        ledger_arrivals: Optional[List[float]] = None,
+        *,
+        t_floor: Optional[float] = None,
+        ret_bytes: float = 0.0,
+        dead_places: Optional[List[int]] = None,
+    ) -> FinishReport:
+        """Join + bookkeeping shared by ``finish_tasks`` and the collectives.
+
+        The driver serially absorbs one termination message per task; under
+        resilience the finish additionally waits for the place-zero ledger
+        to drain its events (scheduled on the engine's ledger resource).
+        Returns the recorded :class:`FinishReport`; the driver's clock is
+        advanced to the finish completion.
+        """
+        clock, cost = self.clock, self.cost
+        stats = runtime.stats
+        driver = runtime.DRIVER_ID
+        t_join = clock.now(driver)
+        if t_floor is not None:
+            t_join = max(t_floor, t_join)
+        for t_end in sorted(task_ends):
+            t_join = max(t_join, t_end + cost.message(ret_bytes)) + cost.task_join_time
+            stats.messages += 1
+            stats.bytes_sent += cost.scaled_bytes(ret_bytes)
+
+        task_end_max = max(task_ends) if task_ends else t_start
+        ledger_ready = 0.0
+        t_finish = t_join
+        if runtime.resilient and ledger_arrivals is not None:
+            ledger_ready = runtime.ledger.process(ledger_arrivals)
+            if ledger_ready > t_finish:
+                runtime.ledger.record_stall(ledger_ready - t_finish)
+                t_finish = ledger_ready
+        clock.set_at_least(driver, t_finish)
+
+        stats.finishes += 1
+        stats.tasks += n_tasks
+        report = FinishReport(
+            label=label,
+            start=t_start,
+            end=t_finish,
+            n_tasks=n_tasks,
+            task_end_max=task_end_max,
+            ledger_ready=ledger_ready,
+            dead_places=list(dead_places or []),
+        )
+        stats.finish_reports.append(report)
+        if self.timeline.enabled:
+            self.timeline.record(
+                FinishEvent(
+                    t_start=t_start,
+                    t_end=t_finish,
+                    label=label,
+                    n_tasks=n_tasks,
+                    task_end_max=task_end_max,
+                    ledger_ready=ledger_ready,
+                )
+            )
+        return report
+
+    # -- event hooks -----------------------------------------------------------
+
+    def _record_service(
+        self, resource: Resource, t_request: float, start: float, done: float
+    ) -> None:
+        if self.timeline.enabled:
+            self.timeline.record(
+                ServiceEvent(t_start=t_request, t_end=done, resource=str(resource.key))
+            )
+
+    # -- introspection ----------------------------------------------------------
+
+    def utilization(self) -> Dict[Any, Tuple[float, int]]:
+        """``{resource key: (busy seconds, requests served)}`` snapshot."""
+        return {
+            key: (res.busy_time, res.served) for key, res in self._resources.items()
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Scheduler(resources={len(self._resources)}, dead={sorted(self._dead)}, "
+            f"overlapping={self.overlapping})"
+        )

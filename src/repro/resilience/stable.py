@@ -7,8 +7,10 @@ calls to MapReduce jobs is inefficient because of the encountered I/O
 overhead").  :class:`StableObjectSnapshot` makes that alternative concrete
 so the trade can be measured:
 
-* saves write each partition to a shared stable store (charged at the
-  cost model's ``disk_byte_time``, plus the network hop to reach it);
+* saves write each partition to a shared stable store (one network hop to
+  reach it, then the write serializes on the engine's shared disk
+  :class:`~repro.engine.resource.Resource` at ``disk_byte_time`` — the
+  single distributed-filesystem ingest path all places contend for);
 * the store survives **any** set of place failures — including adjacent
   pairs and bursts that defeat the in-memory double store — because the
   data is not held in place heaps at all;
@@ -34,8 +36,9 @@ class StableObjectSnapshot(DistObjectSnapshot):
     """A snapshot whose partitions live on reliable stable storage.
 
     Payloads are held outside the place heaps (the "distributed
-    filesystem"); save and load charge disk bandwidth plus one network
-    message, serialized per place (each place has one path to the store).
+    filesystem"); saves and loads pay one network message plus disk
+    bandwidth on the engine's shared disk resource, so concurrent places
+    queue behind each other at the store.
     """
 
     def __init__(
@@ -54,8 +57,7 @@ class StableObjectSnapshot(DistObjectSnapshot):
             f"not from {ctx.place}",
         )
         nbytes = payload_nbytes(payload)
-        cost = self.runtime.cost
-        ctx.charge_seconds(cost.message(nbytes) + cost.disk(nbytes))
+        self.runtime.engine.stable_write(ctx.place.id, nbytes)
         self._store[key] = payload
         self._saved_keys.add(key)
         self.total_nbytes += nbytes
@@ -85,8 +87,7 @@ class StableObjectSnapshot(DistObjectSnapshot):
         require(key in self._saved_keys, f"snapshot has no key {key}")
         payload = self._store[key]
         nbytes = payload_nbytes(payload)
-        cost = self.runtime.cost
-        ctx.charge_seconds(cost.disk(nbytes) + cost.message(nbytes))
+        self.runtime.engine.stable_read(ctx.place.id, nbytes)
         if extract is not None:
             payload = extract(payload)
             ctx.charge_memcpy(payload_nbytes(payload))

@@ -12,7 +12,10 @@ here with explicit virtual-time models:
 
 Each collective is an X10 *finish* under the hood, so under resilience it
 posts spawn/termination events to the place-zero ledger exactly like
-:meth:`repro.runtime.runtime.Runtime.finish_all` does.
+:meth:`repro.runtime.runtime.Runtime.finish_all` does — the join and the
+ledger wait are completed by the runtime's engine
+(:meth:`~repro.engine.scheduler.Scheduler.complete_finish`) rather than
+re-derived here.
 
 These helpers only account *time and liveness*; the caller (the matrix
 layer) performs the actual NumPy data movement between heaps.  They raise
@@ -24,7 +27,6 @@ from __future__ import annotations
 from typing import List
 
 from repro.runtime.exceptions import DeadPlaceException, MultipleException
-from repro.runtime.finish import FinishReport
 from repro.runtime.place import PlaceGroup
 from repro.runtime.runtime import Runtime
 from repro.util.validation import check_index
@@ -50,40 +52,16 @@ def _finish_phase(
 
     The driver serially absorbs one termination message per task; under
     resilience the phase additionally waits for the ledger to drain two
-    events per task (spawn + termination).
+    events per task (spawn + termination).  Both are scheduled by the
+    engine; this is the same completion path ``finish_tasks`` uses.
     """
-    clock, cost = rt.clock, rt.cost
-    driver = rt.DRIVER_ID
-    t_join = clock.now(driver)
-    for t_end in sorted(task_ends):
-        t_join = max(t_join, t_end + cost.latency) + cost.task_join_time
-        rt.stats.messages += 1
-
-    task_end_max = max(task_ends) if task_ends else t_start
-    ledger_ready = 0.0
-    t_finish = t_join
+    arrivals = None
     if rt.resilient:
-        arrivals = [t_start + cost.latency] * n_tasks
-        arrivals += [t + cost.latency for t in task_ends]
-        ledger_ready = rt.ledger.process(arrivals)
-        if ledger_ready > t_finish:
-            rt.ledger.record_stall(ledger_ready - t_finish)
-            t_finish = ledger_ready
-    clock.set_at_least(driver, t_finish)
-
-    rt.stats.finishes += 1
-    rt.stats.tasks += n_tasks
-    rt.stats.finish_reports.append(
-        FinishReport(
-            label=label,
-            start=t_start,
-            end=t_finish,
-            n_tasks=n_tasks,
-            task_end_max=task_end_max,
-            ledger_ready=ledger_ready,
-        )
-    )
-    return t_finish
+        latency = rt.cost.latency
+        arrivals = [t_start + latency] * n_tasks
+        arrivals += [t + latency for t in task_ends]
+    report = rt.engine.complete_finish(rt, label, t_start, task_ends, n_tasks, arrivals)
+    return report.end
 
 
 def point_to_point(rt: Runtime, src_id: int, dst_id: int, nbytes: float) -> float:

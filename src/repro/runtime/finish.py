@@ -6,18 +6,22 @@ processing.  The paper identifies this as the dominant resilience cost and
 as "a scalability bottleneck for place-zero-based resilient finish".
 
 :class:`PlaceZeroLedger` models exactly that mechanism: events arrive with
-timestamps; a single server processes them in arrival order, each taking
-``ledger_event_time``; a resilient finish cannot complete before the ledger
-has processed all of its events.  Because the server runs *concurrently*
-with the tasks, bookkeeping for long-running tasks largely hides under the
-computation — which is why the paper measures < 5 % overhead for PageRank
-(few finishes, long tasks) but ~120 % for LinReg (many short finishes).
+timestamps; a single engine :class:`~repro.engine.resource.Resource`
+(rate-limited at ``ledger_event_time`` per event) processes them in arrival
+order; a resilient finish cannot complete before the ledger has processed
+all of its events.  Because the server runs *concurrently* with the tasks,
+bookkeeping for long-running tasks largely hides under the computation —
+which is why the paper measures < 5 % overhead for PageRank (few finishes,
+long tasks) but ~120 % for LinReg (many short finishes).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine loads later)
+    from repro.engine.resource import Resource
 
 
 @dataclass
@@ -35,18 +39,26 @@ class PlaceZeroLedger:
     """Serialized bookkeeping server co-located with place zero.
 
     The ledger has its own timeline (Resilient X10 services bookkeeping
-    messages on runtime-internal threads, concurrently with user tasks).
+    messages on runtime-internal threads, concurrently with user tasks):
+    an engine :class:`~repro.engine.resource.Resource` whose busy-until
+    frontier is the time all recorded events have been processed.  The
+    runtime passes its scheduler's ledger resource so the events appear in
+    the engine's typed event log; a stand-alone ledger creates its own.
     """
 
-    def __init__(self, event_time: float):
+    def __init__(self, event_time: float, resource: Optional["Resource"] = None):
         self.event_time = event_time
-        self._ready_time = 0.0
+        if resource is None:
+            from repro.engine.resource import Resource
+
+            resource = Resource(("ledger",))
+        self.resource = resource
         self.stats = LedgerStats()
 
     @property
     def ready_time(self) -> float:
         """Virtual time at which all recorded events have been processed."""
-        return self._ready_time
+        return self.resource.free_at
 
     def process(self, arrival_times: List[float]) -> float:
         """Serially process events arriving at the given times.
@@ -57,16 +69,13 @@ class PlaceZeroLedger:
         already be busy with earlier events (from this or other finishes).
         """
         if not arrival_times:
-            return self._ready_time
-        t = self._ready_time
+            return self.resource.free_at
         for arrival in sorted(arrival_times):
-            start = max(t, arrival)
+            self.resource.acquire(arrival, self.event_time)
             self.stats.busy_time += self.event_time
-            t = start + self.event_time
-        self._ready_time = t
         self.stats.events += len(arrival_times)
         self.stats.finishes += 1
-        return t
+        return self.resource.free_at
 
     def record_stall(self, seconds: float) -> None:
         """Account time a finish spent waiting for the ledger to drain."""

@@ -40,7 +40,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from repro.runtime.clock import VirtualClock
+from repro.engine.scheduler import Scheduler
+from repro.engine.timeline import Timeline
 from repro.runtime.cost import CostModel, validate_cost_model
 from repro.runtime.exceptions import (
     DeadPlaceException,
@@ -187,21 +188,22 @@ class Runtime:
         self._spares: deque = deque(all_places[nplaces:])
         self._heaps: Dict[int, PlaceHeap] = {p.id: PlaceHeap(p.id) for p in all_places}
         self._alive: Dict[int, bool] = {p.id: True for p in all_places}
-        self.clock = VirtualClock()
+        #: The discrete-event engine: owns the virtual clock, every
+        #: contended resource (communication servers, NICs, ledger, disk)
+        #: and the typed event timeline.
+        self.engine = Scheduler(self.cost, timeline=Timeline(enabled=trace))
+        self.clock = self.engine.clock
         for p in all_places:
-            self.clock.register(p.id)
+            self.engine.register_place(p.id)
         self._next_place_id = total
 
-        self.ledger = PlaceZeroLedger(self.cost.ledger_event_time)
+        self.ledger = PlaceZeroLedger(
+            self.cost.ledger_event_time, resource=self.engine.ledger
+        )
         self.injector = FailureInjector()
         self.stats = RuntimeStats()
         self.trace = TraceLog(enabled=trace)
         self.phase = 0
-        #: Communication-server availability, keyed by place id or by
-        #: ("nic", node) when node topology is modeled.  Transfers serialize
-        #: against each other at one server but run concurrently with the
-        #: places' own task compute.
-        self._server_free: Dict[Any, float] = {}
 
     # -- place management ------------------------------------------------------
 
@@ -222,6 +224,9 @@ class Runtime:
     def kill(self, place_id: int) -> None:
         """Fail-stop the place: destroy its heap, mark it dead.
 
+        The engine purges the place's scheduler state (communication-server
+        frontiers, deferred overlap arrivals) and retires its resources, so
+        scheduling further work on them raises ``DeadPlaceException``.
         Killing place zero aborts the whole run (Resilient X10 assumes an
         immortal place zero).
         """
@@ -232,6 +237,7 @@ class Runtime:
         self._alive[place_id] = False
         self._heaps[place_id].destroy()
         self._spares = deque(p for p in self._spares if p.id != place_id)
+        self.engine.purge_place(place_id)
         self.stats.kills += 1
         self.trace.emit("kill", self.clock.global_time(), place=place_id)
 
@@ -267,7 +273,9 @@ class Runtime:
         self._heaps[place.id] = PlaceHeap(place.id)
         self._alive[place.id] = True
         # Process spawn is not free: charge one message round-trip of setup.
-        self.clock.register(place.id, self.clock.global_time() + self.cost.message(0))
+        self.engine.register_place(
+            place.id, self.clock.global_time() + self.cost.message(0)
+        )
         self.trace.emit("add_place", self.clock.global_time(), place=place.id)
         return place
 
@@ -278,13 +286,10 @@ class Runtime:
         until completion; subsequent transfers involving the same place
         queue behind it.  The served place's timeline is advanced to the
         completion (absorbed into its current finish task's end via the
-        arrival backlog).
+        arrival backlog).  Delegates to the engine's per-place server
+        resource.
         """
-        free = max(self._server_free.get(place_id, 0.0), t_request)
-        done = free + duration
-        self._server_free[place_id] = done
-        self.clock.set_at_least(place_id, done)
-        return done
+        return self.engine.serve(place_id, t_request, duration)
 
     def transfer(self, src_id: int, dst_id: int, nbytes: float, t_request: float) -> float:
         """Topology-aware point-to-point transfer; returns completion time.
@@ -295,41 +300,9 @@ class Runtime:
         server, while cross-node transfers serialize through *both*
         endpoints' node NICs — the contention that makes checkpointing
         4-places-per-node clusters slower than per-place models predict.
+        All of it is served by engine resources.
         """
-        cost = self.cost
-        if cost.places_per_node <= 0:
-            # Per-place links: the transfer occupies the sender's transmit
-            # side and the receiver's receive side (full duplex), so
-            # concurrent readers of one place serialize at its tx server.
-            return self._duplex_transfer(
-                ("tx", src_id), ("rx", dst_id), dst_id, t_request, cost.message(nbytes)
-            )
-        src_node, dst_node = cost.node_of(src_id), cost.node_of(dst_id)
-        if src_node == dst_node:
-            return self.serve_transfer(dst_id, t_request, cost.shm_message(nbytes))
-        # Shared full-duplex NICs: all of a node's cross-node traffic
-        # serializes per direction.
-        return self._duplex_transfer(
-            ("nic-tx", src_node),
-            ("nic-rx", dst_node),
-            dst_id,
-            t_request,
-            cost.message(nbytes),
-        )
-
-    def _duplex_transfer(
-        self, tx_key, rx_key, dst_id: int, t_request: float, duration: float
-    ) -> float:
-        free = max(
-            self._server_free.get(tx_key, 0.0),
-            self._server_free.get(rx_key, 0.0),
-            t_request,
-        )
-        done = free + duration
-        self._server_free[tx_key] = done
-        self._server_free[rx_key] = done
-        self.clock.set_at_least(dst_id, done)
-        return done
+        return self.engine.transfer(src_id, dst_id, nbytes, t_request)
 
     # -- failure-injection hook ---------------------------------------------
 
@@ -466,38 +439,21 @@ class Runtime:
             if self.resilient:
                 ledger_arrivals.append(t_end + cost.latency)
 
-        # The finish join: the caller serially absorbs termination messages.
-        t_join = max(t_spawn, clock.now(driver))
-        for t_end in sorted(task_ends):
-            arrival = t_end + cost.message(ret_bytes)
-            t_join = max(t_join, arrival) + cost.task_join_time
-            self.stats.messages += 1
-            self.stats.bytes_sent += cost.scaled_bytes(ret_bytes)
-
-        task_end_max = max(task_ends) if task_ends else t_start
-        ledger_ready = 0.0
-        t_finish = t_join
-        if self.resilient:
-            ledger_ready = self.ledger.process(ledger_arrivals)
-            if ledger_ready > t_finish:
-                self.ledger.record_stall(ledger_ready - t_finish)
-                t_finish = ledger_ready
-        clock.set_at_least(driver, t_finish)
-
-        self.stats.finishes += 1
-        self.stats.tasks += n_live
-        report = FinishReport(
-            label=label,
-            start=t_start,
-            end=t_finish,
-            n_tasks=n_live,
-            task_end_max=task_end_max,
-            ledger_ready=ledger_ready,
+        # The finish join (serial termination-message absorption at the
+        # caller) and the resilient-ledger wait are completed by the engine.
+        report = self.engine.complete_finish(
+            self,
+            label,
+            t_start,
+            task_ends,
+            n_live,
+            ledger_arrivals if self.resilient else None,
+            t_floor=t_spawn,
+            ret_bytes=ret_bytes,
             dead_places=[pid for f in failures for pid in getattr(f, "places", [])],
         )
-        self.stats.finish_reports.append(report)
         self.trace.emit(
-            "finish", t_finish, label=label, tasks=n_live, dead=report.dead_places
+            "finish", report.end, label=label, tasks=n_live, dead=report.dead_places
         )
 
         if len(failures) == 1:

@@ -1,7 +1,6 @@
 """Tests for the LogReg application against a NumPy reference."""
 
 import numpy as np
-import pytest
 
 from repro.apps.data import RegressionWorkload
 from repro.apps.nonresilient.logreg import LogRegNonResilient, _sigmoid

@@ -7,7 +7,6 @@ from repro.apps.data import PageRankWorkload, RegressionWorkload
 from repro.apps.nonresilient import LinRegNonResilient, PageRankNonResilient
 from repro.apps.resilient import PageRankResilient
 from repro.matrix.distblock import DistBlockMatrix
-from repro.matrix.mapping import PlaceGridBlockMap
 from repro.resilience.executor import IterativeExecutor
 from repro.runtime import CostModel, PlaceGroup, Runtime
 

@@ -1,6 +1,5 @@
 """Tests for MatrixBlock/BlockSet details and the MultiPlaceObject base."""
 
-import numpy as np
 import pytest
 
 from repro.matrix.block import BlockSet, MatrixBlock

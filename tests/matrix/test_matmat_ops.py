@@ -251,7 +251,6 @@ class TestDistMatmul:
 
     def test_after_shrink_restore(self):
         from repro.matrix.ops import dist_matmul
-        from repro.runtime import Runtime as RT
 
         rt = make_rt(4)
         A = DistBlockMatrix.make_dense(rt, 16, 6, 8, 1).init_random(1)

@@ -11,8 +11,7 @@ from repro.resilience.executor import (
     RestoreMode,
 )
 from repro.resilience.iterative import ResilientIterativeApp
-from repro.resilience.store import AppResilientStore
-from repro.runtime import CostModel, DataLossError, PlaceGroup, Runtime
+from repro.runtime import CostModel, DataLossError, Runtime
 
 
 class CountingApp(ResilientIterativeApp):
@@ -52,11 +51,15 @@ class CountingApp(ResilientIterativeApp):
         self.restore_log.append((new_places.ids, snapshot_iter, self.restore_context.rebalance))
 
 
-def run_with_failure(mode, iterations=10, interval=4, kill_at=6, spares=0, nplaces=4):
+def run_with_failure(
+    mode, iterations=10, interval=4, kill_at=6, spares=0, nplaces=4, **executor_kwargs
+):
     rt = Runtime(nplaces, cost=CostModel.zero(), resilient=True, spares=spares)
     app = CountingApp(rt, iterations)
     rt.injector.kill_at_iteration(2, iteration=kill_at)
-    executor = IterativeExecutor(rt, app, checkpoint_interval=interval, mode=mode)
+    executor = IterativeExecutor(
+        rt, app, checkpoint_interval=interval, mode=mode, **executor_kwargs
+    )
     report = executor.run()
     return rt, app, report
 
@@ -210,3 +213,58 @@ class TestReportAccounting:
         report = ExecutionReport(checkpoint_durations=[1.0, 3.0])
         assert report.mean_checkpoint_time == 2.0
         assert ExecutionReport().mean_checkpoint_time == 0.0
+
+
+class TestOverlappedCheckpointing:
+    """checkpoint_mode="overlapped": engine overlap scope around backups."""
+
+    def _run(self, mode, **kwargs):
+        from repro.bench.calibration import regression_bench_workload, regression_cost
+        from repro.apps.resilient import LinRegResilient
+
+        rt = Runtime(4, cost=regression_cost(), resilient=True, **kwargs)
+        app = LinRegResilient(rt, regression_bench_workload(9))
+        executor = IterativeExecutor(
+            rt, app, checkpoint_interval=3, checkpoint_mode=mode
+        )
+        return rt, app, executor.run()
+
+    def test_invalid_mode_rejected(self):
+        rt = Runtime(2)
+        with pytest.raises(ValueError):
+            IterativeExecutor(rt, CountingApp(rt, 1), checkpoint_mode="async")
+
+    def test_same_work_and_result_as_blocking(self):
+        _, app_b, rep_b = self._run("blocking")
+        _, app_o, rep_o = self._run("overlapped")
+        assert rep_o.iterations_executed == rep_b.iterations_executed
+        assert rep_o.checkpoints == rep_b.checkpoints
+        assert np.allclose(app_o.model(), app_b.model())
+
+    def test_overlap_reduces_stall_and_total(self):
+        _, _, rep_b = self._run("blocking")
+        _, _, rep_o = self._run("overlapped")
+        assert rep_b.checkpoint_stall_time == pytest.approx(rep_b.checkpoint_time)
+        assert rep_o.checkpoint_stall_time < rep_b.checkpoint_stall_time
+        assert rep_o.total_time < rep_b.total_time
+
+    def test_nothing_pending_after_run(self):
+        rt, _, _ = self._run("overlapped")
+        assert rt.engine.pending_overlap() == {}
+        assert not rt.engine.overlapping
+
+    def test_failure_recovery_under_overlap(self):
+        rt, app, report = run_with_failure(
+            RestoreMode.SHRINK, checkpoint_mode="overlapped"
+        )
+        assert report.restores == 1
+        assert app.iteration == 10
+        assert np.allclose(app.state.to_array(), 10.0)
+
+    def test_blocking_mode_unchanged_semantics(self):
+        # Blocking runs never enter an overlap scope at all.
+        rt = Runtime(3, cost=CostModel.zero())
+        app = CountingApp(rt, 5)
+        report = IterativeExecutor(rt, app, checkpoint_interval=2).run()
+        assert report.checkpoint_stall_time == report.checkpoint_time
+        assert rt.engine.pending_overlap() == {}

@@ -13,7 +13,7 @@ from hypothesis import strategies as st
 from repro.matrix.dupvector import DupVector
 from repro.matrix.vector import Vector
 from repro.resilience.snapshot import DistObjectSnapshot
-from repro.runtime import CostModel, DataLossError, PlaceGroup, Runtime
+from repro.runtime import CostModel, DataLossError, Runtime
 
 
 def make_rt(n=6, cost=None):

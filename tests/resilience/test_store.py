@@ -178,6 +178,111 @@ class TestCancel:
         assert store.latest_iteration == 3
 
 
+class FakeSnapshot:
+    """Stand-in snapshot recording deletion; redundancy is controllable."""
+
+    def __init__(self):
+        self.deleted = False
+        self.redundant = True
+        self.total_nbytes = 1.0
+
+    def fully_redundant(self):
+        return self.redundant
+
+    def delete(self):
+        self.deleted = True
+
+
+class FakeObject:
+    """Minimal Snapshottable whose snapshots are FakeSnapshots."""
+
+    def __init__(self):
+        self.taken = []
+
+    def make_snapshot(self):
+        snap = FakeSnapshot()
+        self.taken.append(snap)
+        return snap
+
+    def restore_snapshot(self, snap):
+        pass
+
+
+class TestReadOnlyReclamation:
+    """commit()/cancel_snapshot() lifetime rules for read-only snapshots."""
+
+    def test_superseded_read_only_freed_on_commit(self):
+        store = AppResilientStore(make_rt())
+        obj = FakeObject()
+        store.start_new_snapshot()
+        store.save_read_only(obj)
+        store.commit(0)
+        first = obj.taken[0]
+        # Copies lost: the next checkpoint must take a fresh snapshot...
+        first.redundant = False
+        store.start_new_snapshot()
+        store.save_read_only(obj)
+        # ...but the degraded one stays alive until the commit publishes
+        # its replacement (the previous checkpoint may still need it).
+        assert not first.deleted
+        store.commit(1)
+        # Now unreferenced: reclaimed.
+        assert first.deleted
+        assert not obj.taken[1].deleted
+
+    def test_reused_read_only_survives_commit(self):
+        store = AppResilientStore(make_rt())
+        obj = FakeObject()
+        store.start_new_snapshot()
+        store.save_read_only(obj)
+        store.commit(0)
+        store.start_new_snapshot()
+        store.save_read_only(obj)
+        store.commit(1)
+        assert len(obj.taken) == 1  # reused, never re-taken
+        assert not obj.taken[0].deleted
+
+    def test_cancel_keeps_registry_read_only_snapshot(self):
+        store = AppResilientStore(make_rt())
+        obj = FakeObject()
+        store.start_new_snapshot()
+        store.save_read_only(obj)
+        store.cancel_snapshot()
+        # The snapshot is registry-held and still valid: a later attempt
+        # reuses it instead of re-saving.
+        assert not obj.taken[0].deleted
+        store.start_new_snapshot()
+        store.save_read_only(obj)
+        assert len(obj.taken) == 1
+
+    def test_cancel_after_resave_keeps_both_generations(self):
+        store = AppResilientStore(make_rt())
+        obj = FakeObject()
+        store.start_new_snapshot()
+        store.save_read_only(obj)
+        store.commit(0)
+        first = obj.taken[0]
+        first.redundant = False
+        store.start_new_snapshot()
+        store.save_read_only(obj)  # fresh re-save into the attempt
+        store.cancel_snapshot()
+        # The committed checkpoint still references the old snapshot and
+        # the registry holds the new one: neither may be freed.
+        assert not first.deleted
+        assert not obj.taken[1].deleted
+        assert store.latest().read_only[obj] is first
+
+    def test_cancel_frees_only_mutable_partials(self):
+        store = AppResilientStore(make_rt())
+        ro, mut = FakeObject(), FakeObject()
+        store.start_new_snapshot()
+        store.save_read_only(ro)
+        store.save(mut)
+        store.cancel_snapshot()
+        assert mut.taken[0].deleted
+        assert not ro.taken[0].deleted
+
+
 class TestMultiObjectCheckpoint:
     def test_restore_reloads_all_objects(self):
         rt = make_rt()

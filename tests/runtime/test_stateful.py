@@ -11,7 +11,7 @@ claims and elastic place creation must never violate:
 """
 
 import hypothesis.strategies as st
-from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
 from repro.runtime import CostModel, DeadPlaceException, MultipleException, Runtime
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.runtime import CostModel, Place, Runtime
+from repro.runtime import CostModel, Runtime
 
 
 def topo_cost(places_per_node=2, shm=0.1, wire=1.0, latency=0.0):

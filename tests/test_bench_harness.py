@@ -1,6 +1,5 @@
 """Tests for the benchmark harness (small axes so they run quickly)."""
 
-import pytest
 
 from repro.bench import calibration, figures
 from repro.bench.harness import (

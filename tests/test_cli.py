@@ -64,3 +64,61 @@ class TestSweep:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["sweep", "fig99"])
+
+
+class TestTraceOut:
+    def test_dumps_engine_event_log(self, capsys, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        assert main([
+            "run", "linreg", "--places", "3", "--iterations", "4",
+            "--ckpt-interval", "2", "--trace-out", path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "engine trace:" in out
+
+        from repro.bench.timeline import load_engine_events
+
+        events = load_engine_events(path)
+        assert events
+        kinds = {e.kind for e in events}
+        assert "finish" in kinds
+        assert "transfer" in kinds
+
+    def test_trace_round_trips_into_profile(self, capsys, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        assert main([
+            "run", "pagerank", "--places", "3", "--iterations", "3",
+            "--non-resilient", "--trace-out", path,
+        ]) == 0
+        capsys.readouterr()
+
+        from repro.bench.timeline import (
+            finish_reports_from_events,
+            load_engine_events,
+            render_profile,
+        )
+
+        reports = finish_reports_from_events(load_engine_events(path))
+        assert reports
+        assert "operation" in render_profile(reports)
+
+
+class TestCheckpointMode:
+    def test_overlapped_run(self, capsys):
+        assert main([
+            "run", "linreg", "--places", "4", "--iterations", "6",
+            "--ckpt-interval", "3", "--ckpt-mode", "overlapped",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "iterations executed:  6" in out
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "linreg", "--ckpt-mode", "bogus"])
+
+    def test_overlap_sweep(self, capsys):
+        assert main(["sweep", "overlap", "--max-places", "4",
+                     "--iterations", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "blocking stall (ms)" in out
+        assert "overlapped stall (ms)" in out

@@ -85,3 +85,40 @@ class TestTimeline:
         reports = [make_report("x", float(i), float(i + 1)) for i in range(50)]
         text = render_timeline(reports, max_rows=10)
         assert "40 more finishes not shown" in text
+
+
+class TestEngineEventConsumption:
+    def test_finish_reports_from_events_round_trip(self, tmp_path):
+        from repro.bench.timeline import (
+            finish_reports_from_events,
+            load_engine_events,
+        )
+
+        rt = Runtime(3, cost=CostModel.unit(), resilient=True, trace=True)
+        rt.finish_all(rt.world, lambda ctx: None, label="Thing:work")
+        path = str(tmp_path / "events.jsonl")
+        rt.engine.timeline.dump_jsonl(path)
+
+        rebuilt = finish_reports_from_events(load_engine_events(path))
+        live = rt.stats.finish_reports
+        assert len(rebuilt) == len(live)
+        for a, b in zip(rebuilt, live):
+            assert a.label == b.label
+            assert a.start == b.start and a.end == b.end
+            assert a.ledger_stall == b.ledger_stall
+
+    def test_profile_matches_live_reports(self, tmp_path):
+        from repro.bench.timeline import finish_reports_from_events
+
+        rt = Runtime(3, cost=CostModel.unit(), trace=True)
+        rt.finish_all(rt.world, lambda ctx: None, label="A:op1")
+        rt.finish_all(rt.world, lambda ctx: None, label="B:op2")
+        rebuilt = finish_reports_from_events(rt.engine.timeline)
+        assert render_profile(rebuilt) == render_profile(rt.stats.finish_reports)
+
+    def test_non_finish_events_ignored(self):
+        from repro.bench.timeline import finish_reports_from_events
+        from repro.engine import TransferEvent
+
+        events = [TransferEvent(t_start=0.0, t_end=1.0, src=0, dst=1)]
+        assert finish_reports_from_events(events) == []
