@@ -1,0 +1,122 @@
+"""Tiered store — checkpoint cost and recovery time vs replication level K.
+
+Two facets of the k-replica snapshot store on the LinReg workload:
+
+* **cost**: the full (first) checkpoint duration as a function of K with
+  the spread placement — each extra replica adds a fan-out transfer per
+  partition, so the cost must grow monotonically in K;
+* **recovery**: a correlated *adjacent-pair* kill (the burst that defeats
+  the paper's double store).  K >= 2 with the spread placement recovers
+  from memory; K < 2 with the paper's ring placement cannot keep a copy of
+  every partition out of the blast radius, so those configurations run
+  with the stable-storage fallback tier and recover from disk.  Either
+  way, recovering must be cheaper than restarting the application from
+  scratch — the framework's raison d'être.
+
+Writes ``results/replication.csv``.
+"""
+
+from _common import emit, results_path
+from repro.apps.resilient import LinRegResilient
+from repro.bench import figures
+from repro.bench.calibration import regression_bench_workload, regression_cost
+from repro.resilience.executor import IterativeExecutor
+from repro.resilience.placement import make_placement
+from repro.runtime import Runtime
+
+PLACES = 12
+ITERATIONS = 30
+INTERVAL = 3
+KS = [0, 1, 2, 3]
+
+
+def _executor(
+    rt: Runtime, k: int, placement: str, stable_fallback: bool
+) -> IterativeExecutor:
+    app = LinRegResilient(rt, regression_bench_workload(ITERATIONS))
+    return IterativeExecutor(
+        rt,
+        app,
+        checkpoint_interval=INTERVAL,
+        replicas=k,
+        placement=make_placement(placement),
+        stable_fallback=stable_fallback or None,
+    )
+
+
+def checkpoint_cost(k: int) -> float:
+    """Failure-free full-checkpoint duration (pure in-memory store)."""
+    rt = Runtime(PLACES, cost=regression_cost(), resilient=True)
+    report = _executor(rt, k, "spread", stable_fallback=False).run()
+    return report.checkpoint_durations[0]
+
+
+def recovery_run(k: int) -> dict:
+    """Adjacent-pair kill; K < 2 (ring) leans on the stable-storage tier."""
+    stable = k < 2
+    placement = "ring" if k < 2 else "spread"
+    rt = Runtime(PLACES, cost=regression_cost(), resilient=True)
+    executor = _executor(rt, k, placement, stable_fallback=stable)
+    mid = PLACES // 2
+    rt.injector.kill_at_iteration(mid, iteration=INTERVAL + 1)
+    rt.injector.kill_at_iteration(mid + 1, iteration=INTERVAL + 1)
+    report = executor.run()
+    return {
+        "restores": report.restores,
+        "recovery_s": report.restore_time + report.lost_time,
+        "total_s": report.total_time,
+        "disk_reads": report.stable_fallback_reads,
+    }
+
+
+def baseline_total() -> float:
+    """Failure-free resilient run at the paper's configuration (k=1)."""
+    rt = Runtime(PLACES, cost=regression_cost(), resilient=True)
+    return _executor(rt, 1, "ring", stable_fallback=False).run().total_time
+
+
+def run_sweep():
+    ckpt = {k: checkpoint_cost(k) for k in KS}
+    recovery = {k: recovery_run(k) for k in KS}
+    return ckpt, recovery, baseline_total()
+
+
+def test_replication_sweep(benchmark):
+    ckpt, recovery, baseline = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    lines = [
+        f"LinReg @ {PLACES} places, adjacent double kill at iteration "
+        f"{INTERVAL + 1} (k<2 use the disk tier):",
+        "k  checkpoint(s)  recovery(s)  total(s)  disk reads",
+    ]
+    for k in KS:
+        r = recovery[k]
+        lines.append(
+            f"{k}  {ckpt[k]:13.3f}  {r['recovery_s']:11.3f}  "
+            f"{r['total_s']:8.3f}  {r['disk_reads']:10d}"
+        )
+    lines.append(f"failure-free total (k=1): {baseline:.3f} s")
+    csv = figures.write_csv(
+        results_path("replication.csv"),
+        KS,
+        {
+            "checkpoint_s": [ckpt[k] for k in KS],
+            "recovery_s": [recovery[k]["recovery_s"] for k in KS],
+            "total_s": [recovery[k]["total_s"] for k in KS],
+            "disk_fallback_reads": [float(recovery[k]["disk_reads"]) for k in KS],
+        },
+        x_name="replicas",
+    )
+    lines.append(f"series written to {csv}")
+    emit("Tiered store — checkpoint cost & recovery vs replicas K", "\n".join(lines))
+
+    # Each replica adds backup traffic: checkpoint cost is monotone in K.
+    assert ckpt[0] < ckpt[1] < ckpt[2] < ckpt[3]
+    for k in KS:
+        r = recovery[k]
+        # Every configuration recovers from the adjacent double kill...
+        assert r["restores"] >= 1
+        # ...k<2 only via the disk tier, k>=2 purely in memory...
+        assert (r["disk_reads"] > 0) == (k < 2)
+        # ...and recovering beats restarting the whole run from scratch.
+        assert r["recovery_s"] < baseline

@@ -57,12 +57,13 @@ def write_csv(
     path: str,
     places: Sequence[int],
     values: Dict[str, Sequence[float]],
+    x_name: str = "places",
 ) -> str:
-    """Write the series as CSV (places column first); returns the path."""
+    """Write the series as CSV (x column first); returns the path."""
     os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
     names = list(values)
     with open(path, "w", encoding="utf-8") as fh:
-        fh.write(",".join(["places"] + names) + "\n")
+        fh.write(",".join([x_name] + names) + "\n")
         for i, p in enumerate(places):
             row = [str(p)] + [repr(values[name][i]) for name in names]
             fh.write(",".join(row) + "\n")

@@ -1,0 +1,380 @@
+"""Seeded chaos campaigns: recovery invariants under randomized failures.
+
+A *campaign* runs one application under hundreds of randomized failure
+schedules — single kills, simultaneous adjacent-pair and same-rack bursts,
+kills fired in the middle of a checkpoint or a restore — and asserts, for
+every schedule, the recovery invariants the paper's framework promises:
+
+* the converged result matches a failure-free run of the non-resilient
+  baseline (the resilient framework changes *where* work runs, never the
+  answer);
+* every restore rolled back to a *committed* checkpoint iteration, never
+  past the last commit;
+* no snapshot replica is placed on its partition's primary place;
+* after any cancelled checkpoint the store is consistent (no attempt left
+  open).
+
+Losing every copy of a partition is a documented outcome, not a violation:
+without the stable-storage tier a sufficiently vicious burst may exceed
+the replication factor and raise ``DataLossError``.  *With* the stable
+tier enabled, in-memory loss must be absorbed by the disk fallback, so a
+``DataLossError`` for lost copies becomes an invariant violation.
+
+Schedules are generated from a seed, so a violating schedule is
+reproducible from its campaign seed + index alone.  Used by the
+``chaos`` CLI subcommand and the chaos-smoke CI job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.apps.data import PageRankWorkload, RegressionWorkload
+from repro.apps.nonresilient import (
+    LinRegNonResilient,
+    LogRegNonResilient,
+    PageRankNonResilient,
+)
+from repro.apps.resilient import (
+    LinRegResilient,
+    LogRegResilient,
+    PageRankResilient,
+)
+from repro.resilience.executor import (
+    IterativeExecutor,
+    NonResilientExecutor,
+    RestoreMode,
+)
+from repro.resilience.placement import make_placement
+from repro.resilience.store import AppResilientStore
+from repro.runtime.cost import CostModel
+from repro.runtime.exceptions import DataLossError
+from repro.runtime.failure import ScriptedKill
+from repro.runtime.runtime import Runtime
+
+
+def _tiny_regression(iterations: int) -> RegressionWorkload:
+    return RegressionWorkload(
+        features=8, examples_per_place=32, blocks_per_place=2, iterations=iterations
+    )
+
+
+def _tiny_pagerank(iterations: int) -> PageRankWorkload:
+    return PageRankWorkload(
+        nodes_per_place=18, out_degree=3, blocks_per_place=2, iterations=iterations
+    )
+
+
+#: app name → (non-resilient class, resilient class, tiny workload factory,
+#: result accessor).  Workloads are deliberately minuscule: a campaign runs
+#: hundreds of full failure/recovery cycles and only correctness matters.
+CHAOS_APPS: Dict[str, Tuple[type, type, Callable, Callable]] = {
+    "linreg": (
+        LinRegNonResilient,
+        LinRegResilient,
+        _tiny_regression,
+        lambda app: app.model(),
+    ),
+    "logreg": (
+        LogRegNonResilient,
+        LogRegResilient,
+        _tiny_regression,
+        lambda app: app.model(),
+    ),
+    "pagerank": (
+        PageRankNonResilient,
+        PageRankResilient,
+        _tiny_pagerank,
+        lambda app: app.ranks(),
+    ),
+}
+
+#: Event kinds a schedule is drawn from.  "restore" is excluded from the
+#: first event (a during-restore kill needs an earlier failure to trigger
+#: a restore at all).
+_EVENT_KINDS = ("iteration", "pair", "rack", "checkpoint", "restore", "phase")
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """One chaos campaign: app + store configuration + schedule count."""
+
+    app: str = "linreg"
+    schedules: int = 200
+    seed: int = 0
+    places: int = 6
+    iterations: int = 10
+    checkpoint_interval: int = 3
+    replicas: int = 2
+    placement: str = "spread"
+    stable_fallback: bool = False
+    spares: int = 0
+
+
+@dataclass
+class ScheduleOutcome:
+    """Result of one randomized schedule."""
+
+    index: int
+    kills: List[str]
+    #: "clean" (no kill fired), "recovered", or "data_loss_accepted".
+    status: str
+    violations: List[str] = field(default_factory=list)
+    detail: str = ""
+
+
+@dataclass
+class CampaignResult:
+    """All outcomes of one campaign."""
+
+    config: CampaignConfig
+    outcomes: List[ScheduleOutcome]
+
+    @property
+    def violations(self) -> List[ScheduleOutcome]:
+        return [o for o in self.outcomes if o.violations]
+
+    def counts(self) -> Dict[str, int]:
+        by_status: Dict[str, int] = {}
+        for o in self.outcomes:
+            by_status[o.status] = by_status.get(o.status, 0) + 1
+        return by_status
+
+    def summary(self) -> str:
+        cfg = self.config
+        lines = [
+            f"chaos campaign: app={cfg.app} schedules={cfg.schedules} "
+            f"seed={cfg.seed} places={cfg.places} replicas={cfg.replicas} "
+            f"placement={cfg.placement} stable_fallback={cfg.stable_fallback}",
+            "outcomes: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(self.counts().items())),
+        ]
+        bad = self.violations
+        if bad:
+            lines.append(f"VIOLATIONS in {len(bad)} schedule(s):")
+            for o in bad[:10]:
+                lines.append(
+                    f"  schedule {o.index} (kills: {'; '.join(o.kills)}):"
+                )
+                for v in o.violations:
+                    lines.append(f"    - {v}")
+        else:
+            lines.append("all recovery invariants held")
+        return "\n".join(lines)
+
+
+def _describe(kill: ScriptedKill) -> str:
+    if kill.iteration is not None:
+        return f"p{kill.place_id}@iter{kill.iteration}"
+    if kill.phase is not None:
+        return f"p{kill.place_id}@phase{kill.phase}"
+    if kill.time is not None:
+        return f"p{kill.place_id}@t={kill.time:g}"
+    return f"p{kill.place_id}@{kill.during}#{kill.occurrence}"
+
+
+def make_schedule(
+    rng: np.random.Generator, places: int, iterations: int
+) -> List[ScriptedKill]:
+    """Draw one randomized failure schedule (1-3 correlated/scripted events).
+
+    Victims are distinct (fail-stop places die once) and never place zero.
+    """
+    pool = list(range(1, places))
+    kills: List[ScriptedKill] = []
+
+    def take(pid: int) -> int:
+        pool.remove(pid)
+        return pid
+
+    n_events = int(rng.integers(1, 4))
+    for event in range(n_events):
+        if not pool:
+            break
+        kinds = _EVENT_KINDS if event > 0 else tuple(
+            k for k in _EVENT_KINDS if k != "restore"
+        )
+        kind = str(rng.choice(kinds))
+        when = int(rng.integers(1, iterations))
+        if kind == "pair":
+            adjacent = [p for p in pool if p + 1 in pool]
+            if adjacent:
+                a = int(rng.choice(adjacent))
+                kills.append(ScriptedKill(place_id=take(a), iteration=when))
+                kills.append(ScriptedKill(place_id=take(a + 1), iteration=when))
+                continue
+            kind = "iteration"  # no adjacent pair left: degrade to a single
+        if kind == "rack":
+            # A burst of up to 3 consecutive surviving ids, same instant.
+            start = int(rng.choice(pool))
+            for pid in range(start, start + 3):
+                if pid in pool:
+                    kills.append(ScriptedKill(place_id=take(pid), iteration=when))
+            continue
+        victim = take(int(rng.choice(pool)))
+        if kind == "checkpoint":
+            occurrence = int(rng.integers(1, 4))
+            kills.append(
+                ScriptedKill(
+                    place_id=victim, during="checkpoint", occurrence=occurrence
+                )
+            )
+        elif kind == "restore":
+            kills.append(ScriptedKill(place_id=victim, during="restore"))
+        elif kind == "phase":
+            kills.append(
+                ScriptedKill(place_id=victim, phase=int(rng.integers(3, 60)))
+            )
+        else:
+            kills.append(ScriptedKill(place_id=victim, iteration=when))
+    return kills
+
+
+def _failure_free_result(config: CampaignConfig) -> np.ndarray:
+    """The reference answer: the non-resilient app, no failures."""
+    nonres_cls, _, wl_factory, result_of = CHAOS_APPS[config.app]
+    rt = Runtime(config.places, cost=CostModel.zero())
+    app = nonres_cls(rt, wl_factory(config.iterations))
+    NonResilientExecutor(rt, app).run()
+    return np.asarray(result_of(app))
+
+
+def run_schedule(
+    config: CampaignConfig,
+    index: int,
+    kills: List[ScriptedKill],
+    baseline: np.ndarray,
+    mode: RestoreMode,
+    checkpoint_mode: str,
+) -> ScheduleOutcome:
+    """Run one schedule and check every recovery invariant."""
+    _, res_cls, wl_factory, result_of = CHAOS_APPS[config.app]
+    rt = Runtime(
+        config.places,
+        cost=CostModel.zero(),
+        resilient=True,
+        spares=config.spares,
+    )
+    app = res_cls(rt, wl_factory(config.iterations))
+    # Kills are armed only after construction: phase-triggered kills then
+    # land inside the executor's run, where recovery is defined.
+    for kill in kills:
+        rt.injector.add(kill)
+    store = AppResilientStore(
+        rt,
+        replicas=config.replicas,
+        placement=make_placement(config.placement),
+        stable_fallback=config.stable_fallback,
+    )
+    executor = IterativeExecutor(
+        rt,
+        app,
+        store=store,
+        checkpoint_interval=config.checkpoint_interval,
+        mode=mode,
+        spare_fallback=RestoreMode.SHRINK_REBALANCE,
+        checkpoint_mode=checkpoint_mode,
+    )
+    outcome = ScheduleOutcome(
+        index=index,
+        kills=[_describe(k) for k in kills],
+        status="clean",
+        detail=f"mode={mode.value} checkpoint_mode={checkpoint_mode}",
+    )
+    try:
+        report = executor.run()
+    except DataLossError as err:
+        message = str(err)
+        documented = (
+            "no recovery point" in message
+            or "consecutive times" in message
+            or not config.stable_fallback
+        )
+        if documented:
+            outcome.status = "data_loss_accepted"
+        else:
+            # The stable tier exists precisely so in-memory loss is
+            # absorbed; reaching DataLossError anyway is a violation.
+            outcome.violations.append(
+                f"DataLossError despite stable fallback: {message}"
+            )
+            outcome.status = "data_loss"
+        if store.in_progress:
+            outcome.violations.append(
+                "store left with an open snapshot attempt after data loss"
+            )
+        return outcome
+
+    # Invariant 1: the answer matches the failure-free baseline.
+    result = np.asarray(result_of(app))
+    if not np.allclose(result, baseline, rtol=1e-8, atol=1e-10):
+        worst = float(np.max(np.abs(result - baseline)))
+        outcome.violations.append(
+            f"converged result deviates from failure-free run (max abs "
+            f"diff {worst:.3e})"
+        )
+
+    # Invariant 2: the store is consistent (no attempt left open).
+    if store.in_progress:
+        outcome.violations.append("store left with an open snapshot attempt")
+
+    # Invariant 3: every restore landed on a committed checkpoint, never
+    # past the newest commit at the time (commits grow monotonically, so
+    # membership in the commit history implies the bound).
+    committed = [snap.iteration for snap in store.snapshots]
+    for restored in report.restored_iterations:
+        if restored not in committed:
+            outcome.violations.append(
+                f"restored to iteration {restored}, which was never "
+                f"committed (commits: {committed})"
+            )
+        elif restored > max(committed):
+            outcome.violations.append(
+                f"restored to iteration {restored} beyond the last "
+                f"committed checkpoint {max(committed)}"
+            )
+
+    # Invariant 4: no replica co-resident with its partition's primary.
+    latest = store.latest()
+    if latest is not None:
+        snapshots = list(latest.snapshots.values()) + list(latest.read_only.values())
+        for snapshot in snapshots:
+            if not snapshot.placement_ok():
+                outcome.violations.append(
+                    f"replica placed on its primary place in {snapshot!r}"
+                )
+
+    fired = [k for k in kills if k not in report.pending_kills]
+    outcome.status = (
+        "recovered" if report.failures_observed or fired else "clean"
+    )
+    if report.pending_kills:
+        outcome.detail += f" pending={len(report.pending_kills)}"
+    if outcome.violations:
+        outcome.status = "violated"
+    return outcome
+
+
+def run_campaign(config: CampaignConfig) -> CampaignResult:
+    """Run the full campaign; deterministic in ``config.seed``."""
+    if config.app not in CHAOS_APPS:
+        raise ValueError(
+            f"unknown chaos app {config.app!r}; choose from {sorted(CHAOS_APPS)}"
+        )
+    baseline = _failure_free_result(config)
+    shrink_modes = [RestoreMode.SHRINK, RestoreMode.SHRINK_REBALANCE]
+    if config.spares > 0:
+        shrink_modes.append(RestoreMode.REPLACE_REDUNDANT)
+    outcomes: List[ScheduleOutcome] = []
+    for index in range(config.schedules):
+        rng = np.random.default_rng([config.seed, index])
+        kills = make_schedule(rng, config.places, config.iterations)
+        mode = shrink_modes[int(rng.integers(len(shrink_modes)))]
+        checkpoint_mode = "overlapped" if rng.integers(2) else "blocking"
+        outcomes.append(
+            run_schedule(config, index, kills, baseline, mode, checkpoint_mode)
+        )
+    return CampaignResult(config, outcomes)

@@ -10,7 +10,12 @@ Usage::
 ``run`` executes one application on the simulated cluster (optionally with
 an injected failure) and prints its timing report; ``sweep`` regenerates a
 paper experiment and prints the series (the pytest benchmarks add the
-paper-vs-measured assertions on top of the same harness).
+paper-vs-measured assertions on top of the same harness); ``chaos`` runs a
+seeded campaign of randomized failure schedules and checks the recovery
+invariants (see :mod:`repro.chaos`)::
+
+    python -m repro run linreg --replicas 2 --placement spread --mttf 40
+    python -m repro chaos pagerank --schedules 100 --stable-fallback
 """
 
 from __future__ import annotations
@@ -34,6 +39,9 @@ from repro.resilience.executor import (
     NonResilientExecutor,
     RestoreMode,
 )
+from repro.resilience.placement import PLACEMENTS, make_placement
+from repro.runtime.exceptions import DataLossError
+from repro.runtime.failure import ExponentialFailureModel
 from repro.runtime.runtime import Runtime
 
 SWEEPS = {
@@ -71,8 +79,23 @@ def _build_parser() -> argparse.ArgumentParser:
         default=RestoreMode.SHRINK.value,
     )
     run.add_argument("--spares", type=int, default=0)
-    run.add_argument("--fail-at", type=int, default=None, metavar="ITER")
-    run.add_argument("--victim", type=int, default=None, metavar="PLACE")
+    run.add_argument(
+        "--fail-at",
+        type=int,
+        action="append",
+        default=None,
+        metavar="ITER",
+        help="script a failure at this iteration (repeatable: pair each "
+        "occurrence with a --victim to kill several places)",
+    )
+    run.add_argument(
+        "--victim",
+        type=int,
+        action="append",
+        default=None,
+        metavar="PLACE",
+        help="place to kill for the matching --fail-at (repeatable)",
+    )
     run.add_argument(
         "--profile", action="store_true", help="print a per-operation time profile"
     )
@@ -92,11 +115,58 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="dump the engine's typed event log to PATH as JSON lines",
     )
+    run.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        metavar="K",
+        help="in-memory backup replicas per snapshot partition (default: 1)",
+    )
+    run.add_argument(
+        "--placement",
+        choices=sorted(PLACEMENTS),
+        default=None,
+        help="replica placement policy (default: ring, the paper's scheme)",
+    )
+    run.add_argument(
+        "--stable-fallback",
+        action="store_true",
+        help="also write checkpoints to the disk tier; restores fall back "
+        "to it when every in-memory copy of a partition is lost",
+    )
+    run.add_argument(
+        "--mttf",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="inject random exponential failures with this mean time to "
+        "failure (virtual seconds)",
+    )
+    run.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        help="seed for the --mttf failure schedule",
+    )
 
     sweep = sub.add_parser("sweep", help="regenerate one paper experiment")
     sweep.add_argument("experiment", choices=sorted(SWEEPS))
     sweep.add_argument("--max-places", type=int, default=44)
     sweep.add_argument("--iterations", type=int, default=30)
+
+    chaos = sub.add_parser(
+        "chaos", help="run a seeded campaign of randomized failure schedules"
+    )
+    chaos.add_argument("app", choices=["linreg", "logreg", "pagerank"])
+    chaos.add_argument("--schedules", type=int, default=50)
+    chaos.add_argument("--chaos-seed", type=int, default=0)
+    chaos.add_argument("--places", type=int, default=6)
+    chaos.add_argument("--iterations", type=int, default=10)
+    chaos.add_argument("--ckpt-interval", type=int, default=3)
+    chaos.add_argument("--replicas", type=int, default=2)
+    chaos.add_argument("--placement", choices=sorted(PLACEMENTS), default="spread")
+    chaos.add_argument("--stable-fallback", action="store_true")
+    chaos.add_argument("--spares", type=int, default=0)
     return parser
 
 
@@ -122,22 +192,50 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.trace_out:
             rt.engine.timeline.enabled = True
         app = res_cls(rt, workload)
-        if args.fail_at is not None:
-            victim = args.victim if args.victim is not None else args.places // 2
-            rt.injector.kill_at_iteration(victim, iteration=args.fail_at)
+        if args.fail_at:
+            victims = args.victim or []
+            for i, fail_at in enumerate(args.fail_at):
+                victim = victims[i] if i < len(victims) else args.places // 2
+                rt.injector.kill_at_iteration(victim, iteration=fail_at)
+        if args.mttf is not None:
+            model = ExponentialFailureModel(args.mttf, seed=args.chaos_seed)
+            candidates = [pid for pid in rt.world.ids if pid != 0]
+            # Event times are relative to the start of the run, not to the
+            # virtual time already spent constructing the application.
+            t0 = rt.now()
+            for kill in model.schedule(candidates, horizon=10.0 * args.mttf):
+                rt.injector.kill_at_time(kill.place_id, t0 + kill.time)
         executor = IterativeExecutor(
             rt,
             app,
             checkpoint_interval=args.ckpt_interval,
             mode=RestoreMode(args.mode),
             checkpoint_mode=args.ckpt_mode,
+            replicas=args.replicas,
+            placement=make_placement(args.placement) if args.placement else None,
+            stable_fallback=args.stable_fallback or None,
         )
-        report = executor.run()
+        try:
+            report = executor.run()
+        except DataLossError as exc:
+            print(f"unrecoverable: {exc}", file=sys.stderr)
+            print(
+                "hint: raise --replicas, use --placement spread, or add "
+                "--stable-fallback",
+                file=sys.stderr,
+            )
+            return 1
 
     print(f"app:                  {args.app} on {args.places} places")
     print(f"iterations executed:  {report.iterations_executed}")
     print(f"checkpoints/restores: {report.checkpoints}/{report.restores}")
     print(f"failures observed:    {report.failures_observed}")
+    if report.aborted_restores:
+        print(f"aborted restores:     {report.aborted_restores}")
+    if report.stable_fallback_reads:
+        print(f"disk fallback reads:  {report.stable_fallback_reads}")
+    if report.pending_kills:
+        print(f"kills never fired:    {len(report.pending_kills)}")
     print(f"virtual total:        {report.total_time:.4f} s")
     print(
         f"  = step {report.step_time:.4f} + checkpoint {report.checkpoint_time:.4f}"
@@ -203,6 +301,27 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import CampaignConfig, run_campaign
+
+    result = run_campaign(
+        CampaignConfig(
+            app=args.app,
+            schedules=args.schedules,
+            seed=args.chaos_seed,
+            places=args.places,
+            iterations=args.iterations,
+            checkpoint_interval=args.ckpt_interval,
+            replicas=args.replicas,
+            placement=args.placement,
+            stable_fallback=args.stable_fallback,
+            spares=args.spares,
+        )
+    )
+    print(result.summary())
+    return 1 if result.violations else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
@@ -210,6 +329,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     return _cmd_sweep(args)
 
 

@@ -235,6 +235,23 @@ class Scheduler:
             )
         return done
 
+    def transfer_fanout(
+        self, src_id: int, dst_ids: Sequence[int], nbytes: float, t_request: float
+    ) -> List[float]:
+        """Replica fan-out: one transfer per destination from a common issue
+        time.
+
+        The snapshot store's k-replica backup path: the source issues every
+        send at *t_request*; its transmit side (or node NIC) serializes the
+        sends while distinct destinations absorb them concurrently, so the
+        fan-out's critical path grows with contention, not with a synthetic
+        send-after-send chain.  Returns the per-destination completion
+        times in input order.
+        """
+        return [
+            self.transfer(src_id, dst_id, nbytes, t_request) for dst_id in dst_ids
+        ]
+
     # -- stable storage --------------------------------------------------------
 
     def stable_write(self, place_id: int, nbytes: float) -> float:

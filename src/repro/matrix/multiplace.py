@@ -29,6 +29,14 @@ class MultiPlaceObject(Snapshottable):
     #: in-memory store; raise it to survive bursts of correlated failures
     #: at a proportional checkpoint cost (see the replication ablation).
     snapshot_backups: int = 1
+    #: Replica placement policy (None = ring offsets, the paper's scheme);
+    #: see :mod:`repro.resilience.placement` for stride/spread policies
+    #: that survive correlated (adjacent / same-rack) failures.
+    snapshot_placement = None
+    #: When True, every snapshot partition is additionally written to the
+    #: stable-storage tier, and restore reads fall back to disk once all
+    #: in-memory copies of a partition are gone (instead of DataLossError).
+    snapshot_stable_fallback: bool = False
     #: When True, checkpoints go to reliable stable storage instead of the
     #: in-memory double store (survives anything, pays disk I/O — the
     #: data-flow-system alternative the paper's introduction contrasts).
@@ -52,7 +60,12 @@ class MultiPlaceObject(Snapshottable):
 
             return StableObjectSnapshot(self.runtime, self.group, meta)
         return DistObjectSnapshot(
-            self.runtime, self.group, meta, backups=self.snapshot_backups
+            self.runtime,
+            self.group,
+            meta,
+            backups=self.snapshot_backups,
+            placement=self.snapshot_placement,
+            stable_fallback=self.snapshot_stable_fallback,
         )
 
     # -- heap addressing ----------------------------------------------------

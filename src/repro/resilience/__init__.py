@@ -1,7 +1,10 @@
 """The paper's contribution: resilient GML and the iterative framework.
 
 * :class:`Snapshottable` / :class:`DistObjectSnapshot` — per-object
-  snapshot/restore with the double in-memory store (§IV-B);
+  snapshot/restore with the tiered k-replica in-memory store (§IV-B
+  generalized; the paper's double store is ``backups=1`` + ring placement);
+* :mod:`~repro.resilience.placement` — pluggable replica placement
+  policies (ring / stride / spread) for correlated-failure survival;
 * :class:`AppResilientStore` — atomic multi-object application checkpoints
   with read-only snapshot reuse (§V-A1, Listing 4);
 * :class:`ResilientIterativeApp` — the 4-method programming model (§V-A2);
@@ -18,6 +21,14 @@ from repro.resilience.executor import (
     RestoreMode,
 )
 from repro.resilience.iterative import ResilientIterativeApp, RestoreContext
+from repro.resilience.placement import (
+    PLACEMENTS,
+    ReplicaPlacement,
+    RingPlacement,
+    SpreadPlacement,
+    StridePlacement,
+    make_placement,
+)
 from repro.resilience.snapshot import DistObjectSnapshot, Snapshottable
 from repro.resilience.stable import StableObjectSnapshot, use_stable_storage
 from repro.resilience.store import AppResilientStore, AppSnapshot
@@ -34,6 +45,12 @@ __all__ = [
     "RestoreMode",
     "ResilientIterativeApp",
     "RestoreContext",
+    "PLACEMENTS",
+    "ReplicaPlacement",
+    "RingPlacement",
+    "SpreadPlacement",
+    "StridePlacement",
+    "make_placement",
     "DistObjectSnapshot",
     "Snapshottable",
     "StableObjectSnapshot",

@@ -47,6 +47,7 @@ from enum import Enum
 from typing import List, Optional
 
 from repro.resilience.iterative import ResilientIterativeApp, RestoreContext
+from repro.resilience.placement import ReplicaPlacement
 from repro.resilience.store import AppResilientStore
 from repro.runtime.exceptions import (
     DataLossError,
@@ -75,6 +76,9 @@ class ExecutionReport:
     useful_iterations: int = 0
     checkpoints: int = 0
     restores: int = 0
+    #: Restore attempts that a further failure aborted mid-flight (the
+    #: successful retry is counted in ``restores``, not here).
+    aborted_restores: int = 0
     failures_observed: int = 0
     step_time: float = 0.0
     checkpoint_time: float = 0.0
@@ -89,6 +93,16 @@ class ExecutionReport:
     total_time: float = 0.0
     checkpoint_durations: List[float] = field(default_factory=list)
     restore_durations: List[float] = field(default_factory=list)
+    #: Durations of restore attempts aborted by a further failure.
+    aborted_restore_durations: List[float] = field(default_factory=list)
+    #: Iteration each successful restore rolled back to (always the latest
+    #: committed checkpoint's iteration — the recovery invariant).
+    restored_iterations: List[int] = field(default_factory=list)
+    #: Scripted kills that never fired (e.g. the run converged first).
+    pending_kills: List = field(default_factory=list)
+    #: Recovery reads served by the stable-storage tier because every
+    #: in-memory copy of a partition was gone.
+    stable_fallback_reads: int = 0
     final_group_size: int = 0
 
     @property
@@ -126,6 +140,9 @@ class IterativeExecutor:
         spare_fallback: RestoreMode = RestoreMode.SHRINK,
         max_restore_attempts: int = 10,
         checkpoint_mode: str = "blocking",
+        replicas: Optional[int] = None,
+        placement: Optional[ReplicaPlacement] = None,
+        stable_fallback: Optional[bool] = None,
     ):
         check_positive(checkpoint_interval, "checkpoint_interval")
         require(
@@ -138,7 +155,14 @@ class IterativeExecutor:
         )
         self.runtime = runtime
         self.app = app
-        self.store = store if store is not None else AppResilientStore(runtime)
+        if store is None:
+            store = AppResilientStore(
+                runtime,
+                replicas=replicas,
+                placement=placement,
+                stable_fallback=stable_fallback,
+            )
+        self.store = store
         self.checkpoint_interval = checkpoint_interval
         self.mode = mode
         self.spare_fallback = spare_fallback
@@ -194,17 +218,22 @@ class IterativeExecutor:
                     and iteration != last_checkpoint_iter
                 ):
                     t0 = rt.now()
-                    if self.checkpoint_mode == "overlapped":
-                        # The previous checkpoint's backups must be durable
-                        # before this one supersedes it: apply any deferred
-                        # completions (the residue propagates into this
-                        # checkpoint's visible duration), then capture the
-                        # new snapshot with its backup transfers deferred.
-                        rt.engine.drain_overlap()
-                        with rt.engine.overlap():
+                    rt.injector.enter_context("checkpoint")
+                    try:
+                        if self.checkpoint_mode == "overlapped":
+                            # The previous checkpoint's backups must be
+                            # durable before this one supersedes it: apply
+                            # any deferred completions (the residue
+                            # propagates into this checkpoint's visible
+                            # duration), then capture the new snapshot with
+                            # its backup transfers deferred.
+                            rt.engine.drain_overlap()
+                            with rt.engine.overlap():
+                                self.app.checkpoint(self.store)
+                        else:
                             self.app.checkpoint(self.store)
-                    else:
-                        self.app.checkpoint(self.store)
+                    finally:
+                        rt.injector.exit_context("checkpoint")
                     dt = rt.now() - t0
                     report.checkpoint_time += dt
                     report.checkpoint_stall_time += dt
@@ -233,27 +262,44 @@ class IterativeExecutor:
                         "place failed before the first checkpoint committed; "
                         "no recovery point exists"
                     ) from failure
-                restore_attempts += 1
-                if restore_attempts > self.max_restore_attempts:
-                    raise DataLossError(
-                        f"restore failed {restore_attempts - 1} consecutive times"
-                    ) from failure
-
-                new_group, effective_mode = self._replacement_group(self.app.places)
-                require(new_group.size > 0, "no live places remain")
-                self.app.restore_context = RestoreContext(
-                    rebalance=(effective_mode == RestoreMode.SHRINK_REBALANCE)
-                )
-                t0 = rt.now()
-                try:
-                    self.app.restore(
-                        new_group, self.store, self.store.latest_iteration
+                # Retry the restore itself until it completes: a failure
+                # mid-restore leaves the application's objects on
+                # inconsistent place groups, so going back to step() is not
+                # an option — only a full restore re-establishes a
+                # consistent state.  Each aborted attempt is accounted
+                # separately (``aborted_restores``) from successful ones.
+                while True:
+                    restore_attempts += 1
+                    if restore_attempts > self.max_restore_attempts:
+                        raise DataLossError(
+                            f"restore failed {restore_attempts - 1} "
+                            "consecutive times"
+                        ) from failure
+                    new_group, effective_mode = self._replacement_group(
+                        self.app.places
                     )
-                except (DeadPlaceException, MultipleException):
-                    # A further failure during restore: account the time and
-                    # go around again with a fresh group.
-                    report.restore_time += rt.now() - t0
-                    continue
+                    require(new_group.size > 0, "no live places remain")
+                    self.app.restore_context = RestoreContext(
+                        rebalance=(effective_mode == RestoreMode.SHRINK_REBALANCE)
+                    )
+                    t0 = rt.now()
+                    rt.injector.enter_context("restore")
+                    try:
+                        self.app.restore(
+                            new_group, self.store, self.store.latest_iteration
+                        )
+                    except (DeadPlaceException, MultipleException) as again:
+                        # A further failure during restore: record the
+                        # aborted attempt and go around with a fresh group.
+                        dt = rt.now() - t0
+                        report.restore_time += dt
+                        report.aborted_restores += 1
+                        report.aborted_restore_durations.append(dt)
+                        report.failures_observed += len(again.places)
+                        continue
+                    finally:
+                        rt.injector.exit_context("restore")
+                    break
                 dt = rt.now() - t0
                 report.restore_time += dt
                 report.restore_durations.append(dt)
@@ -261,6 +307,7 @@ class IterativeExecutor:
                 iteration = self.store.latest_iteration
                 last_checkpoint_iter = iteration
                 report.useful_iterations = iteration
+                report.restored_iterations.append(iteration)
 
         # The run is only finished once the final checkpoint is durable:
         # drain outstanding overlapped backups and charge the driver the
@@ -271,6 +318,8 @@ class IterativeExecutor:
         report.total_time = rt.now() - t_begin
         report.useful_iterations = iteration
         report.final_group_size = self.app.places.size
+        report.pending_kills = rt.injector.unfired()
+        report.stable_fallback_reads = rt.stats.stable_fallback_reads
         return report
 
 

@@ -1,0 +1,144 @@
+"""Replica placement policies for the tiered snapshot store.
+
+The paper's double in-memory store always puts the (single) backup on the
+*next* place of the group.  With a replication factor ``k > 1`` the choice
+of *which* places hold the copies decides which correlated failures a
+checkpoint survives: consecutive ring offsets die together under an
+adjacent-pair burst, while spread-out replicas survive it.  A
+:class:`ReplicaPlacement` maps a replication level and a group size to the
+list of ring *offsets* (relative to the primary's group index) at which the
+backup copies live.
+
+Every policy guarantees that **no replica co-resides with its primary**
+whenever the group has more than one place: an offset that would land on
+the primary (``0 mod size``) or on another replica of the same key is
+deterministically shifted to the next free non-zero residue.  Only when the
+group is a single place (nowhere else to go) do copies degenerate to local
+duplicates, matching the seed store's behaviour.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Type
+
+from repro.util.validation import require
+
+
+def resolve_offsets(raw: List[int], group_size: int) -> List[int]:
+    """Normalize candidate ring offsets for one key's replicas.
+
+    Each offset is reduced mod *group_size*; offsets of ``0`` (co-resident
+    with the primary) and collisions with earlier replicas are advanced,
+    wrapping over ``1..group_size-1``, to the first free residue.  Once all
+    distinct residues are taken (``k >= size - 1``) replicas double up on
+    non-primary places — the store cannot invent more places, but it never
+    stacks a copy on the one whose death already loses the primary.
+    """
+    if group_size <= 1:
+        return [0 for _ in raw]
+    used: set = set()
+    out: List[int] = []
+    for cand in raw:
+        first = cand % group_size
+        if first == 0:
+            first = 1
+        offset = first
+        for step in range(group_size - 1):
+            probe = (first - 1 + step) % (group_size - 1) + 1
+            if probe not in used:
+                offset = probe
+                break
+        used.add(offset)
+        out.append(offset)
+    return out
+
+
+class ReplicaPlacement(ABC):
+    """Maps (replication level, group size) to backup ring offsets."""
+
+    #: Registry / CLI name of the policy.
+    name: str = "?"
+
+    @abstractmethod
+    def raw_offsets(self, backups: int, group_size: int) -> List[int]:
+        """Candidate offsets for replicas ``1..backups`` (may collide;
+        callers normalize through :func:`resolve_offsets`)."""
+
+    def offsets(self, backups: int, group_size: int) -> List[int]:
+        """The resolved, collision-free offsets for this policy."""
+        require(backups >= 0, "backups must be >= 0")
+        return resolve_offsets(self.raw_offsets(backups, group_size), group_size)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class RingPlacement(ReplicaPlacement):
+    """The paper's scheme generalized: replica *r* on the *r*-th next place.
+
+    ``k=1`` is exactly the double in-memory store.  Consecutive offsets keep
+    restore reads close but die together under adjacent bursts.
+    """
+
+    name = "ring"
+
+    def raw_offsets(self, backups: int, group_size: int) -> List[int]:
+        return list(range(1, backups + 1))
+
+
+class StridePlacement(ReplicaPlacement):
+    """Replica *r* at offset ``r * stride``: skips over likely co-failing
+    neighbours (e.g. ``stride = places_per_node`` avoids same-node copies).
+    """
+
+    name = "stride"
+
+    def __init__(self, stride: int = 2):
+        require(stride >= 1, "stride must be >= 1")
+        self.stride = stride
+
+    def raw_offsets(self, backups: int, group_size: int) -> List[int]:
+        return [r * self.stride for r in range(1, backups + 1)]
+
+    def __repr__(self) -> str:
+        return f"StridePlacement(stride={self.stride})"
+
+
+class SpreadPlacement(ReplicaPlacement):
+    """Replicas spaced evenly around the ring (maximal spread).
+
+    The k+1 copies of a key sit ``size/(k+1)`` places apart, so a burst
+    must span at least that distance to reach two copies — the placement
+    that survives adjacent-pair and small-rack correlated failures.
+    """
+
+    name = "spread"
+
+    def raw_offsets(self, backups: int, group_size: int) -> List[int]:
+        if group_size <= 1:
+            return [0] * backups
+        return [
+            max(1, round(r * group_size / (backups + 1)))
+            for r in range(1, backups + 1)
+        ]
+
+
+#: CLI / config registry of the built-in policies.
+PLACEMENTS: Dict[str, Type[ReplicaPlacement]] = {
+    RingPlacement.name: RingPlacement,
+    StridePlacement.name: StridePlacement,
+    SpreadPlacement.name: SpreadPlacement,
+}
+
+
+def make_placement(spec: str) -> ReplicaPlacement:
+    """Build a policy from a CLI spec: ``ring``, ``spread``, ``stride`` or
+    ``stride:<n>`` for an explicit stride."""
+    name, _, arg = spec.partition(":")
+    cls = PLACEMENTS.get(name)
+    require(cls is not None, f"unknown placement policy {spec!r} (choices: {sorted(PLACEMENTS)})")
+    if arg:
+        require(name == "stride", f"policy {name!r} takes no argument")
+        return StridePlacement(stride=int(arg))
+    return cls()

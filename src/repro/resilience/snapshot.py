@@ -1,18 +1,26 @@
-"""Snapshot/restore for GML objects (paper §IV-B).
+"""Snapshot/restore for GML objects (paper §IV-B), generalized to tiers.
 
 ``Snapshottable`` is the paper's Listing 3 interface.  A
 :class:`DistObjectSnapshot` stores an object's state as key/value pairs —
 key = the place's *index* in the object's place group, value = that place's
-data partition — in a **double in-memory store**: the primary copy on the
-owning place and a backup copy on the *next* place of the group (wrapping
-around).  Saving costs the same from every place (one local copy plus one
-remote copy); loading is cheap when the requested key is local and costs a
-transfer otherwise.
+data partition — in a **tiered, k-replica store**:
 
-The store survives any single place failure.  If two *adjacent* places die
-before the next checkpoint commits, both copies of one key are lost and
-:meth:`DistObjectSnapshot.fetch` raises :class:`DataLossError` — tested
-behaviour, not a corner we paper over.
+* tier 0: the primary copy in the owning place's heap;
+* tiers 1..k: in-memory backup copies on the places chosen by a pluggable
+  :class:`~repro.resilience.placement.ReplicaPlacement` policy (the paper's
+  double store is ``backups=1`` with ring placement: one copy on the *next*
+  place);
+* final tier (opt-in ``stable_fallback=True``): a copy on the shared
+  stable store, written through the engine's disk resource at checkpoint
+  time and only read back when **every** in-memory copy of a partition has
+  died with its places.
+
+Saving costs one local copy, one engine-routed transfer per remote replica
+(a fan-out from the owning place) and, with the fallback tier, one disk
+write.  Loading prefers the primary, falls through the replicas in
+placement order, and reaches the disk tier last; only when a key survives
+in *no* tier does :meth:`DistObjectSnapshot.fetch` raise
+:class:`DataLossError` — tested behaviour, not a corner we paper over.
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ import itertools
 from abc import ABC, abstractmethod
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.resilience.placement import ReplicaPlacement, RingPlacement
 from repro.runtime.exceptions import DataLossError
 from repro.runtime.place import PlaceGroup
 from repro.runtime.runtime import PlaceContext, Runtime
@@ -43,15 +52,20 @@ class Snapshottable(ABC):
 
 
 class DistObjectSnapshot:
-    """Double in-memory key/value store for one GML object's partitions.
+    """Tiered in-memory key/value store for one GML object's partitions.
 
     Entries live in the place heaps under ``("snap", id, key)`` (primary)
-    and ``("snapb", id, key)`` (backup on the next place), so a place's
-    death destroys exactly the copies it held.
+    and ``("snapb", id, key, replica)`` (backups at the placement policy's
+    offsets), so a place's death destroys exactly the copies it held.  With
+    ``stable_fallback`` each partition is additionally written through the
+    engine's shared disk and survives any set of place failures.
 
     ``meta`` carries object-specific restore metadata (the data grid, the
     block→place owner map, the vector partition) captured at snapshot time.
     """
+
+    #: Sentinel "place id" returned by :meth:`locate` for the disk tier.
+    STABLE_TIER = -1
 
     def __init__(
         self,
@@ -59,6 +73,8 @@ class DistObjectSnapshot:
         group: PlaceGroup,
         meta: Optional[Dict[str, Any]] = None,
         backups: int = 1,
+        placement: Optional[ReplicaPlacement] = None,
+        stable_fallback: bool = False,
     ):
         require(backups >= 0, "backups must be >= 0")
         self.runtime = runtime
@@ -66,8 +82,14 @@ class DistObjectSnapshot:
         self.snap_id = next(_snap_counter)
         self.meta: Dict[str, Any] = dict(meta or {})
         self.backups = backups
+        self.placement = placement if placement is not None else RingPlacement()
+        self._offsets = self.placement.offsets(backups, group.size)
+        self.stable_fallback = stable_fallback
+        self._stable: Dict[int, Any] = {}
         self._saved_keys: set = set()
         self.total_nbytes = 0.0
+        #: Restore reads that fell through every in-memory copy to disk.
+        self.fallback_reads = 0
 
     # -- keys ------------------------------------------------------------
 
@@ -78,8 +100,8 @@ class DistObjectSnapshot:
         return ("snapb", self.snap_id, key, replica)
 
     def _backup_place(self, key: int, replica: int):
-        """The place holding the *replica*-th backup of *key* (wrapping)."""
-        return self.group[(key + replica) % self.group.size]
+        """The place holding the *replica*-th backup of *key*."""
+        return self.group[(key + self._offsets[replica - 1]) % self.group.size]
 
     # -- saving ------------------------------------------------------------
 
@@ -87,28 +109,45 @@ class DistObjectSnapshot:
         """Save one partition from within a finish task at the owning place.
 
         The caller must pass an already-copied payload (the snapshot must
-        not alias live data).  Charges one local copy plus one transfer per
-        backup replica (the paper's double store is ``backups=1``: uniform
-        save cost from any place).
+        not alias live data).  Charges one local copy, then fans the backup
+        replicas out over the engine's transfer resources from a common
+        issue time (the sends serialize on the owner's transmit side, the
+        receivers absorb them concurrently), and finally one engine disk
+        write when the stable fallback tier is enabled.
         """
         require(
             self.group.index_of(ctx.place) == key,
             f"partition {key} must be saved from group index {key}, "
             f"not from {ctx.place}",
         )
+        rt = self.runtime
         nbytes = payload_nbytes(payload)
         ctx.heap.put(self._primary_key(key), payload)
         ctx.charge_memcpy(nbytes)
+        fanout = []
         for replica in range(1, self.backups + 1):
             backup_place = self._backup_place(key, replica)
             if backup_place != ctx.place:
-                ctx.write_remote(
-                    backup_place.id, self._backup_key(key, replica), payload, nbytes
-                )
+                fanout.append((backup_place.id, self._backup_key(key, replica)))
             else:
-                # Group smaller than the replica ring: degenerate local copy.
+                # Single-place group: degenerate local copy.
                 ctx.heap.put(self._backup_key(key, replica), payload)
                 ctx.charge_memcpy(nbytes)
+        if fanout:
+            cost = rt.cost
+            rt.engine.transfer_fanout(
+                ctx.place.id, [pid for pid, _ in fanout], nbytes, ctx.now
+            )
+            for pid, heap_key in fanout:
+                rt.heap_of(pid).put(heap_key, payload)
+            rt.clock.set_at_least(
+                ctx.place.id, ctx.now + len(fanout) * cost.message(0)
+            )
+            rt.stats.messages += len(fanout)
+            rt.stats.bytes_sent += len(fanout) * cost.scaled_bytes(nbytes)
+        if self.stable_fallback:
+            rt.engine.stable_write(ctx.place.id, nbytes)
+            self._stable[key] = payload
         self._saved_keys.add(key)
         self.total_nbytes += nbytes
 
@@ -125,9 +164,9 @@ class DistObjectSnapshot:
     def locate(self, key: int) -> Tuple[int, tuple]:
         """``(place_id, heap_key)`` of a surviving copy of *key*.
 
-        Prefers the primary copy, then the backups in ring order; raises
-        :class:`DataLossError` when every copy is gone (``backups + 1``
-        consecutive ring places died before the next checkpoint).
+        Prefers the primary copy, then the backups in placement order, then
+        the stable tier (place id :data:`STABLE_TIER`); raises
+        :class:`DataLossError` only when every tier has lost the key.
         """
         require(key in self._saved_keys, f"snapshot has no key {key}")
         rt = self.runtime
@@ -139,9 +178,11 @@ class DistObjectSnapshot:
             heap_key = self._backup_key(key, replica)
             if rt.is_alive(backup.id) and rt.heap_of(backup.id).contains(heap_key):
                 return backup.id, heap_key
+        if key in self._stable:
+            return self.STABLE_TIER, ("stable", self.snap_id, key)
         raise DataLossError(
-            f"all {self.backups + 1} copies of snapshot key {key} lost "
-            f"(primary {primary} and its backup ring)"
+            f"all {self.backups + 1} in-memory copies of snapshot key {key} lost "
+            f"(primary {primary} and its replica set; no stable-storage tier)"
         )
 
     def fetch(
@@ -159,8 +200,22 @@ class DistObjectSnapshot:
         overlap region and ships just that sub-block.  ``extract_flops``
         charges the scanning work (e.g. the sparse non-zero counting pass)
         and ``extract_bytes`` the copy that materializes the sub-block.
+
+        When every in-memory copy is gone the read falls through to the
+        stable tier: the restoring place pays the engine's disk read and
+        cuts the sub-block locally (there is no owning place left to run
+        the extractor on).
         """
         src_id, heap_key = self.locate(key)
+        if src_id == self.STABLE_TIER:
+            payload = self._stable[key]
+            self.runtime.engine.stable_read(ctx.place.id, payload_nbytes(payload))
+            self.fallback_reads += 1
+            self.runtime.stats.stable_fallback_reads += 1
+            if extract is not None:
+                payload = extract(payload)
+                ctx.charge_memcpy(payload_nbytes(payload))
+            return payload
         payload = self.runtime.heap_of(src_id).get(heap_key)
         if extract is not None:
             cost = self.runtime.cost
@@ -175,13 +230,14 @@ class DistObjectSnapshot:
             _ = ctx.read_remote(src_id, heap_key, nbytes)
         return payload
 
+    # -- health -----------------------------------------------------------
+
     def fully_redundant(self) -> bool:
         """True if every key still has its primary AND all backup copies.
 
-        A snapshot that survived a failure is down to fewer copies for some
-        keys; the store only reuses read-only snapshots while full
-        redundancy holds, otherwise the next failure could destroy the last
-        copy.
+        A snapshot that survived a failure is down to fewer in-memory
+        copies for some keys; full redundancy is what the read-only reuse
+        optimization requires of snapshots without a stable tier.
         """
         rt = self.runtime
         for key in self._saved_keys:
@@ -194,6 +250,39 @@ class DistObjectSnapshot:
                 if not rt.is_alive(place.id):
                     return False
                 if not rt.heap_of(place.id).contains(heap_key):
+                    return False
+        return True
+
+    def reusable(self) -> bool:
+        """True if a later checkpoint may safely re-reference this snapshot.
+
+        Without a stable tier that means full in-memory redundancy (the
+        next failure must not destroy the last copy); with the fallback
+        tier the disk copy makes reuse safe even while degraded.
+        """
+        if self.stable_fallback and self._saved_keys:
+            if all(key in self._stable for key in self._saved_keys):
+                return True
+        return self.fully_redundant()
+
+    def recoverable(self) -> bool:
+        """True while at least one copy of every key survives in some tier."""
+        try:
+            for key in self._saved_keys:
+                self.locate(key)
+        except DataLossError:
+            return False
+        return True
+
+    def placement_ok(self) -> bool:
+        """Invariant: no backup replica shares a place with its primary
+        (vacuously true for single-place groups, which have nowhere else)."""
+        if self.group.size <= 1:
+            return True
+        for key in self._saved_keys:
+            primary = self.group[key]
+            for replica in range(1, self.backups + 1):
+                if self._backup_place(key, replica) == primary:
                     return False
         return True
 
@@ -211,10 +300,12 @@ class DistObjectSnapshot:
             for place, heap_key in copies:
                 if rt.is_alive(place.id):
                     rt.heap_of(place.id).remove_if_present(heap_key)
+        self._stable.clear()
         self._saved_keys.clear()
 
     def __repr__(self) -> str:
         return (
             f"DistObjectSnapshot(id={self.snap_id}, keys={sorted(self._saved_keys)}, "
-            f"group={self.group.ids})"
+            f"group={self.group.ids}, backups={self.backups}, "
+            f"placement={self.placement.name}, stable_fallback={self.stable_fallback})"
         )

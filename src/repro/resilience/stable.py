@@ -18,7 +18,11 @@ so the trade can be measured:
 
 It is API-compatible with :class:`DistObjectSnapshot`, so every GML
 object's ``restore_snapshot`` works against it unchanged; objects opt in
-by setting ``snapshot_to_stable_storage = True``.
+by setting ``snapshot_to_stable_storage = True``.  The same disk resource
+also backs the *fallback tier* of the tiered in-memory store
+(``stable_fallback=True`` on :class:`DistObjectSnapshot`), where it is
+written at checkpoint time but only read once every in-memory replica of
+a partition is gone.
 """
 
 from __future__ import annotations
@@ -67,7 +71,7 @@ class StableObjectSnapshot(DistObjectSnapshot):
     def locate(self, key: int) -> Tuple[int, tuple]:
         """Stable storage always has the partition (no place holds it)."""
         require(key in self._saved_keys, f"snapshot has no key {key}")
-        return -1, ("stable", self.snap_id, key)
+        return self.STABLE_TIER, ("stable", self.snap_id, key)
 
     def fetch(
         self,
@@ -95,6 +99,10 @@ class StableObjectSnapshot(DistObjectSnapshot):
 
     def fully_redundant(self) -> bool:
         """Stable storage never degrades: reuse is always safe."""
+        return bool(self._saved_keys)
+
+    def recoverable(self) -> bool:
+        """Every saved key survives by construction."""
         return bool(self._saved_keys)
 
     # -- lifecycle --------------------------------------------------------------

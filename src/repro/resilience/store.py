@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.resilience.placement import ReplicaPlacement
 from repro.resilience.snapshot import DistObjectSnapshot, Snapshottable
 from repro.runtime.runtime import Runtime
 from repro.util.validation import require
@@ -51,11 +52,31 @@ class AppResilientStore:
         store.restore()          # after remake()s, reload all saved objects
     """
 
-    def __init__(self, runtime: Runtime):
+    def __init__(
+        self,
+        runtime: Runtime,
+        replicas: Optional[int] = None,
+        placement: Optional[ReplicaPlacement] = None,
+        stable_fallback: Optional[bool] = None,
+    ):
         self.runtime = runtime
+        #: Store-level replication knobs; ``None`` leaves each object's own
+        #: snapshot configuration untouched, a value overrides all of them.
+        self.replicas = replicas
+        self.placement = placement
+        self.stable_fallback = stable_fallback
         self.snapshots: List[AppSnapshot] = []
         self._in_progress: Optional[AppSnapshot] = None
         self._read_only_registry: Dict[Snapshottable, DistObjectSnapshot] = {}
+
+    def _configure(self, obj: Snapshottable) -> None:
+        """Push the store-level replication policy onto one object."""
+        if self.replicas is not None:
+            obj.snapshot_backups = self.replicas
+        if self.placement is not None:
+            obj.snapshot_placement = self.placement
+        if self.stable_fallback is not None:
+            obj.snapshot_stable_fallback = self.stable_fallback
 
     # -- checkpoint construction ------------------------------------------------
 
@@ -68,6 +89,7 @@ class AppResilientStore:
         """Snapshot a mutable object into the in-progress checkpoint."""
         require(self._in_progress is not None, "call start_new_snapshot() first")
         require(obj not in self._in_progress.snapshots, "object already saved")
+        self._configure(obj)
         try:
             self._in_progress.snapshots[obj] = obj.make_snapshot()
         except Exception:
@@ -77,13 +99,15 @@ class AppResilientStore:
     def save_read_only(self, obj: Snapshottable) -> None:
         """Snapshot an immutable object, reusing an existing snapshot if any.
 
-        If any copy of the previous read-only snapshot has been lost to a
-        failure, a fresh snapshot is taken (the reuse is an optimization,
+        If the previous read-only snapshot can no longer be safely shared —
+        an in-memory copy was lost to a failure and there is no stable tier
+        behind it — a fresh snapshot is taken (the reuse is an optimization,
         not a correctness assumption).
         """
         require(self._in_progress is not None, "call start_new_snapshot() first")
+        self._configure(obj)
         existing = self._read_only_registry.get(obj)
-        if existing is not None and existing.fully_redundant():
+        if existing is not None and existing.reusable():
             self._in_progress.read_only[obj] = existing
             return
         # First save, or the old snapshot lost copies to a failure: take a

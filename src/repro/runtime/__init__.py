@@ -20,7 +20,13 @@ from repro.runtime.exceptions import (
     RuntimeFault,
     SpareExhaustedError,
 )
-from repro.runtime.failure import ExponentialFailureModel, FailureInjector, ScriptedKill
+from repro.runtime.failure import (
+    AdjacentPairFailureModel,
+    ExponentialFailureModel,
+    FailureInjector,
+    RackFailureModel,
+    ScriptedKill,
+)
 from repro.runtime.finish import FinishReport, PlaceZeroLedger
 from repro.runtime.globalref import GlobalRef, PlaceLocalHandle
 from repro.runtime.heap import PlaceHeap
@@ -38,8 +44,10 @@ __all__ = [
     "PlaceZeroDeadError",
     "RuntimeFault",
     "SpareExhaustedError",
+    "AdjacentPairFailureModel",
     "ExponentialFailureModel",
     "FailureInjector",
+    "RackFailureModel",
     "ScriptedKill",
     "FinishReport",
     "PlaceZeroLedger",

@@ -1,4 +1,4 @@
-"""Fail-stop failure injection.
+"""Fail-stop failure injection, including correlated chaos models.
 
 The paper's experiments kill one place at a chosen iteration; the framework
 must also survive arbitrary additional failures (including failures *during*
@@ -7,8 +7,20 @@ checkpoint or restore).  The injector supports:
 * scripted kills — "kill place *p* before iteration *n*" or "at the *k*-th
   runtime phase" (a phase is one collective finish), which lets tests kill a
   place in the middle of an iteration or mid-checkpoint;
+* **context-triggered** kills — "kill place *p* during the *n*-th
+  checkpoint (or restore)": the executor announces entering/leaving those
+  phases, and the kill fires at the first finish inside the matching one;
 * random kills drawn from an exponential MTTF model, as assumed by Young's
-  checkpoint-interval formula.
+  checkpoint-interval formula;
+* **correlated** burst models for the chaos campaigns: an adjacent pair of
+  places dying together (the scenario that defeats the paper's double
+  store) and whole-"rack" bursts where every place of a failure group dies
+  at once.
+
+Scheduling a kill of place zero (immortal by Resilient X10 assumption) or a
+second kill of a place that an earlier scripted kill already condemns is
+rejected with a clear error — such schedules never fire and silently turn
+chaos tests into no-ops.
 
 The injector only *decides* when a place dies; the runtime performs the kill
 (destroying the heap) and surfaces ``DeadPlaceException`` at the enclosing
@@ -18,9 +30,12 @@ finish, mirroring Resilient X10 semantics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 import numpy as np
+
+#: Context names the executor announces for ``during=`` triggers.
+KILL_CONTEXTS = ("checkpoint", "restore")
 
 
 @dataclass(frozen=True)
@@ -34,11 +49,31 @@ class ScriptedKill:
     phase: Optional[int] = None
     #: Fire once virtual global time reaches this value (None = not used).
     time: Optional[float] = None
+    #: Fire at the first finish inside this executor context
+    #: ("checkpoint" or "restore"); see ``occurrence``.
+    during: Optional[str] = None
+    #: With ``during``: fire inside the *occurrence*-th entry of the context
+    #: (1 = the first checkpoint/restore, 2 = the second, ...).
+    occurrence: int = 1
 
     def __post_init__(self) -> None:
-        triggers = [t is not None for t in (self.iteration, self.phase, self.time)]
+        if self.place_id == 0:
+            raise ValueError(
+                "cannot script a kill of place 0: Resilient X10 assumes an "
+                "immortal place zero (its death aborts the whole run)"
+            )
+        triggers = [
+            t is not None
+            for t in (self.iteration, self.phase, self.time, self.during)
+        ]
         if sum(triggers) != 1:
-            raise ValueError("exactly one of iteration/phase/time must be set")
+            raise ValueError(
+                "exactly one of iteration/phase/time/during must be set"
+            )
+        if self.during is not None and self.during not in KILL_CONTEXTS:
+            raise ValueError(f"during must be one of {KILL_CONTEXTS}")
+        if self.occurrence < 1:
+            raise ValueError("occurrence must be >= 1")
 
 
 class FailureInjector:
@@ -46,28 +81,78 @@ class FailureInjector:
 
     The runtime polls :meth:`due_at_phase` at every phase boundary and the
     executor polls :meth:`due_at_iteration` at every iteration boundary.
+    The executor additionally brackets checkpoints and restores with
+    :meth:`enter_context` / :meth:`exit_context` so ``during=`` kills land
+    mid-protocol (while backup transfers or partition reloads are in
+    flight).
     """
 
     def __init__(self, kills: Optional[List[ScriptedKill]] = None):
-        self.kills: List[ScriptedKill] = list(kills or [])
+        self.kills: List[ScriptedKill] = []
         self._fired: Set[int] = set()
+        self._active_contexts: List[str] = []
+        self._context_counts: Dict[str, int] = {}
+        for kill in kills or []:
+            self.add(kill)
 
     # -- scripting ----------------------------------------------------------
 
+    def add(self, kill: ScriptedKill) -> "FailureInjector":
+        """Schedule one validated kill (duplicates rejected).
+
+        A place dies exactly once under fail-stop semantics: a second
+        scripted kill of the same place could never fire and would silently
+        weaken the schedule, so it is an error.
+        """
+        for existing in self.kills:
+            if existing.place_id == kill.place_id:
+                raise ValueError(
+                    f"duplicate scripted kill of place {kill.place_id}: it is "
+                    f"already condemned by {existing} and will be dead when "
+                    f"this kill fires"
+                )
+        self.kills.append(kill)
+        return self
+
     def kill_at_iteration(self, place_id: int, iteration: int) -> "FailureInjector":
         """Schedule *place_id* to die just before *iteration* starts."""
-        self.kills.append(ScriptedKill(place_id=place_id, iteration=iteration))
-        return self
+        return self.add(ScriptedKill(place_id=place_id, iteration=iteration))
 
     def kill_at_phase(self, place_id: int, phase: int) -> "FailureInjector":
         """Schedule *place_id* to die just before runtime phase *phase*."""
-        self.kills.append(ScriptedKill(place_id=place_id, phase=phase))
-        return self
+        return self.add(ScriptedKill(place_id=place_id, phase=phase))
 
     def kill_at_time(self, place_id: int, time: float) -> "FailureInjector":
         """Schedule *place_id* to die once virtual time reaches *time*."""
-        self.kills.append(ScriptedKill(place_id=place_id, time=time))
-        return self
+        return self.add(ScriptedKill(place_id=place_id, time=time))
+
+    def kill_during(
+        self, place_id: int, context: str, occurrence: int = 1
+    ) -> "FailureInjector":
+        """Schedule *place_id* to die inside the *occurrence*-th *context*
+        ("checkpoint" or "restore")."""
+        return self.add(
+            ScriptedKill(place_id=place_id, during=context, occurrence=occurrence)
+        )
+
+    # -- executor context tracking -------------------------------------------
+
+    def enter_context(self, name: str) -> None:
+        """The executor is entering a checkpoint/restore protocol."""
+        self._active_contexts.append(name)
+        self._context_counts[name] = self._context_counts.get(name, 0) + 1
+
+    def exit_context(self, name: str) -> None:
+        """The executor left the innermost protocol context."""
+        if self._active_contexts and self._active_contexts[-1] == name:
+            self._active_contexts.pop()
+
+    def _context_due(self, kill: ScriptedKill) -> bool:
+        return (
+            kill.during is not None
+            and kill.during in self._active_contexts
+            and self._context_counts.get(kill.during, 0) >= kill.occurrence
+        )
 
     # -- polling -------------------------------------------------------------
 
@@ -88,16 +173,26 @@ class FailureInjector:
         )
 
     def due_at_phase(self, phase: int, global_time: float) -> List[int]:
-        """Place ids that should die before this phase (incl. timed kills)."""
+        """Place ids that should die before this phase (incl. timed and
+        context-triggered kills)."""
         return self._take(
             lambda k: (k.phase is not None and phase >= k.phase)
             or (k.time is not None and global_time >= k.time)
+            or self._context_due(k)
         )
+
+    def unfired(self) -> List[ScriptedKill]:
+        """Scripted kills that have not fired (yet).
+
+        Exposed through ``ExecutionReport.pending_kills`` so tests notice
+        schedules that never triggered.
+        """
+        return [k for i, k in enumerate(self.kills) if i not in self._fired]
 
     @property
     def pending(self) -> int:
         """Number of scheduled kills that have not fired yet."""
-        return len(self.kills) - len(self._fired)
+        return len(self.unfired())
 
 
 @dataclass
@@ -134,4 +229,98 @@ class ExponentialFailureModel:
                 break
             victim = remaining.pop(int(self._rng.integers(len(remaining))))
             kills.append(ScriptedKill(place_id=victim, time=t))
+        return kills
+
+
+@dataclass
+class AdjacentPairFailureModel:
+    """Correlated bursts: both places of an adjacent pair die *together*.
+
+    Adjacency is positional in *candidate_ids* (the snapshot ring order) —
+    exactly the correlation that destroys both copies of a partition in the
+    paper's double store.  Events arrive at exponential intervals; each
+    event picks one random not-yet-condemned adjacent pair (place zero
+    never participates) and schedules both members at the same instant.
+    """
+
+    mttf: float
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.mttf <= 0:
+            raise ValueError("mttf must be positive")
+        object.__setattr__(self, "_rng", np.random.default_rng(self.seed))
+
+    def schedule(
+        self, candidate_ids: List[int], horizon: float
+    ) -> List[ScriptedKill]:
+        """Sample simultaneous adjacent-pair kills up to *horizon*."""
+        kills: List[ScriptedKill] = []
+        condemned: Set[int] = {0}
+        t = 0.0
+        while True:
+            pairs = [
+                (a, b)
+                for a, b in zip(candidate_ids, candidate_ids[1:])
+                if a not in condemned and b not in condemned
+            ]
+            if not pairs:
+                break
+            t += float(self._rng.exponential(self.mttf))
+            if t > horizon:
+                break
+            a, b = pairs[int(self._rng.integers(len(pairs)))]
+            condemned.update((a, b))
+            kills.append(ScriptedKill(place_id=a, time=t))
+            kills.append(ScriptedKill(place_id=b, time=t))
+        return kills
+
+
+@dataclass
+class RackFailureModel:
+    """Same-"rack" correlated failures: a whole failure group dies at once.
+
+    Places are grouped into racks of *rack_size* consecutive ids (the
+    shared-power/shared-switch unit).  Each exponential event kills every
+    not-yet-dead member of one random rack simultaneously; place zero is
+    spared even when its rack is hit (immortality assumption), so the
+    paper's framework observes the worst legal burst.
+    """
+
+    rack_size: int
+    mttf: float
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.rack_size < 1:
+            raise ValueError("rack_size must be >= 1")
+        if self.mttf <= 0:
+            raise ValueError("mttf must be positive")
+        object.__setattr__(self, "_rng", np.random.default_rng(self.seed))
+
+    def racks(self, candidate_ids: Sequence[int]) -> List[List[int]]:
+        """The failure groups over *candidate_ids* (place zero excluded)."""
+        by_rack: Dict[int, List[int]] = {}
+        for pid in candidate_ids:
+            if pid == 0:
+                continue
+            by_rack.setdefault(pid // self.rack_size, []).append(pid)
+        return [by_rack[r] for r in sorted(by_rack)]
+
+    def schedule(
+        self, candidate_ids: List[int], horizon: float
+    ) -> List[ScriptedKill]:
+        """Sample whole-rack bursts up to virtual time *horizon*."""
+        kills: List[ScriptedKill] = []
+        remaining = self.racks(candidate_ids)
+        t = 0.0
+        while remaining:
+            t += float(self._rng.exponential(self.mttf))
+            if t > horizon:
+                break
+            rack = remaining.pop(int(self._rng.integers(len(remaining))))
+            for pid in rack:
+                kills.append(ScriptedKill(place_id=pid, time=t))
         return kills

@@ -65,6 +65,9 @@ class RuntimeStats:
     messages: int = 0
     bytes_sent: float = 0.0
     kills: int = 0
+    #: Snapshot restore reads that fell through every in-memory replica
+    #: to the stable-storage tier (the last rung of the recovery ladder).
+    stable_fallback_reads: int = 0
     finish_reports: List[FinishReport] = field(default_factory=list)
 
     def reset_reports(self) -> None:

@@ -1,0 +1,98 @@
+"""Seeded chaos campaigns: hundreds of randomized failure schedules.
+
+The acceptance bar from the tiered-store PR: >= 200 seeded schedules per
+app across two apps with zero recovery-invariant violations.  Each
+schedule randomizes victims, triggers (iteration / phase / mid-checkpoint
+/ mid-restore / correlated bursts), restore mode and checkpoint mode; the
+campaign runner asserts, per schedule, that
+
+* a converged run matches the failure-free result,
+* every restore rolled back to a committed checkpoint iteration,
+* the store holds no half-committed snapshot afterwards,
+* no surviving replica co-resides with its primary, and
+* ``DataLossError`` never escapes a store with the stable-storage tier.
+"""
+
+import pytest
+
+from repro.chaos import CampaignConfig, run_campaign
+
+SCHEDULES = 200
+
+
+def _assert_clean(result):
+    assert result.violations == [], "\n".join(
+        f"#{o.index} [{o.kills}] {o.detail}" for o in result.violations
+    )
+    assert len(result.outcomes) == SCHEDULES
+    # The campaign must actually exercise recovery, not just sail through.
+    counts = result.counts()
+    assert counts.get("recovered", 0) > 0
+
+
+@pytest.mark.parametrize("app", ["linreg", "pagerank"])
+def test_campaign_k2_spread_in_memory(app):
+    result = run_campaign(
+        CampaignConfig(
+            app=app,
+            schedules=SCHEDULES,
+            seed=11,
+            replicas=2,
+            placement="spread",
+        )
+    )
+    _assert_clean(result)
+
+
+@pytest.mark.parametrize("app", ["linreg", "pagerank"])
+def test_campaign_stable_fallback_never_loses_data(app):
+    # With the disk tier on, *accepted* data loss is off the table: any
+    # DataLossError other than "no recovery point" is an invariant
+    # violation, so a clean campaign means the ladder always bottomed out
+    # on stable storage.
+    result = run_campaign(
+        CampaignConfig(
+            app=app,
+            schedules=SCHEDULES,
+            seed=23,
+            replicas=1,
+            placement="ring",
+            stable_fallback=True,
+        )
+    )
+    _assert_clean(result)
+    assert result.counts().get("data_loss", 0) == 0
+
+
+def test_campaign_with_spares_exercises_replacement():
+    result = run_campaign(
+        CampaignConfig(
+            app="linreg",
+            schedules=60,
+            seed=37,
+            replicas=2,
+            placement="spread",
+            spares=2,
+        )
+    )
+    assert result.violations == []
+
+
+def test_campaign_is_deterministic_per_seed():
+    cfg = CampaignConfig(app="linreg", schedules=25, seed=5, replicas=2,
+                         placement="spread")
+    a, b = run_campaign(cfg), run_campaign(cfg)
+    assert [(o.status, o.kills) for o in a.outcomes] == [
+        (o.status, o.kills) for o in b.outcomes
+    ]
+
+
+def test_summary_mentions_every_status():
+    result = run_campaign(
+        CampaignConfig(app="linreg", schedules=30, seed=2, replicas=2,
+                       placement="spread")
+    )
+    text = result.summary()
+    assert "schedules=30" in text
+    for status in result.counts():
+        assert status in text

@@ -18,6 +18,7 @@ from repro.apps.nonresilient import (
 )
 from repro.apps.resilient import LinRegResilient, LogRegResilient, PageRankResilient
 from repro.resilience.executor import IterativeExecutor, RestoreMode
+from repro.resilience.placement import SpreadPlacement
 from repro.runtime import CostModel, Runtime
 
 ITER = 12
@@ -176,3 +177,81 @@ def test_virtual_time_restore_modes_ordering():
         times[mode] = report.restore_time
     assert times[RestoreMode.SHRINK_REBALANCE] > times[RestoreMode.SHRINK]
     assert times[RestoreMode.SHRINK] > times[RestoreMode.REPLACE_REDUNDANT]
+
+
+def test_failure_mid_overlapped_checkpoint_recovers():
+    # The kill lands inside the second checkpoint's capture while the
+    # first checkpoint's backup transfers are still deferred in the
+    # overlap scope: the attempt is cancelled, the deferred transfers are
+    # drained, and recovery proceeds from the previous commit.
+    ref = baseline(LinRegNonResilient, REG_WL, lambda a: a.model())
+    rt = Runtime(4, cost=CostModel.zero(), resilient=True)
+    app = LinRegResilient(rt, REG_WL)
+    rt.injector.kill_during(2, "checkpoint", occurrence=2)
+    executor = IterativeExecutor(
+        rt, app, checkpoint_interval=4, checkpoint_mode="overlapped"
+    )
+    report = executor.run()
+    assert report.restores == 1
+    assert not executor.store.in_progress
+    assert executor.store.latest_iteration >= 0
+    assert np.allclose(app.model(), ref, atol=1e-8)
+
+
+def test_spare_exhaustion_falls_back_to_shrink_rebalance():
+    # Two consecutive failures (no re-checkpoint in between) with one
+    # spare: the first is replaced, the second exhausts the pool and the
+    # executor degrades to the configured SHRINK_REBALANCE fallback.  The
+    # k=2 spread store keeps a copy of every partition alive through both
+    # kills — the k=1 ring scheme would lose data here.
+    ref = baseline(LinRegNonResilient, REG_WL, lambda a: a.model())
+    rt = Runtime(4, cost=CostModel.zero(), resilient=True, spares=1)
+    app = LinRegResilient(rt, REG_WL)
+    rt.injector.kill_at_iteration(1, iteration=4)  # replaced by spare (id 4)
+    rt.injector.kill_at_iteration(2, iteration=5)  # spares exhausted
+    report = IterativeExecutor(
+        rt,
+        app,
+        checkpoint_interval=3,
+        mode=RestoreMode.REPLACE_REDUNDANT,
+        spare_fallback=RestoreMode.SHRINK_REBALANCE,
+        replicas=2,
+        placement=SpreadPlacement(),
+    ).run()
+    assert report.restores == 2
+    assert app.places.size == 3
+    assert 4 in app.places.ids and 2 not in app.places.ids
+    assert report.stable_fallback_reads == 0  # survived purely in memory
+    assert np.allclose(app.model(), ref, atol=1e-8)
+
+
+def test_aborted_restore_is_accounted():
+    # A second failure strikes in the middle of the restore: the executor
+    # records the aborted attempt separately and retries until recovery
+    # completes, rolling back to a committed iteration.
+    ref = baseline(LinRegNonResilient, REG_WL, lambda a: a.model())
+    rt = Runtime(4, cost=CostModel.zero(), resilient=True)
+    app = LinRegResilient(rt, REG_WL)
+    rt.injector.kill_at_iteration(1, iteration=4)
+    rt.injector.kill_during(2, "restore")
+    report = IterativeExecutor(
+        rt, app, checkpoint_interval=3, replicas=2, placement=SpreadPlacement()
+    ).run()
+    assert report.aborted_restores == 1
+    assert len(report.aborted_restore_durations) == 1
+    assert report.restores == 1
+    assert report.restored_iterations == [3]
+    assert report.failures_observed >= 2
+    assert report.pending_kills == []
+    assert app.places.ids == [0, 3]
+    assert np.allclose(app.model(), ref, atol=1e-8)
+
+
+def test_unfired_kills_reported_as_pending():
+    rt = Runtime(4, cost=CostModel.zero(), resilient=True)
+    app = LinRegResilient(rt, REG_WL)
+    rt.injector.kill_at_iteration(2, iteration=999)  # never reached
+    report = IterativeExecutor(rt, app, checkpoint_interval=3).run()
+    assert len(report.pending_kills) == 1
+    assert report.pending_kills[0].place_id == 2
+    assert report.failures_observed == 0

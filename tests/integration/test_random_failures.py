@@ -92,9 +92,16 @@ def test_runs_are_deterministic_per_schedule(seed):
         assert time_a == time_b
 
 
-def test_killing_place_zero_always_fatal():
+def test_scripting_a_place_zero_kill_rejected():
+    # The injector refuses the schedule outright: place zero is immortal,
+    # so a scripted kill of it could only ever abort the whole run.
     rt = Runtime(3, cost=CostModel.zero(), resilient=True)
-    app = PageRankResilient(rt, WL)
-    rt.injector.kill_at_iteration(0, iteration=2)
+    with pytest.raises(ValueError, match="place 0"):
+        rt.injector.kill_at_iteration(0, iteration=2)
+
+
+def test_killing_place_zero_always_fatal():
+    # Killing place zero directly (outside the injector) stays fatal.
+    rt = Runtime(3, cost=CostModel.zero(), resilient=True)
     with pytest.raises(PlaceZeroDeadError):
-        IterativeExecutor(rt, app, checkpoint_interval=3).run()
+        rt.kill(0)

@@ -189,6 +189,9 @@ class FakeSnapshot:
     def fully_redundant(self):
         return self.redundant
 
+    def reusable(self):
+        return self.redundant
+
     def delete(self):
         self.deleted = True
 

@@ -1,10 +1,12 @@
-"""Tests for scripted and random failure injection."""
+"""Tests for scripted, context-triggered and random failure injection."""
 
 import pytest
 
 from repro.runtime.failure import (
+    AdjacentPairFailureModel,
     ExponentialFailureModel,
     FailureInjector,
+    RackFailureModel,
     ScriptedKill,
 )
 
@@ -16,6 +18,18 @@ class TestScriptedKill:
         with pytest.raises(ValueError):
             ScriptedKill(place_id=1, iteration=1, phase=2)
         ScriptedKill(place_id=1, iteration=3)  # ok
+
+    def test_place_zero_rejected(self):
+        with pytest.raises(ValueError, match="place 0"):
+            ScriptedKill(place_id=0, iteration=3)
+
+    def test_during_validates_context_name(self):
+        ScriptedKill(place_id=1, during="checkpoint")  # ok
+        ScriptedKill(place_id=1, during="restore", occurrence=2)  # ok
+        with pytest.raises(ValueError):
+            ScriptedKill(place_id=1, during="reduction")
+        with pytest.raises(ValueError):
+            ScriptedKill(place_id=1, during="checkpoint", occurrence=0)
 
 
 class TestFailureInjector:
@@ -48,6 +62,64 @@ class TestFailureInjector:
         )
         assert sorted(inj.due_at_iteration(4)) == [1, 3]
 
+    def test_place_zero_kill_rejected_at_scheduling(self):
+        inj = FailureInjector()
+        with pytest.raises(ValueError, match="immortal"):
+            inj.kill_at_iteration(0, iteration=2)
+
+    def test_duplicate_kill_of_same_place_rejected(self):
+        inj = FailureInjector().kill_at_iteration(2, iteration=3)
+        with pytest.raises(ValueError, match="duplicate"):
+            inj.kill_at_phase(2, phase=9)
+        with pytest.raises(ValueError, match="duplicate"):
+            inj.kill_at_iteration(2, iteration=3)
+
+    def test_duplicates_in_constructor_list_rejected(self):
+        kills = [
+            ScriptedKill(place_id=1, iteration=2),
+            ScriptedKill(place_id=1, phase=5),
+        ]
+        with pytest.raises(ValueError, match="duplicate"):
+            FailureInjector(kills)
+
+    def test_unfired_lists_pending_kills(self):
+        inj = (
+            FailureInjector()
+            .kill_at_iteration(1, iteration=3)
+            .kill_at_iteration(2, iteration=99)
+        )
+        inj.due_at_iteration(3)
+        assert [k.place_id for k in inj.unfired()] == [2]
+        assert inj.pending == 1
+
+
+class TestContextTriggers:
+    def test_fires_inside_matching_context(self):
+        inj = FailureInjector().kill_during(2, "checkpoint")
+        assert inj.due_at_phase(1, 0.0) == []  # not in a checkpoint
+        inj.enter_context("checkpoint")
+        assert inj.due_at_phase(2, 0.0) == [2]
+        inj.exit_context("checkpoint")
+
+    def test_occurrence_skips_earlier_contexts(self):
+        inj = FailureInjector().kill_during(3, "checkpoint", occurrence=2)
+        inj.enter_context("checkpoint")
+        assert inj.due_at_phase(1, 0.0) == []  # first checkpoint: not yet
+        inj.exit_context("checkpoint")
+        assert inj.due_at_phase(2, 0.0) == []  # between checkpoints
+        inj.enter_context("checkpoint")
+        assert inj.due_at_phase(3, 0.0) == [3]  # second checkpoint
+        inj.exit_context("checkpoint")
+
+    def test_restore_context_independent_of_checkpoint(self):
+        inj = FailureInjector().kill_during(1, "restore")
+        inj.enter_context("checkpoint")
+        assert inj.due_at_phase(1, 0.0) == []
+        inj.exit_context("checkpoint")
+        inj.enter_context("restore")
+        assert inj.due_at_phase(2, 0.0) == [1]
+        inj.exit_context("restore")
+
 
 class TestExponentialModel:
     def test_deterministic_given_seed(self):
@@ -71,3 +143,54 @@ class TestExponentialModel:
     def test_invalid_mttf(self):
         with pytest.raises(ValueError):
             ExponentialFailureModel(mttf=0.0)
+
+
+class TestAdjacentPairModel:
+    def test_pairs_die_at_the_same_instant(self):
+        kills = AdjacentPairFailureModel(mttf=1.0, seed=5).schedule(
+            list(range(8)), 1e9
+        )
+        assert kills and len(kills) % 2 == 0
+        for a, b in zip(kills[::2], kills[1::2]):
+            assert a.time == b.time
+            assert abs(a.place_id - b.place_id) == 1
+
+    def test_deterministic_and_no_duplicates(self):
+        args = (list(range(10)), 1e9)
+        a = AdjacentPairFailureModel(mttf=2.0, seed=9).schedule(*args)
+        b = AdjacentPairFailureModel(mttf=2.0, seed=9).schedule(*args)
+        assert [(k.place_id, k.time) for k in a] == [(k.place_id, k.time) for k in b]
+        victims = [k.place_id for k in a]
+        assert len(victims) == len(set(victims))
+        assert 0 not in victims
+
+    def test_respects_horizon(self):
+        assert AdjacentPairFailureModel(mttf=50.0, seed=1).schedule([1, 2], 0.0) == []
+
+
+class TestRackModel:
+    def test_whole_rack_dies_together_sparing_place_zero(self):
+        model = RackFailureModel(rack_size=3, mttf=1.0, seed=2)
+        kills = model.schedule(list(range(9)), 1e9)
+        assert 0 not in [k.place_id for k in kills]
+        by_time = {}
+        for k in kills:
+            by_time.setdefault(k.time, []).append(k.place_id)
+        for victims in by_time.values():
+            racks = {pid // 3 for pid in victims}
+            assert len(racks) == 1  # one burst = one rack
+
+    def test_rack_grouping(self):
+        model = RackFailureModel(rack_size=2, mttf=1.0)
+        assert model.racks(range(6)) == [[1], [2, 3], [4, 5]]
+
+    def test_deterministic(self):
+        a = RackFailureModel(2, 1.0, seed=4).schedule(list(range(6)), 1e9)
+        b = RackFailureModel(2, 1.0, seed=4).schedule(list(range(6)), 1e9)
+        assert [(k.place_id, k.time) for k in a] == [(k.place_id, k.time) for k in b]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RackFailureModel(rack_size=0, mttf=1.0)
+        with pytest.raises(ValueError):
+            RackFailureModel(rack_size=2, mttf=0.0)

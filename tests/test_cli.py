@@ -122,3 +122,71 @@ class TestCheckpointMode:
         out = capsys.readouterr().out
         assert "blocking stall (ms)" in out
         assert "overlapped stall (ms)" in out
+
+
+class TestReplication:
+    def test_k2_spread_survives_adjacent_pair(self, capsys):
+        # The seed configuration would abort here; k=2 spread recovers.
+        assert main([
+            "run", "linreg", "--places", "6", "--iterations", "8",
+            "--ckpt-interval", "3", "--fail-at", "5", "--victim", "2",
+            "--replicas", "2", "--placement", "spread",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoints/restores" in out
+
+    def test_stable_fallback_reports_disk_reads(self, capsys):
+        assert main([
+            "run", "linreg", "--places", "4", "--iterations", "8",
+            "--ckpt-interval", "3", "--fail-at", "5", "--victim", "2",
+            "--stable-fallback",
+        ]) == 0
+        # Single failure, k=1: memory tier suffices, so no disk lines
+        # required — just a clean exit with the knob on.
+        assert "checkpoints/restores: 3/1" in capsys.readouterr().out
+
+    def test_unrecoverable_run_exits_nonzero(self, capsys):
+        # Adjacent double kill with the seed's k=1 ring: data loss.
+        assert main([
+            "run", "linreg", "--places", "6", "--iterations", "8",
+            "--ckpt-interval", "3", "--fail-at", "5", "--victim", "2",
+            "--fail-at", "5", "--victim", "3",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "unrecoverable" in err
+        assert "--stable-fallback" in err  # the hint points at the ladder
+
+    def test_mttf_schedules_random_failures(self, capsys):
+        assert main([
+            "run", "linreg", "--places", "6", "--iterations", "8",
+            "--ckpt-interval", "3", "--mttf", "1e9", "--chaos-seed", "7",
+        ]) == 0
+        # Astronomically large MTTF: kills scheduled but never due.
+        assert "iterations executed:  8" in capsys.readouterr().out
+
+    def test_bad_placement_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "linreg", "--placement", "mirror"])
+
+
+class TestChaosCommand:
+    def test_small_campaign_exits_clean(self, capsys):
+        assert main([
+            "chaos", "linreg", "--schedules", "5", "--chaos-seed", "3",
+            "--replicas", "2", "--placement", "spread",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "chaos campaign" in out
+        assert "schedules=5" in out
+        assert "all recovery invariants held" in out
+
+    def test_stable_fallback_campaign(self, capsys):
+        assert main([
+            "chaos", "pagerank", "--schedules", "5", "--chaos-seed", "4",
+            "--replicas", "1", "--placement", "ring", "--stable-fallback",
+        ]) == 0
+        assert "stable_fallback=True" in capsys.readouterr().out
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "nosuchapp"])
