@@ -1,0 +1,176 @@
+"""Detection-timeout sweep — false positives vs time-to-recovery.
+
+The φ-accrual detector has one paper-facing knob: the detection timeout
+(with heartbeats every ``timeout / 10`` by default).  This benchmark sweeps
+the timeout-to-heartbeat ratio under *hostile but survivable* noise — every
+run gets a straggler whose slowdown begins after the detector calibrated
+(the worst case: μ must retrain while heartbeats arrive late) plus 15%
+heartbeat loss — and measures both sides of the trade:
+
+* **false-positive rate**: fraction of kill-free runs in which a live
+  place was evicted (the cost of an aggressive timeout);
+* **time-to-recovery**: mean detection wait + restore duration when one
+  place really dies (the cost of a conservative timeout).
+
+The default ratio (timeout = 10 heartbeats) must absorb an 8x straggler
+with zero spurious evictions, while every swept ratio still converges when
+a place actually dies — the imperfect-detection acceptance criteria.
+"""
+
+import math
+
+import numpy as np
+
+from _common import emit, results_path
+from repro.apps.data import RegressionWorkload
+from repro.apps.resilient import LinRegResilient
+from repro.bench import figures
+from repro.bench.calibration import regression_cost
+from repro.resilience.executor import IterativeExecutor, RestoreMode
+from repro.resilience.placement import make_placement
+from repro.runtime.detector import PhiAccrualDetector
+from repro.runtime.exceptions import DataLossError
+from repro.runtime.failure import TransientFaultModel
+from repro.runtime.runtime import Runtime
+
+PLACES = 8
+ITERATIONS = 12
+CHECKPOINT_INTERVAL = 4
+DROP_RATE = 0.15
+#: Detection timeout as a multiple of the heartbeat interval (the default
+#: configuration is ratio 10).
+RATIOS = [2, 5, 10, 20, 40]
+RUNS_PER_RATIO = 12
+KILL_ITERATION = 6
+
+
+def _workload() -> RegressionWorkload:
+    return RegressionWorkload(
+        features=8, examples_per_place=64, blocks_per_place=2, iterations=ITERATIONS
+    )
+
+
+def _baseline_duration() -> float:
+    """Failure-free virtual duration; sets the heartbeat time scale."""
+    rt = Runtime(PLACES, cost=regression_cost(), resilient=True)
+    app = LinRegResilient(rt, _workload())
+    report = IterativeExecutor(
+        rt, app, checkpoint_interval=CHECKPOINT_INTERVAL
+    ).run()
+    return report.total_time
+
+
+def _run_once(interval: float, ratio: int, seed: int, kill: bool):
+    """One seeded run; returns the ExecutionReport or a DataLossError."""
+    rng = np.random.default_rng([seed, ratio, int(kill)])
+    rt = Runtime(PLACES, cost=regression_cost(), resilient=True)
+    app = LinRegResilient(rt, _workload())
+    detector = PhiAccrualDetector(
+        rt, detect_timeout=ratio * interval, heartbeat_interval=interval
+    )
+    # Straggler onset *after* the detector calibrated on healthy gaps —
+    # μ must retrain while heartbeats arrive up to 8x late.
+    straggler = int(rng.integers(1, PLACES))
+    rt.set_straggler(straggler, float(rng.uniform(4.0, 8.0)))
+    rt.set_faults(TransientFaultModel(drop_rate=DROP_RATE, seed=seed))
+    if kill:
+        candidates = [p for p in range(1, PLACES) if p != straggler]
+        victim = int(rng.choice(candidates))
+        rt.injector.kill_at_iteration(victim, iteration=KILL_ITERATION)
+    executor = IterativeExecutor(
+        rt,
+        app,
+        checkpoint_interval=CHECKPOINT_INTERVAL,
+        mode=RestoreMode.SHRINK_REBALANCE,
+        replicas=2,
+        placement=make_placement("spread"),
+        detector=detector,
+    )
+    try:
+        return executor.run()
+    except DataLossError as err:
+        return err
+
+
+def run_sweep():
+    interval = _baseline_duration() / 100.0
+    rows = []
+    for ratio in RATIOS:
+        false_positives = 0
+        lost = 0
+        waits = []
+        recoveries = []
+        for seed in range(RUNS_PER_RATIO):
+            quiet = _run_once(interval, ratio, seed, kill=False)
+            if isinstance(quiet, DataLossError):
+                # An eviction storm defeated the replication level: the
+                # most extreme false-positive outcome.
+                false_positives += 1
+                lost += 1
+            elif quiet.false_positive_evictions:
+                false_positives += 1
+            noisy = _run_once(interval, ratio, seed, kill=True)
+            if isinstance(noisy, DataLossError):
+                lost += 1
+                continue
+            waits.append(noisy.detection_wait_time)
+            restore = (
+                sum(noisy.restore_durations) / len(noisy.restore_durations)
+                if noisy.restore_durations
+                else 0.0
+            )
+            recoveries.append(noisy.detection_wait_time + restore)
+        rows.append(
+            {
+                "ratio": ratio,
+                "timeout_s": ratio * interval,
+                "fp_rate": false_positives / RUNS_PER_RATIO,
+                "detect_wait_s": sum(waits) / len(waits) if waits else math.nan,
+                "recovery_s": (
+                    sum(recoveries) / len(recoveries) if recoveries else math.nan
+                ),
+                "data_loss": lost,
+            }
+        )
+    return interval, rows
+
+
+def test_detection_timeout_tradeoff(benchmark):
+    interval, rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    lines = [
+        f"heartbeat interval: {interval:.4f} virtual s, drop rate {DROP_RATE:g}, "
+        f"straggler onset up to 8x",
+        "",
+        "timeout/hb  timeout(s)  FP rate  detect wait(s)  recovery(s)",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['ratio']:10d}  {row['timeout_s']:10.4f}  "
+            f"{row['fp_rate']:7.2f}  {row['detect_wait_s']:14.4f}  "
+            f"{row['recovery_s']:11.4f}"
+        )
+    csv = figures.write_csv(
+        results_path("detection.csv"),
+        [row["ratio"] for row in rows],
+        {
+            "timeout_s": [row["timeout_s"] for row in rows],
+            "fp_rate": [row["fp_rate"] for row in rows],
+            "detect_wait_s": [row["detect_wait_s"] for row in rows],
+            "recovery_s": [row["recovery_s"] for row in rows],
+            "data_loss": [float(row["data_loss"]) for row in rows],
+        },
+    )
+    lines.append(f"series written to {csv}")
+    emit("Detection timeout sweep — false positives vs time-to-recovery", "\n".join(lines))
+
+    by_ratio = {row["ratio"]: row for row in rows}
+    # The default ratio (and anything more conservative) absorbs the
+    # straggler + loss noise without a single spurious eviction.
+    for ratio in (10, 20, 40):
+        assert by_ratio[ratio]["fp_rate"] == 0.0, (
+            f"ratio {ratio} evicted a live place"
+        )
+    # Aggressive timeouts pay in false positives, conservative ones in
+    # detection latency: the curve must actually slope both ways.
+    assert rows[0]["fp_rate"] >= rows[-1]["fp_rate"]
+    assert rows[-1]["detect_wait_s"] > rows[0]["detect_wait_s"]

@@ -51,8 +51,14 @@ from repro.resilience.executor import (
 from repro.resilience.placement import make_placement
 from repro.resilience.store import AppResilientStore
 from repro.runtime.cost import CostModel
-from repro.runtime.exceptions import DataLossError
-from repro.runtime.failure import ScriptedKill
+from repro.runtime.detector import PhiAccrualDetector
+from repro.runtime.exceptions import DataLossError, SnapshotCorruptionError
+from repro.runtime.failure import (
+    CorruptionModel,
+    LinkPartition,
+    ScriptedKill,
+    TransientFaultModel,
+)
 from repro.runtime.runtime import Runtime
 
 
@@ -112,6 +118,32 @@ class CampaignConfig:
     placement: str = "spread"
     stable_fallback: bool = False
     spares: int = 0
+    #: Transient-fault axes (all off by default — crash-only campaigns).
+    #: Per-message drop / duplication probability on the data plane.
+    drop_rate: float = 0.0
+    dup_rate: float = 0.0
+    #: One random place per schedule computes up to this factor slower
+    #: (1.0 = no stragglers).
+    straggler_max: float = 1.0
+    #: Per-copy probability of bit-rot after each checkpoint commit.
+    corrupt_rate: float = 0.0
+    #: Failure-detection timeout in virtual seconds; 0 keeps the oracle
+    #: failure model (no detector, exceptions carry ground truth).
+    detect_timeout: float = 0.0
+    #: Probability that a schedule includes a temporary link partition
+    #: that heals (requires ``detect_timeout`` > 0 to be survivable).
+    partition_rate: float = 0.0
+
+    @property
+    def transient(self) -> bool:
+        """True when any transient-fault axis is active."""
+        return bool(
+            self.drop_rate
+            or self.dup_rate
+            or self.straggler_max > 1.0
+            or self.corrupt_rate
+            or self.partition_rate
+        )
 
 
 @dataclass
@@ -149,6 +181,15 @@ class CampaignResult:
             f"chaos campaign: app={cfg.app} schedules={cfg.schedules} "
             f"seed={cfg.seed} places={cfg.places} replicas={cfg.replicas} "
             f"placement={cfg.placement} stable_fallback={cfg.stable_fallback}",
+        ]
+        if cfg.transient:
+            lines.append(
+                f"transient: drop={cfg.drop_rate:g} dup={cfg.dup_rate:g} "
+                f"straggler_max={cfg.straggler_max:g} corrupt={cfg.corrupt_rate:g} "
+                f"partition={cfg.partition_rate:g} "
+                f"detect_timeout={cfg.detect_timeout:g}"
+            )
+        lines += [
             "outcomes: "
             + ", ".join(f"{k}={v}" for k, v in sorted(self.counts().items())),
         ]
@@ -263,6 +304,46 @@ def run_schedule(
     # land inside the executor's run, where recovery is defined.
     for kill in kills:
         rt.injector.add(kill)
+
+    # Transient-fault plan, deterministic in (campaign seed, index).
+    trng = np.random.default_rng([config.seed, index, 17])
+    straggler_factor = 1.0
+    if config.straggler_max > 1.0:
+        straggler_pid = int(trng.integers(1, config.places))
+        straggler_factor = float(trng.uniform(1.0, config.straggler_max))
+        rt.set_straggler(straggler_pid, straggler_factor)
+    detector = None
+    if config.detect_timeout > 0:
+        detector = PhiAccrualDetector(rt, detect_timeout=config.detect_timeout)
+    faults = None
+    partitions = []
+    if config.partition_rate and trng.random() < config.partition_rate:
+        # A short partition that heals well inside the detection window —
+        # messages and heartbeats across it are lost while it lasts.
+        cut = int(trng.integers(1, config.places))
+        t0 = float(trng.uniform(0.0, config.detect_timeout))
+        partitions.append(
+            LinkPartition(
+                {cut},
+                set(range(config.places)) - {cut},
+                t0,
+                t0 + float(trng.uniform(0.1, 0.5)) * max(config.detect_timeout, 1.0),
+            )
+        )
+    if config.drop_rate or config.dup_rate or partitions:
+        faults = TransientFaultModel(
+            drop_rate=config.drop_rate,
+            dup_rate=config.dup_rate,
+            partitions=partitions,
+            seed=int(trng.integers(2**31)),
+        )
+        rt.set_faults(faults)
+    corruption = None
+    if config.corrupt_rate:
+        corruption = CorruptionModel(
+            config.corrupt_rate, seed=int(trng.integers(2**31))
+        )
+
     store = AppResilientStore(
         rt,
         replicas=config.replicas,
@@ -277,6 +358,8 @@ def run_schedule(
         mode=mode,
         spare_fallback=RestoreMode.SHRINK_REBALANCE,
         checkpoint_mode=checkpoint_mode,
+        detector=detector,
+        corruption=corruption,
     )
     outcome = ScheduleOutcome(
         index=index,
@@ -288,6 +371,16 @@ def run_schedule(
         report = executor.run()
     except DataLossError as err:
         message = str(err)
+        if isinstance(err, SnapshotCorruptionError) and config.corrupt_rate:
+            # Independent strikes can legitimately defeat every tier of a
+            # partition; the guarantee is that corrupt data is never
+            # *silently* restored, and this loud error is exactly that.
+            outcome.status = "corruption_loss_accepted"
+            if store.in_progress:
+                outcome.violations.append(
+                    "store left with an open snapshot attempt after data loss"
+                )
+            return outcome
         documented = (
             "no recovery point" in message
             or "consecutive times" in message
@@ -347,10 +440,30 @@ def run_schedule(
                     f"replica placed on its primary place in {snapshot!r}"
                 )
 
+    # Invariant 5: a slow place is not a failure.  Schedules whose only
+    # perturbation is a straggler must not trigger a restore or an
+    # eviction — the adaptive detector absorbs even an 8x slowdown.
+    if (
+        not kills
+        and faults is None
+        and corruption is None
+        and straggler_factor > 1.0
+        and (report.restores or report.evictions)
+    ):
+        outcome.violations.append(
+            f"straggler-only schedule (factor {straggler_factor:.2f}) caused "
+            f"{report.restores} restore(s) and {report.evictions} eviction(s)"
+        )
+
     fired = [k for k in kills if k not in report.pending_kills]
-    outcome.status = (
-        "recovered" if report.failures_observed or fired else "clean"
+    recovered = (
+        report.failures_observed
+        or fired
+        or report.restores
+        or report.evictions
+        or report.quarantined_copies
     )
+    outcome.status = "recovered" if recovered else "clean"
     if report.pending_kills:
         outcome.detail += f" pending={len(report.pending_kills)}"
     if outcome.violations:

@@ -40,8 +40,13 @@ from repro.resilience.executor import (
     RestoreMode,
 )
 from repro.resilience.placement import PLACEMENTS, make_placement
+from repro.runtime.detector import PhiAccrualDetector
 from repro.runtime.exceptions import DataLossError
-from repro.runtime.failure import ExponentialFailureModel
+from repro.runtime.failure import (
+    CorruptionModel,
+    ExponentialFailureModel,
+    TransientFaultModel,
+)
 from repro.runtime.runtime import Runtime
 
 SWEEPS = {
@@ -146,7 +151,68 @@ def _build_parser() -> argparse.ArgumentParser:
         "--chaos-seed",
         type=int,
         default=0,
-        help="seed for the --mttf failure schedule",
+        help="seed for the --mttf failure schedule and transient faults",
+    )
+    run.add_argument(
+        "--detect-timeout",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="enable the heartbeat failure detector with this detection "
+        "timeout (virtual seconds); 0 keeps the oracle failure model",
+    )
+    run.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="heartbeat emission period (default: detect-timeout / 10)",
+    )
+    run.add_argument(
+        "--drop-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="drop each data-plane message with this probability "
+        "(retransmitted with exponential backoff, at-most-once delivery)",
+    )
+    run.add_argument(
+        "--dup-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="duplicate each delivered message with this probability",
+    )
+    run.add_argument(
+        "--delay-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="delay each delivered message with this probability",
+    )
+    run.add_argument(
+        "--delay-seconds",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="maximum extra delay for --delay-rate messages",
+    )
+    run.add_argument(
+        "--straggler",
+        type=str,
+        action="append",
+        default=None,
+        metavar="PLACE:FACTOR",
+        help="slow one place down by FACTOR (repeatable), e.g. 3:8 makes "
+        "place 3 compute 8x slower",
+    )
+    run.add_argument(
+        "--corrupt",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="corrupt each committed snapshot copy with this probability "
+        "(verified checksums quarantine corrupt copies on restore)",
     )
 
     sweep = sub.add_parser("sweep", help="regenerate one paper experiment")
@@ -167,6 +233,30 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--placement", choices=sorted(PLACEMENTS), default="spread")
     chaos.add_argument("--stable-fallback", action="store_true")
     chaos.add_argument("--spares", type=int, default=0)
+    chaos.add_argument("--drop-rate", type=float, default=0.0, metavar="P")
+    chaos.add_argument("--dup-rate", type=float, default=0.0, metavar="P")
+    chaos.add_argument(
+        "--straggler-max",
+        type=float,
+        default=1.0,
+        metavar="FACTOR",
+        help="each schedule slows one random place by up to this factor",
+    )
+    chaos.add_argument("--corrupt", type=float, default=0.0, metavar="P")
+    chaos.add_argument(
+        "--detect-timeout",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="heartbeat detection timeout; 0 keeps the oracle failure model",
+    )
+    chaos.add_argument(
+        "--partition-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="probability a schedule includes a healing link partition",
+    )
     return parser
 
 
@@ -174,6 +264,20 @@ def _cmd_list() -> int:
     print("applications:", ", ".join(sorted(APP_REGISTRY)))
     print("experiments: ", ", ".join(sorted(SWEEPS)))
     return 0
+
+
+def _parse_stragglers(specs: Optional[List[str]]) -> List[tuple]:
+    """Parse repeated ``--straggler PLACE:FACTOR`` values."""
+    parsed = []
+    for spec in specs or []:
+        try:
+            pid_text, factor_text = spec.split(":", 1)
+            parsed.append((int(pid_text), float(factor_text)))
+        except ValueError:
+            raise SystemExit(
+                f"error: --straggler expects PLACE:FACTOR (e.g. 3:8), got {spec!r}"
+            )
+    return parsed
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -205,6 +309,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
             t0 = rt.now()
             for kill in model.schedule(candidates, horizon=10.0 * args.mttf):
                 rt.injector.kill_at_time(kill.place_id, t0 + kill.time)
+        for pid, factor in _parse_stragglers(args.straggler):
+            rt.set_straggler(pid, factor)
+        if args.drop_rate or args.dup_rate or args.delay_rate:
+            rt.set_faults(
+                TransientFaultModel(
+                    drop_rate=args.drop_rate,
+                    dup_rate=args.dup_rate,
+                    delay_rate=args.delay_rate,
+                    delay_seconds=args.delay_seconds,
+                    seed=args.chaos_seed,
+                )
+            )
+        detector = None
+        if args.detect_timeout > 0:
+            detector = PhiAccrualDetector(
+                rt,
+                detect_timeout=args.detect_timeout,
+                heartbeat_interval=args.heartbeat_interval,
+            )
+        corruption = (
+            CorruptionModel(args.corrupt, seed=args.chaos_seed)
+            if args.corrupt
+            else None
+        )
         executor = IterativeExecutor(
             rt,
             app,
@@ -214,6 +342,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             replicas=args.replicas,
             placement=make_placement(args.placement) if args.placement else None,
             stable_fallback=args.stable_fallback or None,
+            detector=detector,
+            corruption=corruption,
         )
         try:
             report = executor.run()
@@ -234,6 +364,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"aborted restores:     {report.aborted_restores}")
     if report.stable_fallback_reads:
         print(f"disk fallback reads:  {report.stable_fallback_reads}")
+    if report.dropped_messages or report.retransmissions or report.duplicate_messages:
+        print(
+            f"transient network:    {report.dropped_messages} dropped, "
+            f"{report.retransmissions} retransmitted, "
+            f"{report.duplicate_messages} duplicated, "
+            f"{report.comm_timeouts} timeouts"
+        )
+    if report.evictions or report.transient_restores:
+        print(
+            f"detector verdicts:    {report.evictions} evictions "
+            f"({report.false_positive_evictions} false positive), "
+            f"{report.transient_restores} transient recoveries, "
+            f"{report.detection_wait_time:.4f} s waited"
+        )
+    if report.quarantined_copies:
+        print(f"quarantined copies:   {report.quarantined_copies}")
     if report.pending_kills:
         print(f"kills never fired:    {len(report.pending_kills)}")
     print(f"virtual total:        {report.total_time:.4f} s")
@@ -316,6 +462,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             placement=args.placement,
             stable_fallback=args.stable_fallback,
             spares=args.spares,
+            drop_rate=args.drop_rate,
+            dup_rate=args.dup_rate,
+            straggler_max=args.straggler_max,
+            corrupt_rate=args.corrupt,
+            detect_timeout=args.detect_timeout,
+            partition_rate=args.partition_rate,
         )
     )
     print(result.summary())

@@ -32,7 +32,8 @@ from repro.engine.timeline import (
 )
 from repro.runtime.clock import VirtualClock
 from repro.runtime.cost import CostModel
-from repro.runtime.exceptions import DeadPlaceException
+from repro.runtime.exceptions import CommTimeoutError, DeadPlaceException
+from repro.runtime.failure import RetryPolicy, TransientFaultModel
 from repro.runtime.finish import FinishReport
 
 #: Resource-key tags whose second element is a place id (purged on kill).
@@ -60,6 +61,11 @@ class Scheduler:
         self.ledger = self.resource(("ledger",))
         self.ledger.on_acquire = self._record_service
         self.disk = self.resource(("disk",))
+        #: Transient message-fault model; ``None`` keeps the network
+        #: reliable and every transfer bit-exact with the fault-free model.
+        self.faults: Optional[TransientFaultModel] = None
+        #: Retransmission policy used when ``faults`` is set.
+        self.retry_policy: RetryPolicy = RetryPolicy()
 
     # -- place lifecycle -----------------------------------------------------
 
@@ -198,16 +204,58 @@ class Scheduler:
         (full duplex).  With topology, intra-node transfers use the
         shared-memory rate through the destination place's server, while
         cross-node transfers serialize through *both* endpoints' node NICs.
+
+        Under a :class:`~repro.runtime.failure.TransientFaultModel` each
+        transmission attempt can be dropped (retransmitted after an
+        exponential-backoff RTO, up to ``retry_policy.max_retries``, then
+        ``CommTimeoutError``), duplicated (the duplicate burns receive-side
+        resource time but is suppressed — at-most-once delivery) or
+        delayed in flight.
         """
         self._check_place(src_id)
         self._check_place(dst_id)
+        faults = self.faults
+        if faults is None:
+            return self._transfer_once(src_id, dst_id, nbytes, t_request)
+        policy = self.retry_policy
+        t_send = t_request
+        attempt = 0
+        while True:
+            fate = faults.fate(src_id, dst_id, t_send)
+            if fate.delivered:
+                done = self._transfer_once(
+                    src_id, dst_id, nbytes, t_send, extra_delay=fate.extra_delay
+                )
+                if fate.duplicated:
+                    # The duplicate is absorbed at the receiver: it burns
+                    # communication-server time but is never delivered
+                    # twice (sequence-number suppression).
+                    self.resource(("srv", dst_id)).acquire(
+                        done, self.cost.message(0)
+                    )
+                return done
+            if attempt >= policy.max_retries:
+                faults.timeouts += 1
+                raise CommTimeoutError(dst_id, retries=attempt)
+            t_send += policy.rto(attempt, self.cost, nbytes)
+            attempt += 1
+            faults.retransmissions += 1
+
+    def _transfer_once(
+        self,
+        src_id: int,
+        dst_id: int,
+        nbytes: float,
+        t_request: float,
+        extra_delay: float = 0.0,
+    ) -> float:
+        """One (successful) transmission attempt over the modeled route."""
         cost = self.cost
         if cost.places_per_node <= 0:
             done = self.link(("tx", src_id), ("rx", dst_id)).acquire(
                 t_request, cost.message(nbytes)
             )
             route = "p2p"
-            self._arrive(dst_id, done)
         else:
             src_node, dst_node = cost.node_of(src_id), cost.node_of(dst_id)
             if src_node == dst_node:
@@ -215,13 +263,13 @@ class Scheduler:
                     t_request, cost.shm_message(nbytes)
                 )
                 route = "shm"
-                self._arrive(dst_id, done)
             else:
                 done = self.link(("nic-tx", src_node), ("nic-rx", dst_node)).acquire(
                     t_request, cost.message(nbytes)
                 )
                 route = "nic"
-                self._arrive(dst_id, done)
+        done += extra_delay
+        self._arrive(dst_id, done)
         if self.timeline.enabled:
             self.timeline.record(
                 TransferEvent(

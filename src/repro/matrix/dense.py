@@ -55,6 +55,10 @@ class DenseMatrix:
     def copy(self) -> "DenseMatrix":
         return DenseMatrix(self.data.copy())
 
+    def payload_arrays(self) -> Tuple[np.ndarray, ...]:
+        """Backing arrays for snapshot checksumming (``repro.util.checksum``)."""
+        return (self.data,)
+
     # -- cell-wise operations ------------------------------------------------
 
     def scale(self, alpha: float) -> "DenseMatrix":

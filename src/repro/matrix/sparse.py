@@ -119,6 +119,10 @@ class SparseCSR:
             self.m, self.n, self.indptr.copy(), self.indices.copy(), self.values.copy()
         )
 
+    def payload_arrays(self) -> Tuple[np.ndarray, ...]:
+        """Backing arrays for snapshot checksumming (``repro.util.checksum``)."""
+        return (self.indptr, self.indices, self.values)
+
     def row_ids(self) -> np.ndarray:
         """Expanded row index of every stored entry (COO view helper)."""
         return np.repeat(np.arange(self.m, dtype=_INDEX_DTYPE), np.diff(self.indptr))
@@ -358,6 +362,10 @@ class SparseCSC:
         return SparseCSC(
             self.m, self.n, self.indptr.copy(), self.indices.copy(), self.values.copy()
         )
+
+    def payload_arrays(self) -> Tuple[np.ndarray, ...]:
+        """Backing arrays for snapshot checksumming (``repro.util.checksum``)."""
+        return (self.indptr, self.indices, self.values)
 
     def to_csr(self) -> SparseCSR:
         """Convert to compressed-sparse-row storage."""

@@ -51,6 +51,10 @@ class Vector:
     def copy(self) -> "Vector":
         return Vector(self.data.copy())
 
+    def payload_arrays(self):
+        """The backing arrays (checksum / corruption protocol)."""
+        return (self.data,)
+
     # -- cell-wise ops --------------------------------------------------------
 
     def fill(self, value: float) -> "Vector":

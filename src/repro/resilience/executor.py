@@ -49,11 +49,13 @@ from typing import List, Optional
 from repro.resilience.iterative import ResilientIterativeApp, RestoreContext
 from repro.resilience.placement import ReplicaPlacement
 from repro.resilience.store import AppResilientStore
+from repro.runtime.detector import PhiAccrualDetector
 from repro.runtime.exceptions import (
     DataLossError,
     DeadPlaceException,
     MultipleException,
 )
+from repro.runtime.failure import CorruptionModel
 from repro.runtime.place import PlaceGroup
 from repro.runtime.runtime import Runtime
 from repro.util.validation import check_positive, require
@@ -104,6 +106,24 @@ class ExecutionReport:
     #: in-memory copy of a partition was gone.
     stable_fallback_reads: int = 0
     final_group_size: int = 0
+    #: Virtual time spent waiting on the failure detector's verdict
+    #: (the SUSPECTED → CONFIRMED_DEAD / cleared ladder).
+    detection_wait_time: float = 0.0
+    #: Places evicted on a CONFIRMED_DEAD verdict (membership updates).
+    evictions: int = 0
+    #: Evictions that fenced a place which was actually alive — the cost
+    #: of a detector false positive (the run must still converge).
+    false_positive_evictions: int = 0
+    #: Recoveries (checkpoint retry or rollback) triggered by a transient
+    #: fault: all suspects were cleared by the detector, no place evicted.
+    transient_restores: int = 0
+    #: Snapshot copies quarantined by checksum verification.
+    quarantined_copies: int = 0
+    #: Transient-network accounting (zero on a reliable network).
+    dropped_messages: int = 0
+    retransmissions: int = 0
+    duplicate_messages: int = 0
+    comm_timeouts: int = 0
 
     @property
     def checkpoint_pct(self) -> float:
@@ -143,6 +163,8 @@ class IterativeExecutor:
         replicas: Optional[int] = None,
         placement: Optional[ReplicaPlacement] = None,
         stable_fallback: Optional[bool] = None,
+        detector: Optional[PhiAccrualDetector] = None,
+        corruption: Optional[CorruptionModel] = None,
     ):
         check_positive(checkpoint_interval, "checkpoint_interval")
         require(
@@ -168,6 +190,30 @@ class IterativeExecutor:
         self.spare_fallback = spare_fallback
         self.max_restore_attempts = max_restore_attempts
         self.checkpoint_mode = checkpoint_mode
+        #: Without a detector, failure knowledge is the oracle model
+        #: (exceptions carry ground truth); with one, recovery decisions go
+        #: through the SUSPECTED → CONFIRMED_DEAD ladder and pay detection
+        #: latency in virtual time.
+        self.detector = detector
+        if detector is not None:
+            runtime.attach_detector(detector)
+        #: Post-commit bit-rot injection (chaos campaigns).
+        self.corruption = corruption
+
+    def _evict(self, place_id: int, report: ExecutionReport) -> None:
+        """Act on a CONFIRMED_DEAD verdict: fence the place out.
+
+        For a place that really died this is pure bookkeeping; for a false
+        positive the group must still converge on one membership view, so
+        the live place is killed (fenced) — the cost of imperfect
+        detection, paid so that split-brain is impossible.
+        """
+        if place_id == self.runtime.DRIVER_ID:
+            return
+        report.evictions += 1
+        if self.runtime.is_alive(place_id):
+            report.false_positive_evictions += 1
+            self.runtime.kill(place_id)
 
     # -- group construction per mode ---------------------------------------------
 
@@ -211,6 +257,11 @@ class IterativeExecutor:
         while not self.app.is_finished():
             for victim in rt.injector.due_at_iteration(iteration):
                 rt.kill(victim)
+            if self.detector is not None:
+                # Background confirmations (e.g. a partition silently eating
+                # heartbeats) are acted on even without a failed message.
+                for pid in self.detector.sweep():
+                    self._evict(pid, report)
             t_attempt = rt.now()
             try:
                 if (
@@ -240,6 +291,8 @@ class IterativeExecutor:
                     report.checkpoint_durations.append(dt)
                     report.checkpoints += 1
                     last_checkpoint_iter = iteration
+                    if self.corruption is not None:
+                        self.corruption.strike(self.store)
                     t_attempt = rt.now()
 
                 t0 = rt.now()
@@ -255,8 +308,37 @@ class IterativeExecutor:
                 rt.engine.drain_overlap()
                 report.lost_time += rt.now() - t_attempt
                 report.failures_observed += len(failure.places)
-                if self.store.in_progress:
+                failed_in_checkpoint = self.store.in_progress
+                if failed_in_checkpoint:
                     self.store.cancel_snapshot()
+                transient_only = False
+                if self.detector is not None:
+                    # The suspicion ladder: wait (in virtual time) until
+                    # every suspect is either CONFIRMED_DEAD (evict) or
+                    # cleared by a fresh heartbeat (transient fault — the
+                    # group keeps its membership and merely rolls back).
+                    confirmed, cleared, waited = self.detector.resolve(
+                        failure.places
+                    )
+                    report.detection_wait_time += waited
+                    for pid in confirmed:
+                        self._evict(pid, report)
+                    transient_only = bool(cleared) and not confirmed
+                    if transient_only:
+                        report.transient_restores += 1
+                if transient_only and failed_in_checkpoint:
+                    # Snapshot capture reads application state but never
+                    # mutates it, so a purely transient fault during a
+                    # checkpoint needs no rollback: the cancelled attempt
+                    # is simply retried (bounded like restore attempts —
+                    # a partition that never heals must not hang the run).
+                    restore_attempts += 1
+                    if restore_attempts > self.max_restore_attempts:
+                        raise DataLossError(
+                            f"checkpoint failed {restore_attempts - 1} "
+                            "consecutive times under transient faults"
+                        ) from failure
+                    continue
                 if self.store.latest() is None:
                     raise DataLossError(
                         "place failed before the first checkpoint committed; "
@@ -291,11 +373,22 @@ class IterativeExecutor:
                     except (DeadPlaceException, MultipleException) as again:
                         # A further failure during restore: record the
                         # aborted attempt and go around with a fresh group.
+                        # The suspects go through the same ladder — a
+                        # CONFIRMED_DEAD verdict shrinks the next attempt's
+                        # group, and the resolve wait advances virtual time
+                        # so a healing partition is eventually ridden out.
                         dt = rt.now() - t0
                         report.restore_time += dt
                         report.aborted_restores += 1
                         report.aborted_restore_durations.append(dt)
                         report.failures_observed += len(again.places)
+                        if self.detector is not None:
+                            confirmed, _, waited = self.detector.resolve(
+                                again.places
+                            )
+                            report.detection_wait_time += waited
+                            for pid in confirmed:
+                                self._evict(pid, report)
                         continue
                     finally:
                         rt.injector.exit_context("restore")
@@ -320,6 +413,12 @@ class IterativeExecutor:
         report.final_group_size = self.app.places.size
         report.pending_kills = rt.injector.unfired()
         report.stable_fallback_reads = rt.stats.stable_fallback_reads
+        report.quarantined_copies = self.store.quarantined_copies()
+        if rt.faults is not None:
+            report.dropped_messages = rt.faults.dropped
+            report.retransmissions = rt.faults.retransmissions
+            report.duplicate_messages = rt.faults.duplicates
+            report.comm_timeouts = rt.faults.timeouts
         return report
 
 

@@ -27,13 +27,14 @@ from __future__ import annotations
 
 import itertools
 from abc import ABC, abstractmethod
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.resilience.placement import ReplicaPlacement, RingPlacement
-from repro.runtime.exceptions import DataLossError
+from repro.runtime.exceptions import DataLossError, SnapshotCorruptionError
 from repro.runtime.place import PlaceGroup
 from repro.runtime.runtime import PlaceContext, Runtime
 from repro.util.bytesize import payload_nbytes
+from repro.util.checksum import corrupt_payload, payload_checksum
 from repro.util.validation import require
 
 _snap_counter = itertools.count()
@@ -90,6 +91,13 @@ class DistObjectSnapshot:
         self.total_nbytes = 0.0
         #: Restore reads that fell through every in-memory copy to disk.
         self.fallback_reads = 0
+        #: CRC-32 recorded per key at save time (ground truth for verify).
+        self._checksums: Dict[int, int] = {}
+        #: ``(key, tier)`` copies known clean — verified copies are not
+        #: re-hashed, so health polling stays timing-neutral.
+        self._verified: set = set()
+        #: ``(key, tier)`` copies that failed verification and were dropped.
+        self.quarantined: List[Tuple[int, int]] = []
 
     # -- keys ------------------------------------------------------------
 
@@ -148,6 +156,15 @@ class DistObjectSnapshot:
         if self.stable_fallback:
             rt.engine.stable_write(ctx.place.id, nbytes)
             self._stable[key] = payload
+        # Checksum the partition once at save; every tier starts verified
+        # (they hold the very object just hashed).
+        self._checksums[key] = payload_checksum(payload)
+        ctx.charge_seconds(rt.cost.checksum(nbytes))
+        self._verified.add((key, 0))
+        for replica in range(1, self.backups + 1):
+            self._verified.add((key, replica))
+        if self.stable_fallback:
+            self._verified.add((key, self.STABLE_TIER))
         self._saved_keys.add(key)
         self.total_nbytes += nbytes
 
@@ -162,28 +179,127 @@ class DistObjectSnapshot:
     # -- locating / loading -------------------------------------------------
 
     def locate(self, key: int) -> Tuple[int, tuple]:
-        """``(place_id, heap_key)`` of a surviving copy of *key*.
+        """``(place_id, heap_key)`` of a surviving *verified* copy of *key*.
 
         Prefers the primary copy, then the backups in placement order, then
-        the stable tier (place id :data:`STABLE_TIER`); raises
-        :class:`DataLossError` only when every tier has lost the key.
+        the stable tier (place id :data:`STABLE_TIER`).  Every candidate is
+        checksum-verified before being offered: a copy that fails
+        verification is quarantined (dropped from its tier) and the search
+        falls through to the next tier.  Raises :class:`DataLossError` when
+        every tier has lost the key, or :class:`SnapshotCorruptionError`
+        when the *last* surviving copies were quarantined — corrupt data is
+        never silently restored.
         """
         require(key in self._saved_keys, f"snapshot has no key {key}")
         rt = self.runtime
         primary = self.group[key]
+        quarantined_before = len(self.quarantined)
         if rt.is_alive(primary.id) and rt.heap_of(primary.id).contains(self._primary_key(key)):
-            return primary.id, self._primary_key(key)
+            if self._verify_copy(key, 0, primary.id, self._primary_key(key)):
+                return primary.id, self._primary_key(key)
         for replica in range(1, self.backups + 1):
             backup = self._backup_place(key, replica)
             heap_key = self._backup_key(key, replica)
             if rt.is_alive(backup.id) and rt.heap_of(backup.id).contains(heap_key):
-                return backup.id, heap_key
+                if self._verify_copy(key, replica, backup.id, heap_key):
+                    return backup.id, heap_key
         if key in self._stable:
-            return self.STABLE_TIER, ("stable", self.snap_id, key)
+            if self._verify_copy(key, self.STABLE_TIER, self.STABLE_TIER, None):
+                return self.STABLE_TIER, ("stable", self.snap_id, key)
+        if len(self.quarantined) > quarantined_before:
+            raise SnapshotCorruptionError(
+                f"every surviving copy of snapshot key {key} failed checksum "
+                f"verification and was quarantined "
+                f"({len(self.quarantined) - quarantined_before} this search)"
+            )
         raise DataLossError(
             f"all {self.backups + 1} in-memory copies of snapshot key {key} lost "
             f"(primary {primary} and its replica set; no stable-storage tier)"
         )
+
+    def _verify_copy(
+        self, key: int, tier: int, place_id: int, heap_key: Optional[tuple]
+    ) -> bool:
+        """Checksum one copy; quarantine and return False on mismatch.
+
+        Clean verdicts are memoized per ``(key, tier)`` so health polling
+        (``recoverable`` etc.) re-hashes nothing; a new corruption strike
+        invalidates the memo.  The hash pass is charged to the place
+        holding the copy (the disk tier's pass rides the restore read).
+        """
+        if (key, tier) in self._verified:
+            return True
+        rt = self.runtime
+        if tier == self.STABLE_TIER:
+            payload = self._stable[key]
+        else:
+            payload = rt.heap_of(place_id).get(heap_key)
+            rt.clock.advance(place_id, rt.cost.checksum(payload_nbytes(payload)))
+        expected = self._checksums.get(key)
+        if expected is None or payload_checksum(payload) == expected:
+            self._verified.add((key, tier))
+            return True
+        if tier == self.STABLE_TIER:
+            del self._stable[key]
+        else:
+            rt.heap_of(place_id).remove_if_present(heap_key)
+        self.quarantined.append((key, tier))
+        return False
+
+    # -- corruption injection (chaos campaigns) ------------------------------
+
+    def saved_keys(self) -> List[int]:
+        """Keys saved into this snapshot, sorted."""
+        return sorted(self._saved_keys)
+
+    def tiers(self, key: int) -> List[int]:
+        """Tiers currently holding a copy of *key*: 0 = primary, 1..k =
+        replicas, :data:`STABLE_TIER` = disk."""
+        rt = self.runtime
+        out: List[int] = []
+        if key in self._saved_keys:
+            primary = self.group[key]
+            if rt.is_alive(primary.id) and rt.heap_of(primary.id).contains(
+                self._primary_key(key)
+            ):
+                out.append(0)
+            for replica in range(1, self.backups + 1):
+                backup = self._backup_place(key, replica)
+                if rt.is_alive(backup.id) and rt.heap_of(backup.id).contains(
+                    self._backup_key(key, replica)
+                ):
+                    out.append(replica)
+            if key in self._stable:
+                out.append(self.STABLE_TIER)
+        return out
+
+    def corrupt_copy(self, key: int, tier: int) -> bool:
+        """Replace one tier's copy of *key* with a corrupted *copy*.
+
+        Only the struck tier is damaged — the tiers share the payload
+        object, so in-place mutation would corrupt them all at once.
+        Returns False when the tier holds no copy (dead place, already
+        quarantined).  Fault-injection entry point for
+        :class:`~repro.runtime.failure.CorruptionModel` and tests.
+        """
+        rt = self.runtime
+        if key not in self._saved_keys:
+            return False
+        if tier == self.STABLE_TIER:
+            if key not in self._stable:
+                return False
+            self._stable[key] = corrupt_payload(self._stable[key])
+        else:
+            place = self.group[key] if tier == 0 else self._backup_place(key, tier)
+            heap_key = (
+                self._primary_key(key) if tier == 0 else self._backup_key(key, tier)
+            )
+            if not rt.is_alive(place.id) or not rt.heap_of(place.id).contains(heap_key):
+                return False
+            heap = rt.heap_of(place.id)
+            heap.put(heap_key, corrupt_payload(heap.get(heap_key)))
+        self._verified.discard((key, tier))
+        return True
 
     def fetch(
         self,
@@ -229,6 +345,34 @@ class DistObjectSnapshot:
         else:
             _ = ctx.read_remote(src_id, heap_key, nbytes)
         return payload
+
+    def verify_all(self) -> Tuple[int, int]:
+        """Integrity scrub: checksum every copy of every key, all tiers.
+
+        Unlike :meth:`locate` (which stops at the first clean copy) this
+        verifies the *whole* redundancy set, quarantining every corrupt
+        copy found.  Returns ``(clean copies, newly quarantined copies)``.
+        """
+        clean = 0
+        before = len(self.quarantined)
+        for key in self.saved_keys():
+            for tier in self.tiers(key):
+                if tier == self.STABLE_TIER:
+                    ok = self._verify_copy(key, tier, self.STABLE_TIER, None)
+                elif tier == 0:
+                    ok = self._verify_copy(
+                        key, 0, self.group[key].id, self._primary_key(key)
+                    )
+                else:
+                    ok = self._verify_copy(
+                        key,
+                        tier,
+                        self._backup_place(key, tier).id,
+                        self._backup_key(key, tier),
+                    )
+                if ok:
+                    clean += 1
+        return clean, len(self.quarantined) - before
 
     # -- health -----------------------------------------------------------
 

@@ -30,9 +30,11 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.resilience.snapshot import DistObjectSnapshot
+from repro.runtime.exceptions import SnapshotCorruptionError
 from repro.runtime.place import PlaceGroup
 from repro.runtime.runtime import PlaceContext, Runtime
 from repro.util.bytesize import payload_nbytes
+from repro.util.checksum import corrupt_payload, payload_checksum
 from repro.util.validation import require
 
 
@@ -63,14 +65,53 @@ class StableObjectSnapshot(DistObjectSnapshot):
         nbytes = payload_nbytes(payload)
         self.runtime.engine.stable_write(ctx.place.id, nbytes)
         self._store[key] = payload
+        self._checksums[key] = payload_checksum(payload)
+        ctx.charge_seconds(self.runtime.cost.checksum(nbytes))
+        self._verified.add((key, self.STABLE_TIER))
         self._saved_keys.add(key)
         self.total_nbytes += nbytes
+
+    # -- integrity ---------------------------------------------------------
+
+    def _verify_copy(self, key, tier, place_id, heap_key) -> bool:
+        """Checksum the stored copy; quarantine (drop) it on mismatch."""
+        if (key, self.STABLE_TIER) in self._verified:
+            return True
+        payload = self._store[key]
+        expected = self._checksums.get(key)
+        if expected is None or payload_checksum(payload) == expected:
+            self._verified.add((key, self.STABLE_TIER))
+            return True
+        del self._store[key]
+        self.quarantined.append((key, self.STABLE_TIER))
+        return False
+
+    def saved_keys(self):
+        return sorted(self._saved_keys)
+
+    def tiers(self, key: int):
+        return [self.STABLE_TIER] if key in self._store else []
+
+    def corrupt_copy(self, key: int, tier: int) -> bool:
+        """Corrupt the (single) stored copy of *key*."""
+        if tier != self.STABLE_TIER or key not in self._store:
+            return False
+        self._store[key] = corrupt_payload(self._store[key])
+        self._verified.discard((key, self.STABLE_TIER))
+        return True
 
     # -- locating / loading -------------------------------------------------
 
     def locate(self, key: int) -> Tuple[int, tuple]:
-        """Stable storage always has the partition (no place holds it)."""
+        """Stable storage holds the only copy — verified before every use."""
         require(key in self._saved_keys, f"snapshot has no key {key}")
+        if key not in self._store or not self._verify_copy(
+            key, self.STABLE_TIER, self.STABLE_TIER, None
+        ):
+            raise SnapshotCorruptionError(
+                f"the stable-storage copy of snapshot key {key} failed "
+                f"checksum verification; there is no further tier"
+            )
         return self.STABLE_TIER, ("stable", self.snap_id, key)
 
     def fetch(
@@ -88,7 +129,7 @@ class StableObjectSnapshot(DistObjectSnapshot):
         storage and cuts locally — the full-reload cost the paper's
         data-flow comparison points at.
         """
-        require(key in self._saved_keys, f"snapshot has no key {key}")
+        self.locate(key)
         payload = self._store[key]
         nbytes = payload_nbytes(payload)
         self.runtime.engine.stable_read(ctx.place.id, nbytes)

@@ -37,6 +37,9 @@ class AppSnapshot:
     def all_objects(self) -> List[Snapshottable]:
         return list(self.snapshots) + list(self.read_only)
 
+    def all_snapshots(self) -> List[DistObjectSnapshot]:
+        return list(self.snapshots.values()) + list(self.read_only.values())
+
 
 class AppResilientStore:
     """Atomic multi-object snapshot store (Listing 4's API).
@@ -178,6 +181,35 @@ class AppResilientStore:
             obj.restore_snapshot(snap)
         for obj, snap in latest.snapshots.items():
             obj.restore_snapshot(snap)
+
+    def verify_integrity(self) -> Dict[str, int]:
+        """Scrub the latest committed checkpoint: checksum every copy.
+
+        Quarantines every corrupt copy found (all tiers, not just the
+        first clean one per key) and returns
+        ``{"clean": ..., "quarantined": ...}`` copy counts.
+        """
+        latest = self.latest()
+        clean = quarantined = 0
+        if latest is not None:
+            for snap in list(latest.snapshots.values()) + list(
+                latest.read_only.values()
+            ):
+                c, q = snap.verify_all()
+                clean += c
+                quarantined += q
+        return {"clean": clean, "quarantined": quarantined}
+
+    def quarantined_copies(self) -> int:
+        """Total snapshot copies quarantined across the store's lifetime."""
+        seen = set()
+        total = 0
+        for app_snap in self.snapshots:
+            for snap in app_snap.all_snapshots():
+                if id(snap) not in seen:
+                    seen.add(id(snap))
+                    total += len(snap.quarantined)
+        return total
 
     @property
     def in_progress(self) -> bool:

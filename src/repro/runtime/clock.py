@@ -22,6 +22,10 @@ class VirtualClock:
 
     def __init__(self) -> None:
         self._times: Dict[int, float] = {}
+        #: Straggler slowdown factors: work charged to these places takes
+        #: ``factor`` times longer (message waits are *not* slowed — a slow
+        #: node computes slowly but the network still runs at full speed).
+        self._slowdown: Dict[int, float] = {}
 
     def register(self, place_id: int, at_time: float = 0.0) -> None:
         """Start a timeline for *place_id* at *at_time*."""
@@ -33,10 +37,28 @@ class VirtualClock:
         """Current virtual time at *place_id*."""
         return self._times[place_id]
 
+    def set_slowdown(self, place_id: int, factor: float) -> None:
+        """Mark *place_id* a straggler: its work charges stretch by *factor*."""
+        if factor <= 0:
+            raise ValueError(f"slowdown factor must be positive, got {factor}")
+        if factor == 1.0:
+            self._slowdown.pop(place_id, None)
+        else:
+            self._slowdown[place_id] = factor
+
+    def slowdown(self, place_id: int) -> float:
+        """The straggler factor of a place (1.0 = full speed)."""
+        return self._slowdown.get(place_id, 1.0)
+
     def advance(self, place_id: int, seconds: float) -> float:
-        """Charge *seconds* of work to *place_id*'s timeline."""
+        """Charge *seconds* of work to *place_id*'s timeline.
+
+        A straggler's charge is stretched by its slowdown factor.
+        """
         if seconds < 0:
             raise ValueError(f"cannot advance clock by negative time {seconds}")
+        if self._slowdown:
+            seconds *= self._slowdown.get(place_id, 1.0)
         self._times[place_id] += seconds
         return self._times[place_id]
 

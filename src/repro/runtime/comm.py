@@ -24,9 +24,13 @@ layer) performs the actual NumPy data movement between heaps.  They raise
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
 
-from repro.runtime.exceptions import DeadPlaceException, MultipleException
+from repro.runtime.exceptions import (
+    CommTimeoutError,
+    DeadPlaceException,
+    MultipleException,
+)
 from repro.runtime.place import PlaceGroup
 from repro.runtime.runtime import Runtime
 from repro.util.validation import check_index
@@ -39,6 +43,40 @@ def check_group_alive(rt: Runtime, group: PlaceGroup) -> None:
         raise DeadPlaceException(dead[0])
     if dead:
         raise MultipleException([DeadPlaceException(d) for d in dead])
+
+
+def _edge_fault(
+    rt: Runtime, src_id: int, dst_id: int, t_send: float, nbytes: float
+) -> Tuple[float, float]:
+    """Transient-fault outcome of one collective edge.
+
+    Returns ``(wait, extra_delay)``: *wait* is sender-side time lost to
+    retransmissions before the successful attempt (zero on a reliable
+    network — the fault-free timing stays bit-exact), *extra_delay* is
+    in-flight jitter on the delivered copy.  A duplicated delivery burns
+    receive-side server time but is suppressed (at-most-once).  Raises
+    :class:`CommTimeoutError` when the retransmission budget is exhausted.
+    """
+    faults = rt.faults
+    if faults is None:
+        return 0.0, 0.0
+    policy = rt.retry_policy
+    wait = 0.0
+    attempt = 0
+    while True:
+        fate = faults.fate(src_id, dst_id, t_send + wait)
+        if fate.delivered:
+            if fate.duplicated:
+                rt.engine.resource(("srv", dst_id)).acquire(
+                    t_send + wait, rt.cost.message(0)
+                )
+            return wait, fate.extra_delay
+        if attempt >= policy.max_retries:
+            faults.timeouts += 1
+            raise CommTimeoutError(dst_id, retries=attempt)
+        wait += policy.rto(attempt, rt.cost, nbytes)
+        attempt += 1
+        faults.retransmissions += 1
 
 
 def _finish_phase(
@@ -108,9 +146,10 @@ def tree_broadcast(
             if peer >= size:
                 break
             t_send = ready[rank]
-            t_arrive = max(t_send, clock.now(pid(peer))) + cost.message(nbytes)
+            w, extra = _edge_fault(rt, pid(rank), pid(peer), t_send, nbytes)
+            t_arrive = max(t_send + w, clock.now(pid(peer))) + cost.message(nbytes) + extra
             ready[peer] = t_arrive
-            ready[rank] = t_send + cost.message(nbytes)  # sender busy per send
+            ready[rank] = t_send + w + cost.message(nbytes)  # sender busy per send
             rt.stats.messages += 1
             rt.stats.bytes_sent += cost.scaled_bytes(nbytes)
         span *= 2
@@ -144,7 +183,8 @@ def flat_gather(
     task_ends = []
     senders = [(clock.now(p.id), p.id) for p in group if p.id != root_id]
     for t_sender, sender_id in sorted(senders):
-        send_done = max(t_sender, t_start) + cost.latency
+        w, extra = _edge_fault(rt, sender_id, root_id, max(t_sender, t_start), nbytes_each)
+        send_done = max(t_sender, t_start) + w + cost.latency + extra
         t_root = max(t_root, send_done) + cost.byte_time * cost.scaled_bytes(nbytes_each)
         clock.set_at_least(sender_id, send_done)
         task_ends.append(t_root)
@@ -184,9 +224,10 @@ def tree_reduce(
             peer = rank + span
             if peer >= size:
                 continue
-            t_arrive = max(ready[peer], ready[rank]) + cost.message(nbytes)
+            w, extra = _edge_fault(rt, pid(peer), pid(rank), ready[peer], nbytes)
+            t_arrive = max(ready[peer] + w, ready[rank]) + cost.message(nbytes) + extra
             ready[rank] = t_arrive + cost.flops(reduce_flops)
-            ready[peer] = ready[peer] + cost.message(0)
+            ready[peer] = ready[peer] + w + cost.message(0)
             rt.stats.messages += 1
             rt.stats.bytes_sent += cost.scaled_bytes(nbytes)
         span *= 2

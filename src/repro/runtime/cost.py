@@ -64,6 +64,9 @@ class CostModel:
     #: distributed filesystem).  Only used by the stable-store snapshot
     #: variant; 0 keeps disk access free for functional tests.
     disk_byte_time: float = 0.0
+    #: Seconds per byte to checksum snapshot payloads (CRC pass at save
+    #: and verify); 0 keeps integrity checking free for functional tests.
+    checksum_byte_time: float = 0.0
     #: Multiplier applied to all flop/byte charges (logical problem scale).
     logical_scale: float = 1.0
 
@@ -122,6 +125,10 @@ class CostModel:
         """Time to read or write *nbytes* on stable storage."""
         return self.disk_byte_time * nbytes * self.logical_scale
 
+    def checksum(self, nbytes: float) -> float:
+        """Time to checksum *nbytes* of snapshot payload."""
+        return self.checksum_byte_time * nbytes * self.logical_scale
+
     def node_of(self, place_id: int) -> int:
         """The physical node hosting a place (block placement)."""
         if self.places_per_node <= 0:
@@ -155,6 +162,7 @@ def validate_cost_model(model: CostModel) -> Optional[str]:
         "places_per_node",
         "shm_byte_time",
         "disk_byte_time",
+        "checksum_byte_time",
         "logical_scale",
     ):
         if getattr(model, name) < 0:

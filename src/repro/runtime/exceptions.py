@@ -33,6 +33,25 @@ class DeadPlaceException(RuntimeFault):
         return [self.place_id]
 
 
+class CommTimeoutError(DeadPlaceException):
+    """A message to a place exhausted its retransmission budget.
+
+    Subclasses :class:`DeadPlaceException` deliberately: to the enclosing
+    finish, an *unreachable* place is indistinguishable from a dead one —
+    only the failure detector, consulted afterwards by the executor, can
+    tell a crash from a transient partition or a lossy link.  Carries the
+    number of retransmissions attempted before giving up.
+    """
+
+    def __init__(self, place_id: int, retries: int = 0):
+        self.retries = retries
+        super().__init__(
+            place_id,
+            f"place {place_id} unreachable (no acknowledgement after "
+            f"{retries} retransmissions)",
+        )
+
+
 class MultipleException(RuntimeFault):
     """Several tasks of one finish failed (e.g. several places died).
 
@@ -53,6 +72,44 @@ class MultipleException(RuntimeFault):
                 ids.extend(exc.places)
         return sorted(set(ids))
 
+    def flattened(self) -> List[Exception]:
+        """All leaf exceptions, with nested ``MultipleException`` expanded.
+
+        X10 nests ``MultipleExceptions`` when finishes nest; handlers want
+        the flat list of underlying faults regardless of aggregation depth.
+        Non-place exceptions (application errors raised inside tasks) are
+        preserved in order.
+        """
+        leaves: List[Exception] = []
+        for exc in self.exceptions:
+            if isinstance(exc, MultipleException):
+                leaves.extend(exc.flattened())
+            else:
+                leaves.append(exc)
+        return leaves
+
+
+def collapse_failures(failures: Sequence[Exception]) -> Exception:
+    """Aggregate task failures the way a finish surfaces them.
+
+    A single failure is raised as itself (no pointless wrapper); several
+    are flattened into one :class:`MultipleException` — nested multiples
+    from inner finishes are expanded so the result is always one level
+    deep.  Raises ``ValueError`` on an empty sequence (a finish with no
+    failures has nothing to surface).
+    """
+    flat: List[Exception] = []
+    for exc in failures:
+        if isinstance(exc, MultipleException):
+            flat.extend(exc.flattened())
+        else:
+            flat.append(exc)
+    if not flat:
+        raise ValueError("collapse_failures() needs at least one failure")
+    if len(flat) == 1:
+        return flat[0]
+    return MultipleException(flat)
+
 
 class PlaceZeroDeadError(RuntimeFault):
     """Place zero died: the whole application fails (X10 assumption)."""
@@ -67,6 +124,19 @@ class DataLossError(RuntimeFault):
     Happens when two *adjacent* places in a snapshot's place group die
     between a checkpoint and the restore — the double in-memory store only
     protects against non-adjacent failures.
+    """
+
+
+class SnapshotCorruptionError(DataLossError):
+    """A snapshot partition was lost to *corruption* rather than crashes.
+
+    Raised only when corruption is unrecoverable — every surviving tier of
+    a partition failed checksum verification and was quarantined.  A
+    corrupt copy with a clean copy behind it is quarantined silently and
+    recovery falls through to the next tier.  Subclasses
+    :class:`DataLossError`: to the recovery ladder the partition is gone
+    either way, but the type distinguishes "places died" from "bits
+    rotted" for reports and campaigns.
     """
 
 

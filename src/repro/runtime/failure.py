@@ -29,10 +29,14 @@ finish, mirroring Resilient X10 semantics.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store ↔ failure)
+    from repro.resilience.store import AppResilientStore
 
 #: Context names the executor announces for ``during=`` triggers.
 KILL_CONTEXTS = ("checkpoint", "restore")
@@ -143,9 +147,25 @@ class FailureInjector:
         self._context_counts[name] = self._context_counts.get(name, 0) + 1
 
     def exit_context(self, name: str) -> None:
-        """The executor left the innermost protocol context."""
-        if self._active_contexts and self._active_contexts[-1] == name:
-            self._active_contexts.pop()
+        """The executor left the innermost protocol context.
+
+        Enter/exit must nest (strictly balanced, innermost-first): a
+        mismatched exit means the executor's protocol bracketing is broken
+        and every later ``during=`` trigger would silently fire in the
+        wrong context, so it raises immediately, naming the current stack.
+        """
+        if not self._active_contexts:
+            raise RuntimeError(
+                f"exit_context({name!r}) with no context active: enter/exit "
+                f"calls must be balanced (context stack is empty)"
+            )
+        if self._active_contexts[-1] != name:
+            raise RuntimeError(
+                f"exit_context({name!r}) does not match the innermost active "
+                f"context {self._active_contexts[-1]!r}; current context "
+                f"stack (outermost first): {self._active_contexts}"
+            )
+        self._active_contexts.pop()
 
     def _context_due(self, kill: ScriptedKill) -> bool:
         return (
@@ -275,6 +295,208 @@ class AdjacentPairFailureModel:
             kills.append(ScriptedKill(place_id=a, time=t))
             kills.append(ScriptedKill(place_id=b, time=t))
         return kills
+
+
+# -- transient faults ---------------------------------------------------------
+#
+# Everything below injects faults that do NOT kill places: messages that are
+# dropped, duplicated or delayed, links that partition and later heal,
+# stragglers, and corrupted snapshot copies.  The GASPI fault-tolerance work
+# (arXiv:1505.04628) argues these — not clean crash-stops — are what a
+# deployable recovery layer must absorb; the runtime pairs them with the
+# heartbeat detector (``repro.runtime.detector``) and the retransmission
+# machinery in ``repro.runtime.comm`` / the engine scheduler.
+
+
+@dataclass(frozen=True)
+class MessageFate:
+    """Outcome drawn for one message transmission attempt."""
+
+    delivered: bool
+    duplicated: bool = False
+    extra_delay: float = 0.0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retransmission with exponential backoff (at-most-once).
+
+    A sender that receives no acknowledgement retransmits after an RTO
+    that doubles per attempt; after ``max_retries`` retransmissions the
+    destination is declared unreachable (``CommTimeoutError``) and the
+    decision escalates to the failure detector.  ``rto_seconds`` of 0
+    derives the base RTO from the cost model (a few message round-trips),
+    which also keeps retries free under the all-zero test cost model.
+    """
+
+    max_retries: int = 4
+    rto_seconds: float = 0.0
+    backoff: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.rto_seconds < 0:
+            raise ValueError("rto_seconds must be >= 0")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1.0")
+
+    def rto(self, attempt: int, cost, nbytes: float = 0.0) -> float:
+        """Retransmission timeout before attempt ``attempt + 1``."""
+        base = self.rto_seconds
+        if base == 0.0:
+            base = 4.0 * cost.latency + cost.byte_time * cost.scaled_bytes(nbytes)
+        return base * self.backoff**attempt
+
+
+@dataclass(frozen=True)
+class LinkPartition:
+    """A temporary network partition between two sets of places.
+
+    Messages (and heartbeats) crossing between ``side_a`` and ``side_b``
+    in either direction are lost while ``t_start <= t < t_heal``; the
+    partition then *heals* — the transient scenario that a crash-only
+    failure model cannot express.
+    """
+
+    side_a: frozenset
+    side_b: frozenset
+    t_start: float
+    t_heal: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "side_a", frozenset(self.side_a))
+        object.__setattr__(self, "side_b", frozenset(self.side_b))
+        if self.t_heal <= self.t_start:
+            raise ValueError("t_heal must be after t_start")
+        if self.side_a & self.side_b:
+            raise ValueError("partition sides must be disjoint")
+
+    def blocks(self, src_id: int, dst_id: int, t: float) -> bool:
+        """True if a message src → dst at time *t* is cut by this partition."""
+        if not (self.t_start <= t < self.t_heal):
+            return False
+        return (src_id in self.side_a and dst_id in self.side_b) or (
+            src_id in self.side_b and dst_id in self.side_a
+        )
+
+
+class TransientFaultModel:
+    """Seeded message-level fault injection: drop / duplicate / delay / cut.
+
+    One model per runtime; the engine scheduler and the collectives consult
+    :meth:`fate` for every data-plane transmission attempt, and the failure
+    detector consults :meth:`heartbeat_lost` for every heartbeat.  Message
+    fates are drawn from a sequential seeded generator (deterministic for a
+    given run); heartbeat fates are hash-based on ``(place, seq)`` so they
+    do not depend on how lazily the detector evaluates them.
+
+    Counters (``dropped`` / ``duplicates`` / ``retransmissions`` /
+    ``timeouts``) accumulate across the run for reports and invariants.
+    """
+
+    def __init__(
+        self,
+        drop_rate: float = 0.0,
+        dup_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        delay_seconds: float = 0.0,
+        partitions: Sequence[LinkPartition] = (),
+        seed: int = 0,
+    ):
+        for name, rate in (
+            ("drop_rate", drop_rate),
+            ("dup_rate", dup_rate),
+            ("delay_rate", delay_rate),
+        ):
+            if not 0.0 <= rate < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {rate}")
+        if delay_seconds < 0:
+            raise ValueError("delay_seconds must be >= 0")
+        self.drop_rate = drop_rate
+        self.dup_rate = dup_rate
+        self.delay_rate = delay_rate
+        self.delay_seconds = delay_seconds
+        self.partitions: List[LinkPartition] = list(partitions)
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self.dropped = 0
+        self.duplicates = 0
+        self.retransmissions = 0
+        self.timeouts = 0
+
+    def add_partition(self, partition: LinkPartition) -> "TransientFaultModel":
+        self.partitions.append(partition)
+        return self
+
+    def partitioned(self, src_id: int, dst_id: int, t: float) -> bool:
+        """True if any active partition cuts src → dst at time *t*."""
+        return any(p.blocks(src_id, dst_id, t) for p in self.partitions)
+
+    def fate(self, src_id: int, dst_id: int, t: float) -> MessageFate:
+        """Draw the fate of one transmission attempt at time *t*."""
+        if self.partitioned(src_id, dst_id, t):
+            self.dropped += 1
+            return MessageFate(delivered=False)
+        if self.drop_rate and self._rng.random() < self.drop_rate:
+            self.dropped += 1
+            return MessageFate(delivered=False)
+        duplicated = bool(self.dup_rate) and self._rng.random() < self.dup_rate
+        extra = 0.0
+        if self.delay_rate and self._rng.random() < self.delay_rate:
+            extra = self.delay_seconds * self._rng.random()
+        if duplicated:
+            self.duplicates += 1
+        return MessageFate(delivered=True, duplicated=duplicated, extra_delay=extra)
+
+    def heartbeat_lost(self, place_id: int, seq: int, t_emit: float) -> bool:
+        """Whether heartbeat *seq* of a place is lost on its way to place 0.
+
+        Hash-based (not generator-based) so the outcome of a given
+        heartbeat is independent of when the detector lazily evaluates it.
+        """
+        if self.partitioned(place_id, 0, t_emit):
+            return True
+        if not self.drop_rate:
+            return False
+        digest = zlib.crc32(f"{self.seed}:{place_id}:{seq}".encode())
+        return (digest / 2**32) < self.drop_rate
+
+
+class CorruptionModel:
+    """Seeded bit-rot on committed snapshot copies.
+
+    After each checkpoint commit, every copy (primary, each replica, and
+    the disk-tier copy) of every partition of the newly committed snapshot
+    is independently corrupted with probability ``rate``.  Strikes are
+    recorded as ``(snap_id, key, tier)`` so campaigns can distinguish
+    "disk tier itself was hit" from recoverable in-memory corruption.
+    """
+
+    def __init__(self, rate: float, seed: int = 0):
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"corruption rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = np.random.default_rng(seed)
+        self.strikes: List[Tuple[int, int, int]] = []
+
+    def strike(self, store: "AppResilientStore") -> int:
+        """Corrupt copies of the latest committed checkpoint; returns count."""
+        latest = store.latest()
+        if latest is None or not self.rate:
+            return 0
+        hit = 0
+        for snap in list(latest.snapshots.values()) + list(latest.read_only.values()):
+            for key in sorted(snap.saved_keys()):
+                for tier in snap.tiers(key):
+                    if self._rng.random() < self.rate and snap.corrupt_copy(key, tier):
+                        self.strikes.append((snap.snap_id, key, tier))
+                        hit += 1
+        return hit
+
+    def disk_strikes(self) -> List[Tuple[int, int, int]]:
+        """Strikes that landed on the stable (disk) tier."""
+        return [s for s in self.strikes if s[2] < 0]
 
 
 @dataclass

@@ -45,10 +45,10 @@ from repro.engine.timeline import Timeline
 from repro.runtime.cost import CostModel, validate_cost_model
 from repro.runtime.exceptions import (
     DeadPlaceException,
-    MultipleException,
     PlaceZeroDeadError,
+    collapse_failures,
 )
-from repro.runtime.failure import FailureInjector
+from repro.runtime.failure import FailureInjector, RetryPolicy, TransientFaultModel
 from repro.runtime.finish import FinishReport, PlaceZeroLedger
 from repro.runtime.heap import PlaceHeap
 from repro.runtime.place import Place, PlaceGroup
@@ -207,6 +207,54 @@ class Runtime:
         self.stats = RuntimeStats()
         self.trace = TraceLog(enabled=trace)
         self.phase = 0
+        #: Virtual time at which each dead place died (for the detector).
+        self._death_times: Dict[int, float] = {}
+        #: Heartbeat failure detector (attached by the executor / CLI).
+        self.detector = None
+
+    # -- transient faults ------------------------------------------------------
+
+    @property
+    def faults(self) -> Optional[TransientFaultModel]:
+        """The transient message-fault model (owned by the engine)."""
+        return self.engine.faults
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        return self.engine.retry_policy
+
+    def set_faults(
+        self,
+        faults: Optional[TransientFaultModel],
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
+        """Install (or clear) transient message faults on the engine."""
+        self.engine.faults = faults
+        if retry_policy is not None:
+            self.engine.retry_policy = retry_policy
+
+    def set_straggler(self, place_id: int, factor: float) -> None:
+        """Make a place compute *factor* times slower (1.0 = full speed).
+
+        The slowdown stretches work charged to the place's clock — compute
+        and its share of protocol work — but not network transit; it also
+        stretches the place's heartbeat emission interval, which is what a
+        starving process looks like to the failure detector.
+        """
+        self.check_alive(place_id)
+        self.clock.set_slowdown(place_id, factor)
+
+    def attach_detector(self, detector) -> None:
+        """Install a failure detector (e.g. ``PhiAccrualDetector(rt)``)."""
+        self.detector = detector
+
+    def all_place_ids(self) -> List[int]:
+        """Ids of every place ever created (dead or alive, incl. spares)."""
+        return sorted(self._alive)
+
+    def death_time(self, place_id: int) -> Optional[float]:
+        """Virtual time of a place's death (None while it lives)."""
+        return self._death_times.get(place_id)
 
     # -- place management ------------------------------------------------------
 
@@ -238,6 +286,7 @@ class Runtime:
         if not self.is_alive(place_id):
             return
         self._alive[place_id] = False
+        self._death_times[place_id] = self.clock.global_time()
         self._heaps[place_id].destroy()
         self._spares = deque(p for p in self._spares if p.id != place_id)
         self.engine.purge_place(place_id)
@@ -280,6 +329,8 @@ class Runtime:
             place.id, self.clock.global_time() + self.cost.message(0)
         )
         self.trace.emit("add_place", self.clock.global_time(), place=place.id)
+        if self.detector is not None:
+            self.detector.monitor(place.id, from_time=self.clock.now(place.id))
         return place
 
     def serve_transfer(self, place_id: int, t_request: float, duration: float) -> float:
@@ -459,10 +510,8 @@ class Runtime:
             "finish", report.end, label=label, tasks=n_live, dead=report.dead_places
         )
 
-        if len(failures) == 1:
-            raise failures[0]
         if failures:
-            raise MultipleException(failures)
+            raise collapse_failures(failures)
         return results
 
     def barrier(self, group: PlaceGroup) -> float:

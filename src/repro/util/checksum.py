@@ -1,0 +1,136 @@
+"""Payload checksums and corruption for verified snapshot integrity.
+
+Snapshot replicas are only trustworthy if they can be *verified* before a
+restore reads them (ReStore, arXiv:2203.01107, makes the same argument for
+in-memory recovery data).  :func:`payload_checksum` computes a structural
+CRC-32 over the same payload shapes :func:`repro.util.bytesize.payload_nbytes`
+sizes — NumPy arrays, numbers, strings, nested containers, and the matrix
+classes (via their ``payload_arrays()`` protocol).  The checksum is recorded
+at save time and re-computed at locate/restore time; a mismatch marks the
+copy corrupt.
+
+:func:`corrupt_payload` is the matching fault injector: it returns a
+*corrupted copy* of a payload (the original object is never mutated, so
+other replicas holding the same reference stay clean) with at least one bit
+flipped, guaranteed to change the checksum of any non-empty payload.
+"""
+
+from __future__ import annotations
+
+import copy
+import struct
+import zlib
+from typing import Any
+
+import numpy as np
+
+
+def _feed(crc: int, data: bytes) -> int:
+    return zlib.crc32(data, crc)
+
+
+def _checksum_into(crc: int, obj: Any) -> int:
+    if obj is None:
+        return _feed(crc, b"\x00N")
+    if isinstance(obj, np.ndarray):
+        crc = _feed(crc, b"\x00A" + obj.dtype.str.encode() + repr(obj.shape).encode())
+        return _feed(crc, np.ascontiguousarray(obj).tobytes())
+    if isinstance(obj, (bool, int, np.integer)):
+        return _feed(crc, b"\x00I" + repr(int(obj)).encode())
+    if isinstance(obj, (float, np.floating)):
+        return _feed(crc, b"\x00F" + struct.pack("<d", float(obj)))
+    if isinstance(obj, str):
+        return _feed(crc, b"\x00S" + obj.encode("utf-8"))
+    if isinstance(obj, (list, tuple)):
+        crc = _feed(crc, b"\x00L%d" % len(obj))
+        for item in obj:
+            crc = _checksum_into(crc, item)
+        return crc
+    if isinstance(obj, (set, frozenset)):
+        # Order-independent: combine the sorted per-element checksums.
+        parts = sorted(_checksum_into(0, item) for item in obj)
+        crc = _feed(crc, b"\x00T%d" % len(obj))
+        for part in parts:
+            crc = _feed(crc, part.to_bytes(4, "little"))
+        return crc
+    if isinstance(obj, dict):
+        crc = _feed(crc, b"\x00D%d" % len(obj))
+        for key, value in obj.items():
+            crc = _checksum_into(crc, key)
+            crc = _checksum_into(crc, value)
+        return crc
+    arrays = getattr(obj, "payload_arrays", None)
+    if callable(arrays):
+        crc = _feed(crc, b"\x00O" + type(obj).__name__.encode())
+        for arr in arrays():
+            crc = _checksum_into(crc, arr)
+        return crc
+    raise TypeError(f"cannot checksum payload of type {type(obj).__name__}")
+
+
+def payload_checksum(obj: Any) -> int:
+    """Structural CRC-32 of a snapshot payload (type- and shape-tagged)."""
+    return _checksum_into(0, obj)
+
+
+def _flip_array(arr: np.ndarray) -> bool:
+    """Flip every bit of the first byte of *arr* in place; False if empty."""
+    if arr.size == 0:
+        return False
+    flat = arr.reshape(-1).view(np.uint8)
+    flat[0] ^= 0xFF
+    return True
+
+
+def corrupt_payload(obj: Any) -> Any:
+    """Return a corrupted *copy* of a payload (original left untouched).
+
+    At least one bit is flipped in the first non-empty array (or scalar /
+    string) found, so :func:`payload_checksum` of the result differs from
+    the original's for any payload with content.  Payloads with nothing to
+    flip (``None``, empty arrays/containers) are returned as plain copies.
+    """
+    if obj is None:
+        return None
+    if isinstance(obj, np.ndarray):
+        out = obj.copy()
+        _flip_array(out)
+        return out
+    if isinstance(obj, (bool, np.bool_)):
+        return not bool(obj)
+    if isinstance(obj, (int, np.integer)):
+        return int(obj) ^ 1
+    if isinstance(obj, (float, np.floating)):
+        packed = bytearray(struct.pack("<d", float(obj)))
+        packed[0] ^= 0xFF
+        return struct.unpack("<d", bytes(packed))[0]
+    if isinstance(obj, str):
+        return obj + "\x00" if obj else "\x00"
+    if isinstance(obj, (list, tuple)):
+        items = list(obj)
+        for i, item in enumerate(items):
+            corrupted = corrupt_payload(item)
+            items[i] = corrupted
+            break
+        return type(obj)(items) if isinstance(obj, tuple) else items
+    if isinstance(obj, (set, frozenset)):
+        items = sorted(obj, key=repr)
+        if items:
+            items[0] = corrupt_payload(items[0])
+        return type(obj)(items)
+    if isinstance(obj, dict):
+        out = dict(obj)
+        for key in out:
+            out[key] = corrupt_payload(out[key])
+            break
+        return out
+    arrays = getattr(obj, "payload_arrays", None)
+    if callable(arrays):
+        # deepcopy, not obj.copy(): a validating constructor would reject a
+        # source that is itself already corrupt (a copy can be struck twice).
+        out = copy.deepcopy(obj)
+        for arr in out.payload_arrays():
+            if isinstance(arr, np.ndarray) and _flip_array(arr):
+                break
+        return out
+    raise TypeError(f"cannot corrupt payload of type {type(obj).__name__}")

@@ -64,6 +64,58 @@ def test_campaign_stable_fallback_never_loses_data(app):
     assert result.counts().get("data_loss", 0) == 0
 
 
+@pytest.mark.parametrize("app", ["linreg", "pagerank"])
+def test_campaign_transient_matrix(app):
+    # The full imperfect-world matrix: 20% message loss, duplicates,
+    # an 8x straggler, post-commit bit-rot, healing partitions — and a
+    # real failure detector instead of the oracle.  Crash kills still
+    # fire on top.  The bar is unchanged: converged runs match the
+    # failure-free result, corrupt copies are quarantined (never
+    # silently restored), and the straggler alone triggers nothing.
+    result = run_campaign(
+        CampaignConfig(
+            app=app,
+            schedules=SCHEDULES,
+            seed=31,
+            replicas=2,
+            placement="spread",
+            stable_fallback=True,
+            drop_rate=0.2,
+            dup_rate=0.05,
+            straggler_max=8.0,
+            corrupt_rate=0.02,
+            partition_rate=0.3,
+            detect_timeout=1.0,
+        )
+    )
+    _assert_clean(result)
+
+
+def test_transient_campaign_statuses_match_crash_only_baseline():
+    # Transient faults add noise, not new outcomes: with retransmission,
+    # at-most-once delivery and quarantine fall-through, exactly the
+    # same schedules succeed or lose data as in a crash-only campaign.
+    base_cfg = CampaignConfig(
+        app="linreg", schedules=40, seed=19, replicas=2, placement="spread"
+    )
+    noisy_cfg = CampaignConfig(
+        app="linreg",
+        schedules=40,
+        seed=19,
+        replicas=2,
+        placement="spread",
+        drop_rate=0.15,
+        straggler_max=8.0,
+        detect_timeout=1.0,
+    )
+    base = run_campaign(base_cfg)
+    noisy = run_campaign(noisy_cfg)
+    assert noisy.violations == []
+    base_lost = [o.index for o in base.outcomes if "loss" in o.status]
+    noisy_lost = [o.index for o in noisy.outcomes if "loss" in o.status]
+    assert noisy_lost == base_lost
+
+
 def test_campaign_with_spares_exercises_replacement():
     result = run_campaign(
         CampaignConfig(

@@ -1,0 +1,105 @@
+"""Tests for the failure-surface exception types and their aggregation."""
+
+import pytest
+
+from repro.runtime.exceptions import (
+    CommTimeoutError,
+    DataLossError,
+    DeadPlaceException,
+    MultipleException,
+    SnapshotCorruptionError,
+    collapse_failures,
+)
+
+
+class TestPlacesAccessor:
+    def test_dead_place_exposes_single_place(self):
+        assert DeadPlaceException(3).places == [3]
+
+    def test_multiple_collects_sorted_unique_places(self):
+        exc = MultipleException(
+            [DeadPlaceException(5), DeadPlaceException(2), DeadPlaceException(5)]
+        )
+        assert exc.places == [2, 5]
+
+    def test_nested_multiple_places(self):
+        inner = MultipleException([DeadPlaceException(4), DeadPlaceException(1)])
+        outer = MultipleException([inner, DeadPlaceException(2)])
+        assert outer.places == [1, 2, 4]
+
+    def test_non_place_exceptions_contribute_no_places(self):
+        exc = MultipleException([ValueError("app bug"), DeadPlaceException(7)])
+        assert exc.places == [7]
+
+    def test_comm_timeout_is_a_dead_place_to_the_finish(self):
+        exc = CommTimeoutError(6, retries=4)
+        assert isinstance(exc, DeadPlaceException)
+        assert exc.places == [6]
+        assert exc.retries == 4
+        assert "4 retransmissions" in str(exc)
+
+
+class TestFlattened:
+    def test_flat_list_is_returned_as_is(self):
+        leaves = [DeadPlaceException(1), ValueError("x")]
+        assert MultipleException(leaves).flattened() == leaves
+
+    def test_nested_multiples_are_expanded(self):
+        a, b, c = DeadPlaceException(1), DeadPlaceException(2), DeadPlaceException(3)
+        nested = MultipleException([MultipleException([a, b]), c])
+        assert nested.flattened() == [a, b, c]
+
+    def test_deeply_nested_multiples(self):
+        a, b = DeadPlaceException(1), ValueError("boom")
+        deep = MultipleException(
+            [MultipleException([MultipleException([a]), b])]
+        )
+        assert deep.flattened() == [a, b]
+
+    def test_mixed_fault_types_preserved_in_order(self):
+        dead = DeadPlaceException(2)
+        timeout = CommTimeoutError(3, retries=2)
+        app_error = RuntimeError("task blew up")
+        exc = MultipleException([MultipleException([dead, app_error]), timeout])
+        assert exc.flattened() == [dead, app_error, timeout]
+
+
+class TestCollapseFailures:
+    def test_single_failure_returned_unwrapped(self):
+        failure = DeadPlaceException(4)
+        assert collapse_failures([failure]) is failure
+
+    def test_single_element_multiple_collapses_to_leaf(self):
+        leaf = DeadPlaceException(9)
+        collapsed = collapse_failures([MultipleException([leaf])])
+        assert collapsed is leaf
+
+    def test_several_failures_aggregate_one_level_deep(self):
+        a, b = DeadPlaceException(1), DeadPlaceException(2)
+        collapsed = collapse_failures([MultipleException([a]), b])
+        assert isinstance(collapsed, MultipleException)
+        assert collapsed.exceptions == [a, b]
+        assert all(
+            not isinstance(e, MultipleException) for e in collapsed.exceptions
+        )
+
+    def test_nested_multiples_fully_flattened(self):
+        a, b, c = DeadPlaceException(1), ValueError("x"), DeadPlaceException(3)
+        collapsed = collapse_failures(
+            [MultipleException([MultipleException([a, b]), c])]
+        )
+        assert isinstance(collapsed, MultipleException)
+        assert collapsed.exceptions == [a, b, c]
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            collapse_failures([])
+
+
+class TestCorruptionHierarchy:
+    def test_corruption_is_data_loss(self):
+        # Recovery-ladder catch sites treat unrecoverable corruption as
+        # data loss; campaigns distinguish the two by isinstance.
+        assert issubclass(SnapshotCorruptionError, DataLossError)
+        err = SnapshotCorruptionError("all tiers corrupt")
+        assert isinstance(err, DataLossError)

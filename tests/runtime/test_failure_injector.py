@@ -120,6 +120,31 @@ class TestContextTriggers:
         assert inj.due_at_phase(2, 0.0) == [1]
         inj.exit_context("restore")
 
+    def test_exit_without_enter_raises(self):
+        inj = FailureInjector()
+        with pytest.raises(RuntimeError, match="no context active"):
+            inj.exit_context("checkpoint")
+
+    def test_mismatched_exit_names_the_stack(self):
+        inj = FailureInjector()
+        inj.enter_context("checkpoint")
+        inj.enter_context("restore")
+        with pytest.raises(RuntimeError, match=r"innermost.*'restore'"):
+            inj.exit_context("checkpoint")
+        # The stack is untouched by the failed exit; unwinding in the
+        # correct order still works.
+        inj.exit_context("restore")
+        inj.exit_context("checkpoint")
+        with pytest.raises(RuntimeError, match="no context active"):
+            inj.exit_context("checkpoint")
+
+    def test_balanced_nesting_accepted(self):
+        inj = FailureInjector()
+        inj.enter_context("restore")
+        inj.enter_context("checkpoint")
+        inj.exit_context("checkpoint")
+        inj.exit_context("restore")
+
 
 class TestExponentialModel:
     def test_deterministic_given_seed(self):
