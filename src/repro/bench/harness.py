@@ -7,8 +7,10 @@ paper-style tables/series and compare against the paper's numbers.
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from functools import partial
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.apps.nonresilient import (
     GnmfNonResilient,
@@ -60,6 +62,25 @@ APP_REGISTRY = {
 }
 
 
+def _pmap(fn: Callable, items: Sequence, jobs: Optional[int]) -> List:
+    """Map *fn* over *items*, optionally on a process pool.
+
+    Each item is an independent simulation cell (its own Runtime), so
+    fan-out cannot change any result; ``pool.map`` preserves input order,
+    keeping the output identical to the serial loop.  ``jobs`` of None or
+    1 stays serial — the default, and what the golden-timing tests pin.
+    """
+    items = list(items)
+    if jobs is None or jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        ctx = multiprocessing.get_context("spawn")
+    with ctx.Pool(min(jobs, len(items))) as pool:
+        return pool.map(fn, items)
+
+
 @dataclass
 class SweepSeries:
     """One experiment series over the place axis."""
@@ -71,30 +92,59 @@ class SweepSeries:
         self.values.setdefault(name, []).append(value)
 
 
+def _overhead_cell(
+    app_name: str, iterations: int, places: int
+) -> List[Tuple[str, float]]:
+    """One place-count cell of the Figs. 2-4 protocol (picklable)."""
+    NonRes, _Res, wl_factory, cost_factory = APP_REGISTRY[app_name]
+    wl = wl_factory(iterations)
+    out: List[Tuple[str, float]] = []
+    for resilient, label in ((False, "non-resilient finish"), (True, "resilient finish")):
+        rt = Runtime(places, cost=cost_factory(), resilient=resilient)
+        app = NonRes(rt, wl)
+        t0 = rt.now()
+        app.run()
+        out.append((label, (rt.now() - t0) / iterations * 1e3))
+    return out
+
+
 def run_overhead_sweep(
     app_name: str,
     places_list: Optional[List[int]] = None,
     iterations: int = 30,
+    jobs: Optional[int] = None,
 ) -> SweepSeries:
     """Figs. 2-4 protocol: time/iteration, resilient vs non-resilient X10.
 
     The *same* non-resilient GML benchmark runs under both runtimes (no
     checkpointing involved); the difference is pure resilient-finish
-    bookkeeping.
+    bookkeeping.  ``jobs`` > 1 fans the place axis out over processes
+    without changing any value.
     """
-    NonRes, _Res, wl_factory, cost_factory = APP_REGISTRY[app_name]
-    wl = wl_factory(iterations)
     places_list = places_list or calibration.places_axis()
     series = SweepSeries(places=list(places_list))
-    for places in places_list:
-        for resilient, label in ((False, "non-resilient finish"), (True, "resilient finish")):
-            rt = Runtime(places, cost=cost_factory(), resilient=resilient)
-            app = NonRes(rt, wl)
-            t0 = rt.now()
-            app.run()
-            per_iter_ms = (rt.now() - t0) / iterations * 1e3
+    cells = _pmap(partial(_overhead_cell, app_name, iterations), places_list, jobs)
+    for cell in cells:
+        for label, per_iter_ms in cell:
             series.add(label, per_iter_ms)
     return series
+
+
+def _checkpoint_cell(
+    app_name: str,
+    iterations: int,
+    checkpoint_interval: int,
+    delta: bool,
+    places: int,
+) -> ExecutionReport:
+    """One place-count cell of the Table III protocol (picklable)."""
+    _NonRes, Res, wl_factory, cost_factory = APP_REGISTRY[app_name]
+    wl = wl_factory(iterations)
+    rt = Runtime(places, cost=cost_factory(), resilient=True)
+    app = Res(rt, wl)
+    return IterativeExecutor(
+        rt, app, checkpoint_interval=checkpoint_interval, delta=delta
+    ).run()
 
 
 def run_checkpoint_sweep(
@@ -102,25 +152,48 @@ def run_checkpoint_sweep(
     places_list: Optional[List[int]] = None,
     iterations: int = 30,
     checkpoint_interval: int = 10,
+    jobs: Optional[int] = None,
+    delta: bool = False,
 ) -> SweepSeries:
     """Table III protocol: mean checkpoint time, no failures.
 
     30 iterations with a checkpoint every 10 → three checkpoints per run;
-    read-only inputs are saved only in the first one.
+    read-only inputs are saved only in the first one.  ``delta`` switches
+    on incremental (dirty-partition-only) checkpointing.
     """
-    _NonRes, Res, wl_factory, cost_factory = APP_REGISTRY[app_name]
-    wl = wl_factory(iterations)
     places_list = places_list or calibration.places_axis()
     series = SweepSeries(places=list(places_list))
-    for places in places_list:
-        rt = Runtime(places, cost=cost_factory(), resilient=True)
-        app = Res(rt, wl)
-        report = IterativeExecutor(
-            rt, app, checkpoint_interval=checkpoint_interval
-        ).run()
+    reports = _pmap(
+        partial(_checkpoint_cell, app_name, iterations, checkpoint_interval, delta),
+        places_list,
+        jobs,
+    )
+    for report in reports:
         series.add("mean checkpoint (ms)", report.mean_checkpoint_time * 1e3)
         series.add("checkpoints", float(report.checkpoints))
     return series
+
+
+def _checkpoint_mode_cell(
+    app_name: str,
+    iterations: int,
+    checkpoint_interval: int,
+    places: int,
+) -> Dict[str, ExecutionReport]:
+    """One place-count cell of the blocking-vs-overlapped protocol."""
+    _NonRes, Res, wl_factory, cost_factory = APP_REGISTRY[app_name]
+    wl = wl_factory(iterations)
+    out: Dict[str, ExecutionReport] = {}
+    for ckpt_mode in ("blocking", "overlapped"):
+        rt = Runtime(places, cost=cost_factory(), resilient=True)
+        app = Res(rt, wl)
+        out[ckpt_mode] = IterativeExecutor(
+            rt,
+            app,
+            checkpoint_interval=checkpoint_interval,
+            checkpoint_mode=ckpt_mode,
+        ).run()
+    return out
 
 
 def run_checkpoint_mode_sweep(
@@ -128,6 +201,7 @@ def run_checkpoint_mode_sweep(
     places_list: Optional[List[int]] = None,
     iterations: int = 30,
     checkpoint_interval: int = 5,
+    jobs: Optional[int] = None,
 ) -> Dict[str, object]:
     """Blocking vs overlapped checkpointing, no failures.
 
@@ -140,24 +214,20 @@ def run_checkpoint_mode_sweep(
 
     Returns ``{"series": SweepSeries, "reports": {mode: {places: report}}}``.
     """
-    _NonRes, Res, wl_factory, cost_factory = APP_REGISTRY[app_name]
-    wl = wl_factory(iterations)
     places_list = places_list or calibration.places_axis()
     series = SweepSeries(places=list(places_list))
     reports: Dict[str, Dict[int, ExecutionReport]] = {
         "blocking": {},
         "overlapped": {},
     }
-    for places in places_list:
+    cells = _pmap(
+        partial(_checkpoint_mode_cell, app_name, iterations, checkpoint_interval),
+        places_list,
+        jobs,
+    )
+    for places, cell in zip(places_list, cells):
         for ckpt_mode in ("blocking", "overlapped"):
-            rt = Runtime(places, cost=cost_factory(), resilient=True)
-            app = Res(rt, wl)
-            report = IterativeExecutor(
-                rt,
-                app,
-                checkpoint_interval=checkpoint_interval,
-                checkpoint_mode=ckpt_mode,
-            ).run()
+            report = cell[ckpt_mode]
             series.add(f"{ckpt_mode} stall (ms)", report.checkpoint_stall_time * 1e3)
             series.add(f"{ckpt_mode} total (s)", report.total_time)
             reports[ckpt_mode][places] = report
@@ -177,6 +247,36 @@ class RestoreRunResult:
         return self.report.total_time
 
 
+def _restore_cell(
+    app_name: str,
+    iterations: int,
+    checkpoint_interval: int,
+    failure_iteration: int,
+    mode_values: Tuple[str, ...],
+    places: int,
+) -> Dict[str, object]:
+    """One place-count cell of the Figs. 5-7 protocol (picklable)."""
+    NonRes, Res, wl_factory, cost_factory = APP_REGISTRY[app_name]
+    wl = wl_factory(iterations)
+    victim = places // 2  # a mid-axis non-zero place
+    reports: Dict[str, ExecutionReport] = {}
+    for mode_value in mode_values:
+        mode = RestoreMode(mode_value)
+        spares = 1 if mode == RestoreMode.REPLACE_REDUNDANT else 0
+        rt = Runtime(places, cost=cost_factory(), resilient=True, spares=spares)
+        app = Res(rt, wl)
+        rt.injector.kill_at_iteration(victim, iteration=failure_iteration)
+        reports[mode_value] = IterativeExecutor(
+            rt, app, checkpoint_interval=checkpoint_interval, mode=mode
+        ).run()
+    # Non-resilient, no-failure baseline.
+    rt = Runtime(places, cost=cost_factory(), resilient=False)
+    app = NonRes(rt, wl)
+    t0 = rt.now()
+    app.run()
+    return {"reports": reports, "baseline": rt.now() - t0}
+
+
 def run_restore_sweep(
     app_name: str,
     places_list: Optional[List[int]] = None,
@@ -184,6 +284,7 @@ def run_restore_sweep(
     checkpoint_interval: int = 10,
     failure_iteration: int = 15,
     modes: Optional[List[RestoreMode]] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, SweepSeries]:
     """Figs. 5-7 protocol: total runtime for 30 iterations with a single
     place failure at iteration 15 and checkpoints every 10 iterations,
@@ -193,36 +294,35 @@ def run_restore_sweep(
     Returns ``{series_label: SweepSeries}`` with one series per mode; the
     per-point ExecutionReports (for Table IV) ride along in ``reports``.
     """
-    NonRes, Res, wl_factory, cost_factory = APP_REGISTRY[app_name]
-    wl = wl_factory(iterations)
     places_list = places_list or calibration.places_axis()
     modes = modes or [
         RestoreMode.SHRINK_REBALANCE,
         RestoreMode.SHRINK,
         RestoreMode.REPLACE_REDUNDANT,
     ]
+    mode_values = tuple(m.value for m in modes)
 
     series = SweepSeries(places=list(places_list))
     reports: Dict[str, Dict[int, ExecutionReport]] = {m.value: {} for m in modes}
 
-    for places in places_list:
-        victim = places // 2  # a mid-axis non-zero place
-        for mode in modes:
-            spares = 1 if mode == RestoreMode.REPLACE_REDUNDANT else 0
-            rt = Runtime(places, cost=cost_factory(), resilient=True, spares=spares)
-            app = Res(rt, wl)
-            rt.injector.kill_at_iteration(victim, iteration=failure_iteration)
-            report = IterativeExecutor(
-                rt, app, checkpoint_interval=checkpoint_interval, mode=mode
-            ).run()
-            series.add(mode.value, report.total_time)
-            reports[mode.value][places] = report
-        # Non-resilient, no-failure baseline.
-        rt = Runtime(places, cost=cost_factory(), resilient=False)
-        app = NonRes(rt, wl)
-        t0 = rt.now()
-        app.run()
-        series.add("non-resilient (no failure)", rt.now() - t0)
+    cells = _pmap(
+        partial(
+            _restore_cell,
+            app_name,
+            iterations,
+            checkpoint_interval,
+            failure_iteration,
+            mode_values,
+        ),
+        places_list,
+        jobs,
+    )
+    for places, cell in zip(places_list, cells):
+        for mode_value in mode_values:
+            report = cell["reports"][mode_value]
+            series.add(mode_value, report.total_time)
+            reports[mode_value][places] = report
+        series.add("non-resilient (no failure)", cell["baseline"])
 
     return {"series": series, "reports": reports}
 

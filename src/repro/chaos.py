@@ -27,8 +27,10 @@ reproducible from its campaign seed + index alone.  Used by the
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Tuple
+from functools import partial
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -133,6 +135,9 @@ class CampaignConfig:
     #: Probability that a schedule includes a temporary link partition
     #: that heals (requires ``detect_timeout`` > 0 to be survivable).
     partition_rate: float = 0.0
+    #: Incremental (dirty-partition-only) checkpointing for every schedule
+    #: of the campaign.  Full checkpoints (paper parity) by default.
+    ckpt_delta: bool = False
 
     @property
     def transient(self) -> bool:
@@ -180,7 +185,8 @@ class CampaignResult:
         lines = [
             f"chaos campaign: app={cfg.app} schedules={cfg.schedules} "
             f"seed={cfg.seed} places={cfg.places} replicas={cfg.replicas} "
-            f"placement={cfg.placement} stable_fallback={cfg.stable_fallback}",
+            f"placement={cfg.placement} stable_fallback={cfg.stable_fallback} "
+            f"ckpt_delta={cfg.ckpt_delta}",
         ]
         if cfg.transient:
             lines.append(
@@ -349,6 +355,7 @@ def run_schedule(
         replicas=config.replicas,
         placement=make_placement(config.placement),
         stable_fallback=config.stable_fallback,
+        delta=config.ckpt_delta,
     )
     executor = IterativeExecutor(
         rt,
@@ -471,23 +478,54 @@ def run_schedule(
     return outcome
 
 
-def run_campaign(config: CampaignConfig) -> CampaignResult:
-    """Run the full campaign; deterministic in ``config.seed``."""
+def _restore_modes(config: CampaignConfig) -> List[RestoreMode]:
+    modes = [RestoreMode.SHRINK, RestoreMode.SHRINK_REBALANCE]
+    if config.spares > 0:
+        modes.append(RestoreMode.REPLACE_REDUNDANT)
+    return modes
+
+
+def _campaign_index(
+    config: CampaignConfig, baseline: np.ndarray, index: int
+) -> ScheduleOutcome:
+    """Run schedule *index* of the campaign.
+
+    Every random draw (kills, restore mode, checkpoint mode, transients)
+    derives from ``(config.seed, index)`` alone, so this function is a
+    pure function of its arguments — the parallel pool below produces
+    bitwise-identical outcomes to the serial loop, in any worker order.
+    """
+    rng = np.random.default_rng([config.seed, index])
+    kills = make_schedule(rng, config.places, config.iterations)
+    modes = _restore_modes(config)
+    mode = modes[int(rng.integers(len(modes)))]
+    checkpoint_mode = "overlapped" if rng.integers(2) else "blocking"
+    return run_schedule(config, index, kills, baseline, mode, checkpoint_mode)
+
+
+def run_campaign(
+    config: CampaignConfig, jobs: Optional[int] = None
+) -> CampaignResult:
+    """Run the full campaign; deterministic in ``config.seed``.
+
+    With ``jobs`` > 1 the schedules fan out over a process pool.  Each
+    schedule's randomness is derived from ``(seed, index)``, never from
+    shared generator state, so the result is bitwise identical to the
+    serial run — parallelism only changes the wall clock.
+    """
     if config.app not in CHAOS_APPS:
         raise ValueError(
             f"unknown chaos app {config.app!r}; choose from {sorted(CHAOS_APPS)}"
         )
     baseline = _failure_free_result(config)
-    shrink_modes = [RestoreMode.SHRINK, RestoreMode.SHRINK_REBALANCE]
-    if config.spares > 0:
-        shrink_modes.append(RestoreMode.REPLACE_REDUNDANT)
-    outcomes: List[ScheduleOutcome] = []
-    for index in range(config.schedules):
-        rng = np.random.default_rng([config.seed, index])
-        kills = make_schedule(rng, config.places, config.iterations)
-        mode = shrink_modes[int(rng.integers(len(shrink_modes)))]
-        checkpoint_mode = "overlapped" if rng.integers(2) else "blocking"
-        outcomes.append(
-            run_schedule(config, index, kills, baseline, mode, checkpoint_mode)
-        )
+    worker = partial(_campaign_index, config, baseline)
+    if jobs is not None and jobs > 1 and config.schedules > 1:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(min(jobs, config.schedules)) as pool:
+            outcomes = pool.map(worker, range(config.schedules))
+    else:
+        outcomes = [worker(index) for index in range(config.schedules)]
     return CampaignResult(config, outcomes)

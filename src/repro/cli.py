@@ -21,6 +21,7 @@ invariants (see :mod:`repro.chaos`)::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -112,6 +113,12 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=list(CHECKPOINT_MODES),
         default="blocking",
         help="blocking (paper) or overlapped (backups hidden behind compute)",
+    )
+    run.add_argument(
+        "--ckpt-delta",
+        action="store_true",
+        help="incremental checkpoints: unchanged partitions are adopted "
+        "by reference and only dirty bytes are copied/charged",
     )
     run.add_argument(
         "--trace-out",
@@ -219,6 +226,14 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("experiment", choices=sorted(SWEEPS))
     sweep.add_argument("--max-places", type=int, default=44)
     sweep.add_argument("--iterations", type=int, default=30)
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan the place axis out over N worker processes (default: "
+        "all cores; results are identical to a serial run)",
+    )
 
     chaos = sub.add_parser(
         "chaos", help="run a seeded campaign of randomized failure schedules"
@@ -256,6 +271,20 @@ def _build_parser() -> argparse.ArgumentParser:
         default=0.0,
         metavar="P",
         help="probability a schedule includes a healing link partition",
+    )
+    chaos.add_argument(
+        "--ckpt-delta",
+        action="store_true",
+        help="run every schedule with incremental (dirty-partition-only) "
+        "checkpointing",
+    )
+    chaos.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan schedules out over N worker processes (default: all "
+        "cores; outcomes are bitwise identical to a serial run)",
     )
     return parser
 
@@ -344,6 +373,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             stable_fallback=args.stable_fallback or None,
             detector=detector,
             corruption=corruption,
+            delta=args.ckpt_delta,
         )
         try:
             report = executor.run()
@@ -380,6 +410,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
     if report.quarantined_copies:
         print(f"quarantined copies:   {report.quarantined_copies}")
+    if report.ckpt_clean_partitions:
+        print(
+            f"delta checkpointing:  {report.ckpt_clean_partitions} clean / "
+            f"{report.ckpt_dirty_partitions} dirty partitions "
+            f"({report.ckpt_clean_bytes:.0f} B skipped, "
+            f"{report.ckpt_dirty_bytes:.0f} B copied)"
+        )
     if report.pending_kills:
         print(f"kills never fired:    {len(report.pending_kills)}")
     print(f"virtual total:        {report.total_time:.4f} s")
@@ -408,20 +445,34 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_jobs(requested: Optional[int]) -> Optional[int]:
+    """``--jobs`` semantics: explicit N wins, otherwise all cores."""
+    if requested is not None:
+        return requested
+    return os.cpu_count()
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     kind, app = SWEEPS[args.experiment]
     axis = calibration.places_axis(args.max_places)
+    jobs = _resolve_jobs(args.jobs)
     if kind == "overhead":
-        series = run_overhead_sweep(app, places_list=axis, iterations=args.iterations)
+        series = run_overhead_sweep(
+            app, places_list=axis, iterations=args.iterations, jobs=jobs
+        )
         print(figures.series_table(series.places, series.values, header_unit="ms/iteration"))
     elif kind == "checkpoint":
         values = {}
         for name in ("linreg", "logreg", "pagerank"):
-            sweep = run_checkpoint_sweep(name, places_list=axis, iterations=args.iterations)
+            sweep = run_checkpoint_sweep(
+                name, places_list=axis, iterations=args.iterations, jobs=jobs
+            )
             values[name] = sweep.values["mean checkpoint (ms)"]
         print(figures.series_table(axis, values, header_unit="ms/checkpoint"))
     elif kind == "restore":
-        out = run_restore_sweep(app, places_list=axis, iterations=args.iterations)
+        out = run_restore_sweep(
+            app, places_list=axis, iterations=args.iterations, jobs=jobs
+        )
         series = out["series"]
         print(
             figures.series_table(
@@ -429,7 +480,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             )
         )
     elif kind == "ckpt-mode":
-        out = run_checkpoint_mode_sweep(app, places_list=axis, iterations=args.iterations)
+        out = run_checkpoint_mode_sweep(
+            app, places_list=axis, iterations=args.iterations, jobs=jobs
+        )
         series = out["series"]
         print(
             figures.series_table(
@@ -439,7 +492,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     elif kind == "table4":
         for name in ("linreg", "logreg", "pagerank"):
             out = run_restore_sweep(
-                name, places_list=[args.max_places], iterations=args.iterations
+                name,
+                places_list=[args.max_places],
+                iterations=args.iterations,
+                jobs=jobs,
             )
             rows = table4_from_reports(out["reports"], places=args.max_places)
             for mode, row in rows.items():
@@ -468,7 +524,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             corrupt_rate=args.corrupt,
             detect_timeout=args.detect_timeout,
             partition_rate=args.partition_rate,
-        )
+            ckpt_delta=args.ckpt_delta,
+        ),
+        jobs=_resolve_jobs(args.jobs),
     )
     print(result.summary())
     return 1 if result.violations else 0

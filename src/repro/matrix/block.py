@@ -131,5 +131,13 @@ class BlockSet:
         """Deep-copied ``{(rb, cb): data}`` map — the snapshot payload."""
         return {b.key: b.data.copy() for b in self}
 
+    def version_token(self) -> Tuple[Tuple[Tuple[int, int], int], ...]:
+        """Aggregate mutation token: every block's key and version."""
+        return tuple((b.key, b.data.version) for b in self)
+
+    def freeze_view_dict(self) -> Dict[Tuple[int, int], BlockData]:
+        """Copy-on-write snapshot payload: frozen aliases, no deep copies."""
+        return {b.key: b.data.freeze_view() for b in self}
+
     def __repr__(self) -> str:
         return f"BlockSet(place_index={self.place_index}, blocks={self.keys()})"

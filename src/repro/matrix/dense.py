@@ -12,17 +12,19 @@ from typing import Callable, Tuple
 import numpy as np
 
 from repro.util.validation import require
+from repro.util.versioning import next_version
 
 
 class DenseMatrix:
     """An ``m × n`` dense matrix in full storage."""
 
-    __slots__ = ("m", "n", "data")
+    __slots__ = ("m", "n", "data", "version")
 
     def __init__(self, data: np.ndarray):
         require(data.ndim == 2, f"dense matrix needs a 2-D array, got {data.ndim}-D")
         self.data = np.ascontiguousarray(data, dtype=np.float64)
         self.m, self.n = self.data.shape
+        self.version = next_version()
 
     # -- constructors ----------------------------------------------------
 
@@ -55,6 +57,21 @@ class DenseMatrix:
     def copy(self) -> "DenseMatrix":
         return DenseMatrix(self.data.copy())
 
+    def touch(self) -> None:
+        """Mark this matrix dirty before an in-place write.
+
+        Detaches from a frozen (snapshot-shared) backing array by copying
+        it, then bumps the mutation version.
+        """
+        if not self.data.flags.writeable:
+            self.data = self.data.copy()
+        self.version = next_version()
+
+    def freeze_view(self) -> "DenseMatrix":
+        """Freeze the backing array and return a snapshot alias sharing it."""
+        self.data.setflags(write=False)
+        return DenseMatrix(self.data)
+
     def payload_arrays(self) -> Tuple[np.ndarray, ...]:
         """Backing arrays for snapshot checksumming (``repro.util.checksum``)."""
         return (self.data,)
@@ -63,11 +80,13 @@ class DenseMatrix:
 
     def scale(self, alpha: float) -> "DenseMatrix":
         """In-place ``self *= alpha`` (returns self for chaining, GML style)."""
+        self.touch()
         self.data *= alpha
         return self
 
     def cell_add(self, other: "DenseMatrix | float") -> "DenseMatrix":
         """In-place element-wise add of a matrix or scalar."""
+        self.touch()
         if isinstance(other, DenseMatrix):
             require(other.shape == self.shape, "shape mismatch in cell_add")
             self.data += other.data
@@ -77,6 +96,7 @@ class DenseMatrix:
 
     def cell_sub(self, other: "DenseMatrix | float") -> "DenseMatrix":
         """In-place element-wise subtract of a matrix or scalar."""
+        self.touch()
         if isinstance(other, DenseMatrix):
             require(other.shape == self.shape, "shape mismatch in cell_sub")
             self.data -= other.data
@@ -87,11 +107,13 @@ class DenseMatrix:
     def cell_mult(self, other: "DenseMatrix") -> "DenseMatrix":
         """In-place Hadamard product."""
         require(other.shape == self.shape, "shape mismatch in cell_mult")
+        self.touch()
         self.data *= other.data
         return self
 
     def fill(self, value: float) -> "DenseMatrix":
         """Set every cell to *value*."""
+        self.touch()
         self.data.fill(value)
         return self
 
@@ -101,6 +123,7 @@ class DenseMatrix:
         """``self = a @ b`` (GML's accumulate-free form)."""
         require(a.n == b.m, f"inner dims mismatch: {a.shape} @ {b.shape}")
         require(self.shape == (a.m, b.n), "output shape mismatch")
+        self.touch()
         np.matmul(a.data, b.data, out=self.data)
         return self
 
@@ -146,6 +169,7 @@ class DenseMatrix:
     def set_sub_matrix(self, r0: int, c0: int, block: "DenseMatrix") -> None:
         """Paste *block* with its top-left at ``(r0, c0)``."""
         require(r0 + block.m <= self.m and c0 + block.n <= self.n, "block exceeds bounds")
+        self.touch()
         self.data[r0 : r0 + block.m, c0 : c0 + block.n] = block.data
 
     def __repr__(self) -> str:

@@ -301,6 +301,7 @@ class DistBlockMatrix(MultiPlaceObject):
         require(self.kind == DENSE and other.kind == DENSE, "cell_div is dense-only")
 
         def div(a: MatrixBlock, b: MatrixBlock) -> None:
+            a.data.touch()
             a.data.data /= np.maximum(b.data.data, eps)
 
         return self._cellwise_pair(other, div, label="cell_div")
@@ -392,8 +393,13 @@ class DistBlockMatrix(MultiPlaceObject):
 
     # -- resilience: snapshot / restore (§IV-B) -------------------------------------
 
-    def make_snapshot(self) -> DistObjectSnapshot:
-        """Save each place's block set under its index, doubly stored."""
+    def make_snapshot(self, base: Optional[DistObjectSnapshot] = None) -> DistObjectSnapshot:
+        """Save each place's block set under its index, doubly stored.
+
+        In delta mode a place whose blocks are all unchanged since *base*
+        adopts its committed copy by reference; a dirty place snapshots its
+        blocks copy-on-write (frozen aliases, no deep copies).
+        """
         block_nnz: Dict[Tuple[int, int], int] = {}
         if self.kind == SPARSE:
             for index in range(self.group.size):
@@ -408,12 +414,21 @@ class DistBlockMatrix(MultiPlaceObject):
                 "block_nnz": block_nnz,
             }
         )
+        base = self._delta_base(snap, base)
         group, key = self.group, self.heap_key
 
         def save(ctx: PlaceContext) -> None:
             index = group.index_of(ctx.place)
             bs: BlockSet = ctx.heap.get(key)
-            snap.save_from(ctx, index, bs.payload_dict())
+            self._save_partition(
+                snap,
+                ctx,
+                index,
+                bs.version_token(),
+                base,
+                bs.payload_dict,
+                bs.freeze_view_dict,
+            )
 
         self.runtime.finish_all(group, save, label=f"{self.name}:snapshot")
         return snap

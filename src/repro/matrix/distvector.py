@@ -266,6 +266,7 @@ class DistVector(MultiPlaceObject):
             nbytes_each=self.max_segment_nbytes(),
             label=f"{self.name}:copy_to",
         )
+        dest.touch()
         for index in range(self.group.size):
             lo, hi = self.partition.range_of(index)
             dest.data[lo:hi] = self.segment(index).data
@@ -300,6 +301,7 @@ class DistVector(MultiPlaceObject):
             lo, hi = self.partition.range_of(index)
             seg: Vector = ctx.heap.get(self.heap_key)
             full: Vector = ctx.heap.get(dup.heap_key)
+            seg.touch()
             seg.data[:] = full.data[lo:hi]
             ctx.charge_flops(hi - lo)
 
@@ -334,14 +336,22 @@ class DistVector(MultiPlaceObject):
         self._allocate()
         return self
 
-    def make_snapshot(self) -> DistObjectSnapshot:
-        """Save each segment under its place index, doubly stored."""
+    def make_snapshot(self, base: Optional[DistObjectSnapshot] = None) -> DistObjectSnapshot:
+        """Save each segment under its place index, doubly stored.
+
+        With a compatible *base* (delta mode), unchanged segments are
+        adopted by reference and changed ones saved copy-on-write.
+        """
         snap = self._new_snapshot({"n": self.n, "sizes": list(self.partition.sizes)})
+        base = self._delta_base(snap, base)
         group = self.group
 
         def save(ctx: PlaceContext) -> None:
             index = group.index_of(ctx.place)
-            snap.save_from(ctx, index, ctx.heap.get(self.heap_key).copy())
+            seg: Vector = ctx.heap.get(self.heap_key)
+            self._save_partition(
+                snap, ctx, index, seg.version, base, seg.copy, seg.freeze_view
+            )
 
         self.runtime.finish_all(group, save, label=f"{self.name}:snapshot")
         return snap

@@ -97,13 +97,17 @@ class _DupMatrixBase(MultiPlaceObject):
         self._allocate(proto)
         return self
 
-    def make_snapshot(self) -> DistObjectSnapshot:
+    def make_snapshot(self, base: Optional[DistObjectSnapshot] = None) -> DistObjectSnapshot:
         snap = self._new_snapshot({"shape": (self.m, self.n), "kind": self._KIND})
+        base = self._delta_base(snap, base)
         group, key = self.group, self.heap_key
 
         def save(ctx: PlaceContext) -> None:
             index = group.index_of(ctx.place)
-            snap.save_from(ctx, index, ctx.heap.get(key).copy())
+            replica: MatrixPayload = ctx.heap.get(key)
+            self._save_partition(
+                snap, ctx, index, replica.version, base, replica.copy, replica.freeze_view
+            )
 
         self.runtime.finish_all(group, save, label=f"{self.name}:snapshot")
         return snap
@@ -203,6 +207,7 @@ class DupDenseMatrix(_DupMatrixBase):
         """In-place element-wise divide, denominator floored at *eps*."""
 
         def div(a: DenseMatrix, b: DenseMatrix) -> None:
+            a.touch()
             a.data /= np.maximum(b.data, eps)
 
         return self._cellwise_pair(other, div, label="cell_div")
@@ -232,6 +237,7 @@ class DupDenseMatrix(_DupMatrixBase):
         def task(ctx: PlaceContext) -> None:
             out: DenseMatrix = ctx.heap.get(self.heap_key)
             src: DenseMatrix = ctx.heap.get(other.heap_key)
+            out.touch()
             out.data[:] = src.data.T
             ctx.charge_flops(float(self.m * self.n))
 
@@ -253,7 +259,9 @@ class DupDenseMatrix(_DupMatrixBase):
             label=f"{self.name}:reduce_sum",
         )
         for place in self.group:
-            self.local_payload(place).data[:] = total
+            replica = self.local_payload(place)
+            replica.touch()
+            replica.data[:] = total
         return self
 
     def norm_f(self) -> float:

@@ -63,6 +63,7 @@ class DupVector(MultiPlaceObject):
 
         def fill(ctx: PlaceContext) -> None:
             vec: Vector = ctx.heap.get(self.heap_key)
+            vec.touch()
             vec.data[:] = data
             ctx.charge_flops(flops_cellwise(self.n))
 
@@ -208,7 +209,9 @@ class DupVector(MultiPlaceObject):
             label=f"{self.name}:reduce_sum",
         )
         for place in self.group:
-            self.local_payload(place).data[:] = total
+            replica = self.local_payload(place)
+            replica.touch()
+            replica.data[:] = total
         return self
 
     # -- consistency ------------------------------------------------------------
@@ -224,7 +227,9 @@ class DupVector(MultiPlaceObject):
             label=f"{self.name}:sync",
         )
         for index in range(1, self.group.size):
-            self.payload_at_index(index).data[:] = root_data
+            replica = self.payload_at_index(index)
+            replica.touch()
+            replica.data[:] = root_data
         return self
 
     def replicas_consistent(self, tol: float = 0.0) -> bool:
@@ -244,13 +249,20 @@ class DupVector(MultiPlaceObject):
         self._allocate(new_group)
         return self
 
-    def make_snapshot(self) -> DistObjectSnapshot:
-        """Save every replica under its place index, doubly stored."""
+    def make_snapshot(self, base: Optional[DistObjectSnapshot] = None) -> DistObjectSnapshot:
+        """Save every replica under its place index, doubly stored.
+
+        Delta mode adopts unchanged replicas from *base* by reference.
+        """
         snap = self._new_snapshot({"n": self.n})
+        base = self._delta_base(snap, base)
 
         def save(ctx: PlaceContext) -> None:
             index = self.group.index_of(ctx.place)
-            snap.save_from(ctx, index, ctx.heap.get(self.heap_key).copy())
+            vec: Vector = ctx.heap.get(self.heap_key)
+            self._save_partition(
+                snap, ctx, index, vec.version, base, vec.copy, vec.freeze_view
+            )
 
         self.runtime.finish_all(self.group, save, label=f"{self.name}:snapshot")
         return snap
@@ -271,6 +283,7 @@ class DupVector(MultiPlaceObject):
             index = self.group.index_of(ctx.place)
             payload: Vector = snapshot.fetch(ctx, index)
             vec: Vector = ctx.heap.get(self.heap_key)
+            vec.touch()
             vec.data[:] = payload.data
 
         self.runtime.finish_all(self.group, load, label=f"{self.name}:restore")

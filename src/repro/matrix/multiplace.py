@@ -18,6 +18,7 @@ from repro.resilience.snapshot import Snapshottable
 from repro.runtime.place import Place, PlaceGroup
 from repro.runtime.runtime import Runtime
 from repro.util.validation import require
+from repro.util.versioning import version_token
 
 _object_counter = itertools.count()
 
@@ -82,6 +83,48 @@ class MultiPlaceObject(Snapshottable):
     def payload_at_index(self, index: int) -> Any:
         """Library-internal: payload of the place at a group index."""
         return self.local_payload(self.group[index])
+
+    # -- delta checkpointing -------------------------------------------------
+
+    def partition_versions(self) -> dict:
+        """Per-partition mutation tokens: ``{group index: version token}``.
+
+        The cheap dirty test delta checkpointing is built on — comparing
+        one token per partition replaces hashing the partition's bytes.
+        """
+        return {
+            index: version_token(self.payload_at_index(index))
+            for index in range(self.group.size)
+        }
+
+    @staticmethod
+    def _delta_base(snap, base):
+        """The usable delta base, or None when *base* is not compatible.
+
+        A base snapshot from a different group / replication layout cannot
+        donate copies by reference (they live in the wrong heaps), so the
+        save silently degrades to a full checkpoint.
+        """
+        if base is not None and snap.delta_compatible(base):
+            return base
+        return None
+
+    def _save_partition(self, snap, ctx, key, token, base, copy_fn, view_fn) -> None:
+        """Save one partition, skipping copy + CRC when it is clean.
+
+        *token* is the partition's current mutation token; *base* the
+        compatible previous committed snapshot (or None for a full save).
+        Clean partitions adopt the base's copies by reference
+        (:meth:`~repro.resilience.snapshot.DistObjectSnapshot.save_clean_from`);
+        dirty ones under delta share the live arrays copy-on-write
+        (*view_fn*); full-mode saves pay the eager deep copy (*copy_fn*).
+        """
+        if base is not None and base.can_reuse(key, token):
+            snap.save_clean_from(ctx, key, base)
+        elif base is not None:
+            snap.save_from(ctx, key, view_fn(), token=token)
+        else:
+            snap.save_from(ctx, key, copy_fn(), token=token)
 
     # -- lifecycle ---------------------------------------------------------
 

@@ -123,6 +123,7 @@ def dist_block_t_matvec(G: DistBlockMatrix, r: DistVector, g: DupVector) -> DupV
                 partial[c0:c1] += block.data.t_matvec(rvals)
             flops += _block_flops(block, rt.cost.sparse_flop_factor)
         out: Vector = ctx.heap.get(g.heap_key)
+        out.touch()
         out.data[:] = partial
         ctx.charge_flops(flops)
 
@@ -187,6 +188,7 @@ def dist_gram(a: DistBlockMatrix, b: DistBlockMatrix, out) -> "object":
                 partial += block.data.data.T @ peer.data.data
                 flops += 2.0 * block.shape[0] * a.n * b.n
         out_local = ctx.heap.get(out.heap_key)
+        out_local.touch()
         out_local.data[:] = partial
         ctx.charge_flops(flops)
 
@@ -219,6 +221,7 @@ def dist_matmat_dup(a: DistBlockMatrix, b, out: DistBlockMatrix) -> DistBlockMat
         flops = 0.0
         for block in mine:
             target = outs.get(block.rb, 0)
+            target.data.touch()
             if block.is_sparse:
                 target.data.data[:] = block.data.matmat(bdata)
                 flops += 2.0 * block.data.nnz * b.n * rt.cost.sparse_flop_factor
@@ -284,6 +287,7 @@ def dist_matmul(a: DistBlockMatrix, b: DistBlockMatrix, c: DistBlockMatrix) -> D
                 flops = 0.0
                 for block in mine:
                     target = outs.get(block.rb, 0)
+                    target.data.touch()
                     target.data.data += block.data.data[:, k0:k1] @ panel
                     flops += 2.0 * block.shape[0] * (k1 - k0) * panel.shape[1]
                 ctx.charge_flops(flops)

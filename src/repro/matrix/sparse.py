@@ -17,6 +17,7 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from repro.util.validation import require
+from repro.util.versioning import next_version
 
 _INDEX_DTYPE = np.int64
 
@@ -49,13 +50,14 @@ class SparseCSR:
     construction.
     """
 
-    __slots__ = ("m", "n", "indptr", "indices", "values")
+    __slots__ = ("m", "n", "indptr", "indices", "values", "version")
 
     def __init__(self, m: int, n: int, indptr, indices, values):
         self.m, self.n = int(m), int(n)
         self.indptr = _as_index(indptr)
         self.indices = _as_index(indices)
         self.values = np.asarray(values, dtype=np.float64)
+        self.version = next_version()
         require(self.m >= 0 and self.n >= 0, "negative matrix dims")
         require(len(self.indptr) == self.m + 1, "indptr must have m+1 entries")
         require(self.indptr[0] == 0, "indptr must start at 0")
@@ -119,6 +121,23 @@ class SparseCSR:
             self.m, self.n, self.indptr.copy(), self.indices.copy(), self.values.copy()
         )
 
+    def touch(self) -> None:
+        """Mark this matrix dirty before an in-place write.
+
+        Only ``values`` can be mutated in place (the index structure is
+        immutable after construction), so CoW detach copies just that.
+        """
+        if not self.values.flags.writeable:
+            self.values = self.values.copy()
+        self.version = next_version()
+
+    def freeze_view(self) -> "SparseCSR":
+        """Freeze the backing arrays and return a snapshot alias sharing them."""
+        self.indptr.setflags(write=False)
+        self.indices.setflags(write=False)
+        self.values.setflags(write=False)
+        return SparseCSR(self.m, self.n, self.indptr, self.indices, self.values)
+
     def payload_arrays(self) -> Tuple[np.ndarray, ...]:
         """Backing arrays for snapshot checksumming (``repro.util.checksum``)."""
         return (self.indptr, self.indices, self.values)
@@ -156,6 +175,7 @@ class SparseCSR:
 
     def scale(self, alpha: float) -> "SparseCSR":
         """In-place ``self *= alpha``."""
+        self.touch()
         self.values *= alpha
         return self
 
@@ -279,13 +299,14 @@ class SparseCSC:
     format round-trip tests.
     """
 
-    __slots__ = ("m", "n", "indptr", "indices", "values")
+    __slots__ = ("m", "n", "indptr", "indices", "values", "version")
 
     def __init__(self, m: int, n: int, indptr, indices, values):
         self.m, self.n = int(m), int(n)
         self.indptr = _as_index(indptr)
         self.indices = _as_index(indices)
         self.values = np.asarray(values, dtype=np.float64)
+        self.version = next_version()
         require(len(self.indptr) == self.n + 1, "indptr must have n+1 entries")
         require(self.indptr[0] == 0, "indptr must start at 0")
         require(self.indptr[-1] == len(self.indices), "indptr end must equal nnz")
@@ -355,6 +376,7 @@ class SparseCSC:
         return out
 
     def scale(self, alpha: float) -> "SparseCSC":
+        self.touch()
         self.values *= alpha
         return self
 
@@ -362,6 +384,19 @@ class SparseCSC:
         return SparseCSC(
             self.m, self.n, self.indptr.copy(), self.indices.copy(), self.values.copy()
         )
+
+    def touch(self) -> None:
+        """Mark this matrix dirty before an in-place write (CoW detach)."""
+        if not self.values.flags.writeable:
+            self.values = self.values.copy()
+        self.version = next_version()
+
+    def freeze_view(self) -> "SparseCSC":
+        """Freeze the backing arrays and return a snapshot alias sharing them."""
+        self.indptr.setflags(write=False)
+        self.indices.setflags(write=False)
+        self.values.setflags(write=False)
+        return SparseCSC(self.m, self.n, self.indptr, self.indices, self.values)
 
     def payload_arrays(self) -> Tuple[np.ndarray, ...]:
         """Backing arrays for snapshot checksumming (``repro.util.checksum``)."""

@@ -12,18 +12,20 @@ from typing import Callable
 import numpy as np
 
 from repro.util.validation import require
+from repro.util.versioning import next_version
 
 
 class Vector:
     """A dense column vector of length ``n``."""
 
-    __slots__ = ("n", "data")
+    __slots__ = ("n", "data", "version")
 
     def __init__(self, data: np.ndarray):
         data = np.asarray(data, dtype=np.float64)
         require(data.ndim == 1, f"vector needs a 1-D array, got {data.ndim}-D")
         self.data = np.ascontiguousarray(data)
         self.n = len(self.data)
+        self.version = next_version()
 
     # -- constructors ------------------------------------------------------
 
@@ -51,6 +53,27 @@ class Vector:
     def copy(self) -> "Vector":
         return Vector(self.data.copy())
 
+    def touch(self) -> None:
+        """Mark this vector dirty before an in-place write.
+
+        If the backing array is frozen inside a snapshot (copy-on-write),
+        detach from it by copying first; the snapshot keeps the frozen
+        array, the live vector gets a private writable one.
+        """
+        if not self.data.flags.writeable:
+            self.data = self.data.copy()
+        self.version = next_version()
+
+    def freeze_view(self) -> "Vector":
+        """Freeze the backing array and return a snapshot alias sharing it.
+
+        The returned vector and ``self`` share the (now read-only) array;
+        the next mutation of ``self`` goes through :meth:`touch` and copies
+        it out, leaving the snapshot's bytes untouched.
+        """
+        self.data.setflags(write=False)
+        return Vector(self.data)
+
     def payload_arrays(self):
         """The backing arrays (checksum / corruption protocol)."""
         return (self.data,)
@@ -59,16 +82,19 @@ class Vector:
 
     def fill(self, value: float) -> "Vector":
         """Set every cell to *value*."""
+        self.touch()
         self.data.fill(value)
         return self
 
     def scale(self, alpha: float) -> "Vector":
         """In-place ``self *= alpha``."""
+        self.touch()
         self.data *= alpha
         return self
 
     def cell_add(self, other: "Vector | float") -> "Vector":
         """In-place element-wise add of a vector or scalar."""
+        self.touch()
         if isinstance(other, Vector):
             require(other.n == self.n, "length mismatch in cell_add")
             self.data += other.data
@@ -78,6 +104,7 @@ class Vector:
 
     def cell_sub(self, other: "Vector | float") -> "Vector":
         """In-place element-wise subtract."""
+        self.touch()
         if isinstance(other, Vector):
             require(other.n == self.n, "length mismatch in cell_sub")
             self.data -= other.data
@@ -88,17 +115,20 @@ class Vector:
     def cell_mult(self, other: "Vector") -> "Vector":
         """In-place Hadamard product."""
         require(other.n == self.n, "length mismatch in cell_mult")
+        self.touch()
         self.data *= other.data
         return self
 
     def axpy(self, alpha: float, x: "Vector") -> "Vector":
         """In-place ``self += alpha * x``."""
         require(x.n == self.n, "length mismatch in axpy")
+        self.touch()
         self.data += alpha * x.data
         return self
 
     def map(self, fn: Callable[[np.ndarray], np.ndarray]) -> "Vector":
         """In-place vectorized elementwise transform."""
+        self.touch()
         self.data[:] = fn(self.data)
         return self
 
@@ -138,6 +168,7 @@ class Vector:
     def set_sub_vector(self, lo: int, block: "Vector") -> None:
         """Paste *block* starting at *lo*."""
         require(lo + block.n <= self.n, "block exceeds bounds")
+        self.touch()
         self.data[lo : lo + block.n] = block.data
 
     def __repr__(self) -> str:

@@ -124,6 +124,13 @@ class ExecutionReport:
     retransmissions: int = 0
     duplicate_messages: int = 0
     comm_timeouts: int = 0
+    #: Delta-checkpointing accounting: partitions adopted clean (by
+    #: reference, zero virtual-time cost) vs saved dirty, and the logical
+    #: bytes of each.  All partitions count as dirty in full mode.
+    ckpt_clean_partitions: int = 0
+    ckpt_dirty_partitions: int = 0
+    ckpt_clean_bytes: float = 0.0
+    ckpt_dirty_bytes: float = 0.0
 
     @property
     def checkpoint_pct(self) -> float:
@@ -165,6 +172,7 @@ class IterativeExecutor:
         stable_fallback: Optional[bool] = None,
         detector: Optional[PhiAccrualDetector] = None,
         corruption: Optional[CorruptionModel] = None,
+        delta: bool = False,
     ):
         check_positive(checkpoint_interval, "checkpoint_interval")
         require(
@@ -183,6 +191,7 @@ class IterativeExecutor:
                 replicas=replicas,
                 placement=placement,
                 stable_fallback=stable_fallback,
+                delta=delta,
             )
         self.store = store
         self.checkpoint_interval = checkpoint_interval
@@ -414,6 +423,10 @@ class IterativeExecutor:
         report.pending_kills = rt.injector.unfired()
         report.stable_fallback_reads = rt.stats.stable_fallback_reads
         report.quarantined_copies = self.store.quarantined_copies()
+        report.ckpt_clean_partitions = self.store.delta_clean_partitions
+        report.ckpt_dirty_partitions = self.store.delta_dirty_partitions
+        report.ckpt_clean_bytes = self.store.delta_clean_bytes
+        report.ckpt_dirty_bytes = self.store.delta_dirty_bytes
         if rt.faults is not None:
             report.dropped_messages = rt.faults.dropped
             report.retransmissions = rt.faults.retransmissions

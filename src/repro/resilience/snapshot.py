@@ -34,8 +34,9 @@ from repro.runtime.exceptions import DataLossError, SnapshotCorruptionError
 from repro.runtime.place import PlaceGroup
 from repro.runtime.runtime import PlaceContext, Runtime
 from repro.util.bytesize import payload_nbytes
-from repro.util.checksum import corrupt_payload, payload_checksum
+from repro.util.checksum import corrupt_payload, memoized_checksum
 from repro.util.validation import require
+from repro.util.versioning import freeze_payload
 
 _snap_counter = itertools.count()
 
@@ -44,8 +45,14 @@ class Snapshottable(ABC):
     """The paper's Listing 3: objects that can save and restore themselves."""
 
     @abstractmethod
-    def make_snapshot(self) -> "DistObjectSnapshot":
-        """Capture this object's distributed state into a resilient store."""
+    def make_snapshot(self, base: Optional["DistObjectSnapshot"] = None) -> "DistObjectSnapshot":
+        """Capture this object's distributed state into a resilient store.
+
+        *base* (delta checkpointing) is the previous committed snapshot of
+        the same object: partitions whose mutation version is unchanged
+        since *base* are adopted from it by reference instead of being
+        copied and re-hashed.  ``None`` forces a full save.
+        """
 
     @abstractmethod
     def restore_snapshot(self, snapshot: "DistObjectSnapshot") -> None:
@@ -89,6 +96,13 @@ class DistObjectSnapshot:
         self._stable: Dict[int, Any] = {}
         self._saved_keys: set = set()
         self.total_nbytes = 0.0
+        #: Mutation-version token recorded per key at save time (the dirty
+        #: test of delta checkpointing compares against these).
+        self._versions: Dict[int, Any] = {}
+        #: Keys adopted clean from a base snapshot (delta saves) and the
+        #: bytes they would have cost under a full save.
+        self.clean_keys: set = set()
+        self.clean_nbytes = 0.0
         #: Restore reads that fell through every in-memory copy to disk.
         self.fallback_reads = 0
         #: CRC-32 recorded per key at save time (ground truth for verify).
@@ -113,15 +127,24 @@ class DistObjectSnapshot:
 
     # -- saving ------------------------------------------------------------
 
-    def save_from(self, ctx: PlaceContext, key: int, payload: Any) -> None:
+    def save_from(
+        self, ctx: PlaceContext, key: int, payload: Any, token: Optional[Any] = None
+    ) -> None:
         """Save one partition from within a finish task at the owning place.
 
-        The caller must pass an already-copied payload (the snapshot must
-        not alias live data).  Charges one local copy, then fans the backup
+        The caller must pass a payload that does not alias live *mutable*
+        data: either an already-copied payload (full saves) or a
+        copy-on-write ``freeze_view`` whose arrays the live object copies
+        out of before its next mutation (delta saves).  The payload is
+        frozen here in both cases — snapshot bytes are immutable for the
+        snapshot's lifetime.  Charges one local copy, then fans the backup
         replicas out over the engine's transfer resources from a common
         issue time (the sends serialize on the owner's transmit side, the
         receivers absorb them concurrently), and finally one engine disk
         write when the stable fallback tier is enabled.
+
+        *token* is the partition's mutation-version token; recording it is
+        what lets the next delta save prove the partition clean.
         """
         require(
             self.group.index_of(ctx.place) == key,
@@ -130,6 +153,7 @@ class DistObjectSnapshot:
         )
         rt = self.runtime
         nbytes = payload_nbytes(payload)
+        freeze_payload(payload)
         ctx.heap.put(self._primary_key(key), payload)
         ctx.charge_memcpy(nbytes)
         fanout = []
@@ -138,9 +162,11 @@ class DistObjectSnapshot:
             if backup_place != ctx.place:
                 fanout.append((backup_place.id, self._backup_key(key, replica)))
             else:
-                # Single-place group: degenerate local copy.
+                # Single-place group: degenerate "replica" on the same
+                # place.  The primary copy is forwarded by reference — the
+                # bytes were already paid for once above, so no second
+                # memcpy charge.
                 ctx.heap.put(self._backup_key(key, replica), payload)
-                ctx.charge_memcpy(nbytes)
         if fanout:
             cost = rt.cost
             rt.engine.transfer_fanout(
@@ -157,8 +183,10 @@ class DistObjectSnapshot:
             rt.engine.stable_write(ctx.place.id, nbytes)
             self._stable[key] = payload
         # Checksum the partition once at save; every tier starts verified
-        # (they hold the very object just hashed).
-        self._checksums[key] = payload_checksum(payload)
+        # (they hold the very object just hashed).  The CRC itself is
+        # memoized by token — a re-save of unchanged-but-untrackable bytes
+        # still charges virtual hash time, but skips the wall-clock pass.
+        self._checksums[key] = memoized_checksum(payload, token)
         ctx.charge_seconds(rt.cost.checksum(nbytes))
         self._verified.add((key, 0))
         for replica in range(1, self.backups + 1):
@@ -166,6 +194,105 @@ class DistObjectSnapshot:
         if self.stable_fallback:
             self._verified.add((key, self.STABLE_TIER))
         self._saved_keys.add(key)
+        if token is not None:
+            self._versions[key] = token
+        self.total_nbytes += nbytes
+
+    # -- delta (incremental) saves -------------------------------------------
+
+    def delta_compatible(self, base: "DistObjectSnapshot") -> bool:
+        """True when *base* can donate clean partitions to this snapshot.
+
+        The copies are adopted in place (same heaps, same replica homes),
+        so the group, replica count, placement offsets, and stable tier
+        must all match; anything else degrades to a full save.
+        """
+        return (
+            type(base) is type(self)
+            and base.group.ids == self.group.ids
+            and base.backups == self.backups
+            and base._offsets == self._offsets
+            and base.stable_fallback == self.stable_fallback
+        )
+
+    def key_intact(self, key: int) -> bool:
+        """True while every tier of *key* still holds its copy.
+
+        A partition that lost any copy (a replica died with its place, a
+        quarantined corruption) must be re-saved in full even if its bytes
+        are unchanged — reusing a degraded redundancy set would let the
+        next failure destroy the last copy.
+        """
+        if key not in self._saved_keys:
+            return False
+        rt = self.runtime
+        primary = self.group[key]
+        if not rt.is_alive(primary.id) or not rt.heap_of(primary.id).contains(
+            self._primary_key(key)
+        ):
+            return False
+        for replica in range(1, self.backups + 1):
+            backup = self._backup_place(key, replica)
+            if not rt.is_alive(backup.id) or not rt.heap_of(backup.id).contains(
+                self._backup_key(key, replica)
+            ):
+                return False
+        if self.stable_fallback and key not in self._stable:
+            return False
+        return True
+
+    def can_reuse(self, key: int, token: Optional[Any]) -> bool:
+        """True when *key* is provably clean: same mutation token as the
+        one recorded at save time, and the full redundancy set survives."""
+        return (
+            token is not None
+            and self._versions.get(key) == token
+            and self.key_intact(key)
+        )
+
+    def save_clean_from(self, ctx: PlaceContext, key: int, base: "DistObjectSnapshot") -> None:
+        """Adopt an unchanged partition from *base* by reference.
+
+        Every tier's copy is re-referenced under this snapshot's heap keys
+        — including a silently corrupted one, which stays unverified here
+        (its ``_verified`` entry was discarded when it was struck) and is
+        caught by the checksum pass on first use, exactly as it would have
+        been in *base*.  No bytes move and nothing is re-hashed, so the
+        partition contributes **zero** checkpoint virtual time: the
+        dirty-bytes-only cost the tentpole asks for, and the paper's
+        ``saveReadOnly`` reuse as the degenerate all-clean case.
+        """
+        require(
+            self.group.index_of(ctx.place) == key,
+            f"partition {key} must be saved from group index {key}, "
+            f"not from {ctx.place}",
+        )
+        rt = self.runtime
+        primary_heap = rt.heap_of(self.group[key].id)
+        payload = primary_heap.get(base._primary_key(key))
+        nbytes = payload_nbytes(payload)
+        primary_heap.put(self._primary_key(key), payload)
+        for replica in range(1, self.backups + 1):
+            backup_heap = rt.heap_of(self._backup_place(key, replica).id)
+            backup_heap.put(
+                self._backup_key(key, replica),
+                backup_heap.get(base._backup_key(key, replica)),
+            )
+        if self.stable_fallback:
+            self._stable[key] = base._stable[key]
+        if key in base._checksums:
+            self._checksums[key] = base._checksums[key]
+        tiers = [0] + list(range(1, self.backups + 1))
+        if self.stable_fallback:
+            tiers.append(self.STABLE_TIER)
+        for tier in tiers:
+            if (key, tier) in base._verified:
+                self._verified.add((key, tier))
+        if key in base._versions:
+            self._versions[key] = base._versions[key]
+        self._saved_keys.add(key)
+        self.clean_keys.add(key)
+        self.clean_nbytes += nbytes
         self.total_nbytes += nbytes
 
     @property
@@ -236,7 +363,7 @@ class DistObjectSnapshot:
             payload = rt.heap_of(place_id).get(heap_key)
             rt.clock.advance(place_id, rt.cost.checksum(payload_nbytes(payload)))
         expected = self._checksums.get(key)
-        if expected is None or payload_checksum(payload) == expected:
+        if expected is None or memoized_checksum(payload, self._versions.get(key)) == expected:
             self._verified.add((key, tier))
             return True
         if tier == self.STABLE_TIER:

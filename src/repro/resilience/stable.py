@@ -34,8 +34,9 @@ from repro.runtime.exceptions import SnapshotCorruptionError
 from repro.runtime.place import PlaceGroup
 from repro.runtime.runtime import PlaceContext, Runtime
 from repro.util.bytesize import payload_nbytes
-from repro.util.checksum import corrupt_payload, payload_checksum
+from repro.util.checksum import corrupt_payload, memoized_checksum
 from repro.util.validation import require
+from repro.util.versioning import freeze_payload
 
 
 class StableObjectSnapshot(DistObjectSnapshot):
@@ -55,7 +56,9 @@ class StableObjectSnapshot(DistObjectSnapshot):
 
     # -- saving ------------------------------------------------------------
 
-    def save_from(self, ctx: PlaceContext, key: int, payload: Any) -> None:
+    def save_from(
+        self, ctx: PlaceContext, key: int, payload: Any, token: Optional[Any] = None
+    ) -> None:
         """Write one partition to stable storage from its owning place."""
         require(
             self.group.index_of(ctx.place) == key,
@@ -63,12 +66,50 @@ class StableObjectSnapshot(DistObjectSnapshot):
             f"not from {ctx.place}",
         )
         nbytes = payload_nbytes(payload)
+        freeze_payload(payload)
         self.runtime.engine.stable_write(ctx.place.id, nbytes)
         self._store[key] = payload
-        self._checksums[key] = payload_checksum(payload)
+        self._checksums[key] = memoized_checksum(payload, token)
         ctx.charge_seconds(self.runtime.cost.checksum(nbytes))
         self._verified.add((key, self.STABLE_TIER))
         self._saved_keys.add(key)
+        if token is not None:
+            self._versions[key] = token
+        self.total_nbytes += nbytes
+
+    # -- delta (incremental) saves -------------------------------------------
+
+    def delta_compatible(self, base: "DistObjectSnapshot") -> bool:
+        """Stable stores only need the same type and place group to share."""
+        return type(base) is type(self) and base.group.ids == self.group.ids
+
+    def key_intact(self, key: int) -> bool:
+        """The single stable copy either exists or it does not."""
+        return key in self._saved_keys and key in self._store
+
+    def save_clean_from(self, ctx, key: int, base: "DistObjectSnapshot") -> None:
+        """Re-reference an unchanged partition of the stable store.
+
+        No disk write, no hash: the clean partition costs nothing, same as
+        the in-memory tiers' adoption path.
+        """
+        require(
+            self.group.index_of(ctx.place) == key,
+            f"partition {key} must be saved from group index {key}, "
+            f"not from {ctx.place}",
+        )
+        payload = base._store[key]
+        nbytes = payload_nbytes(payload)
+        self._store[key] = payload
+        if key in base._checksums:
+            self._checksums[key] = base._checksums[key]
+        if (key, self.STABLE_TIER) in base._verified:
+            self._verified.add((key, self.STABLE_TIER))
+        if key in base._versions:
+            self._versions[key] = base._versions[key]
+        self._saved_keys.add(key)
+        self.clean_keys.add(key)
+        self.clean_nbytes += nbytes
         self.total_nbytes += nbytes
 
     # -- integrity ---------------------------------------------------------
@@ -79,7 +120,7 @@ class StableObjectSnapshot(DistObjectSnapshot):
             return True
         payload = self._store[key]
         expected = self._checksums.get(key)
-        if expected is None or payload_checksum(payload) == expected:
+        if expected is None or memoized_checksum(payload, self._versions.get(key)) == expected:
             self._verified.add((key, self.STABLE_TIER))
             return True
         del self._store[key]

@@ -61,6 +61,7 @@ class AppResilientStore:
         replicas: Optional[int] = None,
         placement: Optional[ReplicaPlacement] = None,
         stable_fallback: Optional[bool] = None,
+        delta: bool = False,
     ):
         self.runtime = runtime
         #: Store-level replication knobs; ``None`` leaves each object's own
@@ -68,9 +69,19 @@ class AppResilientStore:
         self.replicas = replicas
         self.placement = placement
         self.stable_fallback = stable_fallback
+        #: Incremental (dirty-partition-only) checkpointing: ``save`` hands
+        #: each object its last committed snapshot as the delta base, so
+        #: unchanged partitions are adopted by reference instead of copied.
+        #: Off by default — full checkpoints are the paper-parity mode.
+        self.delta = delta
         self.snapshots: List[AppSnapshot] = []
         self._in_progress: Optional[AppSnapshot] = None
         self._read_only_registry: Dict[Snapshottable, DistObjectSnapshot] = {}
+        #: Lifetime delta-save accounting (partitions / logical bytes).
+        self.delta_clean_partitions = 0
+        self.delta_dirty_partitions = 0
+        self.delta_clean_bytes = 0.0
+        self.delta_dirty_bytes = 0.0
 
     def _configure(self, obj: Snapshottable) -> None:
         """Push the store-level replication policy onto one object."""
@@ -89,15 +100,33 @@ class AppResilientStore:
         self._in_progress = AppSnapshot()
 
     def save(self, obj: Snapshottable) -> None:
-        """Snapshot a mutable object into the in-progress checkpoint."""
+        """Snapshot a mutable object into the in-progress checkpoint.
+
+        In delta mode the object's last *committed* snapshot is offered as
+        the base: partitions it can prove unchanged (same mutation token,
+        full redundancy set intact) are adopted by reference, so the
+        checkpoint pays for dirty bytes only.
+        """
         require(self._in_progress is not None, "call start_new_snapshot() first")
         require(obj not in self._in_progress.snapshots, "object already saved")
         self._configure(obj)
-        try:
-            self._in_progress.snapshots[obj] = obj.make_snapshot()
-        except Exception:
-            # Leave the attempt open; the caller decides to cancel.
-            raise
+        base = None
+        if self.delta:
+            latest = self.latest()
+            if latest is not None:
+                base = latest.snapshots.get(obj)
+        # ``base=`` is passed only when one exists, so objects predating
+        # the delta protocol (no ``base`` parameter) keep working in full
+        # mode.
+        snap = obj.make_snapshot(base=base) if base is not None else obj.make_snapshot()
+        self._in_progress.snapshots[obj] = snap
+        clean = len(getattr(snap, "clean_keys", ()))
+        self.delta_clean_partitions += clean
+        self.delta_dirty_partitions += getattr(snap, "num_keys", clean) - clean
+        self.delta_clean_bytes += getattr(snap, "clean_nbytes", 0.0)
+        self.delta_dirty_bytes += getattr(snap, "total_nbytes", 0.0) - getattr(
+            snap, "clean_nbytes", 0.0
+        )
 
     def save_read_only(self, obj: Snapshottable) -> None:
         """Snapshot an immutable object, reusing an existing snapshot if any.

@@ -20,9 +20,12 @@ from __future__ import annotations
 import copy
 import struct
 import zlib
-from typing import Any
+from collections import OrderedDict
+from typing import Any, Optional
 
 import numpy as np
+
+from repro.util.versioning import payload_frozen
 
 
 def _feed(crc: int, data: bytes) -> int:
@@ -71,6 +74,35 @@ def _checksum_into(crc: int, obj: Any) -> int:
 def payload_checksum(obj: Any) -> int:
     """Structural CRC-32 of a snapshot payload (type- and shape-tagged)."""
     return _checksum_into(0, obj)
+
+
+_CRC_MEMO_CAPACITY = 4096
+_crc_memo: "OrderedDict[Any, int]" = OrderedDict()
+
+
+def memoized_checksum(obj: Any, token: Optional[Any]) -> int:
+    """CRC-32 of *obj*, memoized by its mutation-version *token*.
+
+    A token (from :mod:`repro.util.versioning`) identifies one immutable
+    byte state: tokens are globally unique and a new one is minted on every
+    mutation, so equal tokens imply equal bytes.  The memo is consulted
+    only when the payload is fully frozen (read-only backing arrays) —
+    a writable payload could have been modified *without* a token bump
+    (e.g. the corrupted copies the fault injector plants), so its hash is
+    always recomputed.  Capacity-bounded LRU; misses fall through to
+    :func:`payload_checksum`.
+    """
+    if token is None or not payload_frozen(obj):
+        return payload_checksum(obj)
+    cached = _crc_memo.get(token)
+    if cached is not None:
+        _crc_memo.move_to_end(token)
+        return cached
+    crc = payload_checksum(obj)
+    _crc_memo[token] = crc
+    while len(_crc_memo) > _CRC_MEMO_CAPACITY:
+        _crc_memo.popitem(last=False)
+    return crc
 
 
 def _flip_array(arr: np.ndarray) -> bool:

@@ -97,3 +97,49 @@ class TestFigures:
     def test_comparison_line(self):
         line = figures.comparison_line("w", 100.0, 150.0)
         assert "1.50x" in line
+
+
+class TestParallelHarness:
+    """The --jobs process pool must never change a sweep's values."""
+
+    def test_overhead_sweep_jobs_identical(self):
+        serial = run_overhead_sweep("linreg", places_list=[2, 4, 8], iterations=3)
+        pooled = run_overhead_sweep(
+            "linreg", places_list=[2, 4, 8], iterations=3, jobs=2
+        )
+        assert pooled.places == serial.places
+        assert pooled.values == serial.values
+
+    def test_checkpoint_sweep_jobs_identical(self):
+        serial = run_checkpoint_sweep("pagerank", places_list=[3, 4], iterations=10)
+        pooled = run_checkpoint_sweep(
+            "pagerank", places_list=[3, 4], iterations=10, jobs=2
+        )
+        assert pooled.values == serial.values
+
+    def test_restore_sweep_jobs_identical(self):
+        kw = dict(
+            places_list=[4, 6], iterations=12, checkpoint_interval=5,
+            failure_iteration=7,
+        )
+        serial = run_restore_sweep("linreg", **kw)
+        pooled = run_restore_sweep("linreg", jobs=2, **kw)
+        assert pooled["series"].values == serial["series"].values
+        for mode, by_places in serial["reports"].items():
+            for places, report in by_places.items():
+                assert (
+                    pooled["reports"][mode][places].total_time == report.total_time
+                )
+
+    def test_checkpoint_sweep_delta_is_cheaper_for_pagerank(self):
+        # PageRank's mutable save (the rank vector) dirties every
+        # checkpoint, but its read-only reuse already dominates; the delta
+        # path must at minimum never be more expensive.
+        full = run_checkpoint_sweep("pagerank", places_list=[4], iterations=30)
+        delta = run_checkpoint_sweep(
+            "pagerank", places_list=[4], iterations=30, delta=True
+        )
+        assert (
+            delta.values["mean checkpoint (ms)"][0]
+            <= full.values["mean checkpoint (ms)"][0] * 1.001
+        )

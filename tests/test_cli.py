@@ -190,3 +190,29 @@ class TestChaosCommand:
     def test_unknown_app_rejected(self):
         with pytest.raises(SystemExit):
             main(["chaos", "nosuchapp"])
+
+
+class TestDeltaAndJobs:
+    def test_run_with_ckpt_delta(self, capsys):
+        assert main([
+            "run", "pagerank", "--places", "3", "--iterations", "8",
+            "--ckpt-interval", "3", "--ckpt-delta",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "virtual total" in out
+
+    def test_chaos_delta_with_jobs(self, capsys):
+        assert main([
+            "chaos", "linreg", "--schedules", "6", "--ckpt-delta",
+            "--jobs", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ckpt_delta=True" in out
+        assert "all recovery invariants held" in out
+
+    def test_sweep_with_jobs(self, capsys):
+        assert main([
+            "sweep", "fig2", "--max-places", "4", "--iterations", "2",
+            "--jobs", "2",
+        ]) == 0
+        assert "ms/iteration" in capsys.readouterr().out
