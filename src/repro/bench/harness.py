@@ -30,7 +30,7 @@ from repro.resilience.executor import (
     IterativeExecutor,
     RestoreMode,
 )
-from repro.runtime.runtime import Runtime
+from repro.runtime.factory import make_runtime
 
 #: app name → (non-resilient class, resilient class, workload factory, cost factory)
 APP_REGISTRY = {
@@ -100,7 +100,7 @@ def _overhead_cell(
     wl = wl_factory(iterations)
     out: List[Tuple[str, float]] = []
     for resilient, label in ((False, "non-resilient finish"), (True, "resilient finish")):
-        rt = Runtime(places, cost=cost_factory(), resilient=resilient)
+        rt = make_runtime(places, cost=cost_factory(), resilient=resilient)
         app = NonRes(rt, wl)
         t0 = rt.now()
         app.run()
@@ -140,7 +140,7 @@ def _checkpoint_cell(
     """One place-count cell of the Table III protocol (picklable)."""
     _NonRes, Res, wl_factory, cost_factory = APP_REGISTRY[app_name]
     wl = wl_factory(iterations)
-    rt = Runtime(places, cost=cost_factory(), resilient=True)
+    rt = make_runtime(places, cost=cost_factory(), resilient=True)
     app = Res(rt, wl)
     return IterativeExecutor(
         rt, app, checkpoint_interval=checkpoint_interval, delta=delta
@@ -185,7 +185,7 @@ def _checkpoint_mode_cell(
     wl = wl_factory(iterations)
     out: Dict[str, ExecutionReport] = {}
     for ckpt_mode in ("blocking", "overlapped"):
-        rt = Runtime(places, cost=cost_factory(), resilient=True)
+        rt = make_runtime(places, cost=cost_factory(), resilient=True)
         app = Res(rt, wl)
         out[ckpt_mode] = IterativeExecutor(
             rt,
@@ -263,14 +263,14 @@ def _restore_cell(
     for mode_value in mode_values:
         mode = RestoreMode(mode_value)
         spares = 1 if mode == RestoreMode.REPLACE_REDUNDANT else 0
-        rt = Runtime(places, cost=cost_factory(), resilient=True, spares=spares)
+        rt = make_runtime(places, cost=cost_factory(), resilient=True, spares=spares)
         app = Res(rt, wl)
         rt.injector.kill_at_iteration(victim, iteration=failure_iteration)
         reports[mode_value] = IterativeExecutor(
             rt, app, checkpoint_interval=checkpoint_interval, mode=mode
         ).run()
     # Non-resilient, no-failure baseline.
-    rt = Runtime(places, cost=cost_factory(), resilient=False)
+    rt = make_runtime(places, cost=cost_factory(), resilient=False)
     app = NonRes(rt, wl)
     t0 = rt.now()
     app.run()

@@ -61,7 +61,7 @@ from repro.runtime.failure import (
     ScriptedKill,
     TransientFaultModel,
 )
-from repro.runtime.runtime import Runtime
+from repro.runtime.factory import make_runtime
 
 
 def _tiny_regression(iterations: int) -> RegressionWorkload:
@@ -283,7 +283,7 @@ def make_schedule(
 def _failure_free_result(config: CampaignConfig) -> np.ndarray:
     """The reference answer: the non-resilient app, no failures."""
     nonres_cls, _, wl_factory, result_of = CHAOS_APPS[config.app]
-    rt = Runtime(config.places, cost=CostModel.zero())
+    rt = make_runtime(config.places, cost=CostModel.zero())
     app = nonres_cls(rt, wl_factory(config.iterations))
     NonResilientExecutor(rt, app).run()
     return np.asarray(result_of(app))
@@ -299,7 +299,7 @@ def run_schedule(
 ) -> ScheduleOutcome:
     """Run one schedule and check every recovery invariant."""
     _, res_cls, wl_factory, result_of = CHAOS_APPS[config.app]
-    rt = Runtime(
+    rt = make_runtime(
         config.places,
         cost=CostModel.zero(),
         resilient=True,
@@ -529,3 +529,91 @@ def run_campaign(
     else:
         outcomes = [worker(index) for index in range(config.schedules)]
     return CampaignResult(config, outcomes)
+
+
+# ---------------------------------------------------------------------------
+# Service campaigns: chaos over multi-tenant job streams
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ServiceCampaignResult:
+    """Aggregated outcome of several seeded multi-job service streams.
+
+    A *stream* is one full :class:`~repro.service.ClusterService` run: a
+    seeded arrival process of mixed jobs sharing one place pool under
+    chaos.  On top of the per-schedule invariants the single-job campaigns
+    check, a service campaign asserts the multi-tenant ones: a kill in one
+    tenant's lease must never abort another tenant, and every admitted job
+    must either finish with the failure-free answer or die a *scoped*
+    death (data loss confined to its own lease).
+    """
+
+    streams: List[Dict]
+    violations: List[str]
+
+    @property
+    def cross_tenant_aborts(self) -> int:
+        return sum(s["cross_tenant_aborts"] for s in self.streams)
+
+    def counts(self) -> Dict[str, int]:
+        totals = {"completed": 0, "data_loss": 0, "aborted": 0, "rejected": 0}
+        for s in self.streams:
+            for key in totals:
+                totals[key] += s[key]
+        return totals
+
+    def summary(self) -> str:
+        totals = self.counts()
+        jobs = sum(totals.values())
+        lines = [
+            f"service campaign: {len(self.streams)} stream(s), {jobs} jobs",
+            "outcomes: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(totals.items())),
+            f"cross-tenant aborts: {self.cross_tenant_aborts}",
+        ]
+        if self.violations:
+            lines.append(f"VIOLATIONS ({len(self.violations)}):")
+            lines.extend(f"  - {v}" for v in self.violations[:20])
+        else:
+            lines.append("all multi-tenant invariants held")
+        return "\n".join(lines)
+
+
+def _service_stream(config, stream: int) -> Tuple[Dict, List[str]]:
+    """Run stream *stream* of a service campaign (pure in config+index)."""
+    from dataclasses import replace
+
+    from repro.service import run_service
+
+    report = run_service(replace(config, seed=config.seed + stream))
+    prefixed = [f"stream {stream}: {v}" for v in report.violations]
+    return report.to_dict(), prefixed
+
+
+def run_service_campaign(
+    config, streams: int = 1, jobs: Optional[int] = None
+) -> ServiceCampaignResult:
+    """Run *streams* service runs, varying only the seed; deterministic.
+
+    ``config`` is a :class:`repro.service.ServiceConfig`; stream *i* runs
+    with ``seed + i``.  With ``jobs`` > 1 streams fan out over a process
+    pool — each stream is a pure function of ``(config, index)``, so the
+    outcome is bitwise identical to the serial loop.
+    """
+    worker = partial(_service_stream, config)
+    if jobs is not None and jobs > 1 and streams > 1:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(min(jobs, streams)) as pool:
+            results = pool.map(worker, range(streams))
+    else:
+        results = [worker(index) for index in range(streams)]
+    violations: List[str] = []
+    for _, prefixed in results:
+        violations.extend(prefixed)
+    return ServiceCampaignResult(
+        streams=[summary for summary, _ in results], violations=violations
+    )

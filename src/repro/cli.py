@@ -48,7 +48,7 @@ from repro.runtime.failure import (
     ExponentialFailureModel,
     TransientFaultModel,
 )
-from repro.runtime.runtime import Runtime
+from repro.runtime.factory import make_runtime
 
 SWEEPS = {
     "fig2": ("overhead", "linreg"),
@@ -286,6 +286,53 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fan schedules out over N worker processes (default: all "
         "cores; outcomes are bitwise identical to a serial run)",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a multi-job stream against one shared place pool",
+    )
+    serve.add_argument("--jobs-count", type=int, default=20, metavar="N")
+    serve.add_argument("--streams", type=int, default=1, metavar="N")
+    serve.add_argument("--service-seed", type=int, default=0)
+    serve.add_argument("--places", type=int, default=17)
+    serve.add_argument("--reserve", type=int, default=4)
+    serve.add_argument(
+        "--economics",
+        choices=["dedicated", "pooled", "borrow"],
+        default="pooled",
+        help="spare economics: per-lease commitment, shared FCFS reserve, "
+        "or shared reserve plus borrow-from-idle",
+    )
+    serve.add_argument("--arrival-rate", type=float, default=1.0, metavar="R")
+    serve.add_argument("--max-job-places", type=int, default=6)
+    serve.add_argument("--ckpt-interval", type=int, default=3)
+    serve.add_argument("--replicas", type=int, default=2)
+    serve.add_argument("--placement", choices=sorted(PLACEMENTS), default="spread")
+    serve.add_argument("--crash-rate", type=float, default=0.0, metavar="P")
+    serve.add_argument("--pair-rate", type=float, default=0.0, metavar="R")
+    serve.add_argument("--rack-rate", type=float, default=0.0, metavar="R")
+    serve.add_argument("--drop-rate", type=float, default=0.0, metavar="P")
+    serve.add_argument("--dup-rate", type=float, default=0.0, metavar="P")
+    serve.add_argument(
+        "--detect-timeout",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="per-lease heartbeat detection timeout; 0 keeps the oracle model",
+    )
+    serve.add_argument(
+        "--parallel-streams",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan streams out over N worker processes (outcomes are "
+        "bitwise identical to a serial run)",
+    )
+    serve.add_argument(
+        "--per-job",
+        action="store_true",
+        help="also print one line per job (status, latency, kills)",
+    )
     return parser
 
 
@@ -313,13 +360,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     nonres_cls, res_cls, wl_factory, cost_factory = APP_REGISTRY[args.app]
     workload = wl_factory(args.iterations)
     if args.non_resilient:
-        rt = Runtime(args.places, cost=cost_factory())
+        rt = make_runtime(args.places, cost=cost_factory())
         if args.trace_out:
             rt.engine.timeline.enabled = True
         app = nonres_cls(rt, workload)
         report = NonResilientExecutor(rt, app).run()
     else:
-        rt = Runtime(
+        rt = make_runtime(
             args.places, cost=cost_factory(), resilient=True, spares=args.spares
         )
         if args.trace_out:
@@ -532,6 +579,49 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 1 if result.violations else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.chaos import run_service_campaign
+    from repro.service import ServiceConfig, run_service
+
+    config = ServiceConfig(
+        places=args.places,
+        reserve=args.reserve,
+        economics=args.economics,
+        n_jobs=args.jobs_count,
+        seed=args.service_seed,
+        arrival_rate=args.arrival_rate,
+        max_places=args.max_job_places,
+        checkpoint_interval=args.ckpt_interval,
+        replicas=args.replicas,
+        placement=args.placement,
+        crash_rate=args.crash_rate,
+        pair_rate=args.pair_rate,
+        rack_rate=args.rack_rate,
+        drop_rate=args.drop_rate,
+        dup_rate=args.dup_rate,
+        detect_timeout=args.detect_timeout,
+    )
+    if args.streams > 1:
+        result = run_service_campaign(
+            config, streams=args.streams, jobs=args.parallel_streams
+        )
+        print(result.summary())
+        return 1 if (result.violations or result.cross_tenant_aborts) else 0
+    report = run_service(config)
+    print(report.summary())
+    if args.per_job:
+        for job in report.jobs:
+            kills = ",".join(str(p) for p in job.kills_during_run) or "-"
+            print(
+                f"  job {job.job_id:>3d} {job.app:<8s} places={job.places} "
+                f"{job.status:<9s} wait={job.queue_wait:.3f}s "
+                f"latency={job.latency:.3f}s kills={kills}"
+            )
+    for violation in report.violations:
+        print(f"VIOLATION: {violation}")
+    return 1 if (report.violations or report.cross_tenant_aborts) else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
@@ -541,6 +631,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return _cmd_sweep(args)
 
 

@@ -57,6 +57,7 @@ from repro.runtime.exceptions import (
 )
 from repro.runtime.failure import CorruptionModel
 from repro.runtime.place import PlaceGroup
+from repro.runtime.pool import PlaceLease
 from repro.runtime.runtime import Runtime
 from repro.util.validation import check_positive, require
 
@@ -173,6 +174,7 @@ class IterativeExecutor:
         detector: Optional[PhiAccrualDetector] = None,
         corruption: Optional[CorruptionModel] = None,
         delta: bool = False,
+        lease: Optional[PlaceLease] = None,
     ):
         check_positive(checkpoint_interval, "checkpoint_interval")
         require(
@@ -185,6 +187,12 @@ class IterativeExecutor:
         )
         self.runtime = runtime
         self.app = app
+        #: The executor's slice of the place pool.  Replacement places are
+        #: claimed through the lease, never from the runtime directly —
+        #: which spares the lease is entitled to is the pool's business
+        #: (dedicated / pooled / borrow economics).  Single-job callers get
+        #: the degenerate whole-world lease and the classic behavior.
+        self.lease = lease if lease is not None else runtime.default_lease
         if store is None:
             store = AppResilientStore(
                 runtime,
@@ -231,19 +239,24 @@ class IterativeExecutor:
         dead = [p for p in group if not self.runtime.is_alive(p.id)]
         mode = self.mode
         if mode == RestoreMode.REPLACE_REDUNDANT:
-            if self.runtime.spares_remaining < len(dead):
+            if self.lease.spares_remaining < len(dead):
                 # Spares exhausted (checked before claiming any, so none
                 # are wasted): fall back to the configured shrink mode.
                 return self.runtime.live_group(group), self.spare_fallback
             new_group = group
             for victim in dead:
-                spare = self.runtime.claim_spare()
+                spare = self.lease.claim_spare()
+                if spare is None:
+                    # Lost the race for the last shared spare (another
+                    # lease claimed it between the check and the claim):
+                    # shrink with what we already replaced.
+                    return self.runtime.live_group(new_group), self.spare_fallback
                 new_group = new_group.replace(victim, spare)
             return new_group, mode
         if mode == RestoreMode.REPLACE_ELASTIC:
             new_group = group
             for victim in dead:
-                new_group = new_group.replace(victim, self.runtime.add_place())
+                new_group = new_group.replace(victim, self.lease.add_place())
             return new_group, mode
         return self.runtime.live_group(group), mode
 
@@ -259,6 +272,15 @@ class IterativeExecutor:
         rt = self.runtime
         report = ExecutionReport()
         t_begin = rt.now()
+        # Runtime-global counters are recorded as deltas over this run, so
+        # a report stays per-job when several executors share one runtime.
+        fallback_base = rt.stats.stable_fallback_reads
+        faults_base = (
+            (rt.faults.dropped, rt.faults.retransmissions,
+             rt.faults.duplicates, rt.faults.timeouts)
+            if rt.faults is not None
+            else (0, 0, 0, 0)
+        )
         iteration = 0
         last_checkpoint_iter: Optional[int] = None
         restore_attempts = 0
@@ -421,17 +443,17 @@ class IterativeExecutor:
         report.useful_iterations = iteration
         report.final_group_size = self.app.places.size
         report.pending_kills = rt.injector.unfired()
-        report.stable_fallback_reads = rt.stats.stable_fallback_reads
+        report.stable_fallback_reads = rt.stats.stable_fallback_reads - fallback_base
         report.quarantined_copies = self.store.quarantined_copies()
         report.ckpt_clean_partitions = self.store.delta_clean_partitions
         report.ckpt_dirty_partitions = self.store.delta_dirty_partitions
         report.ckpt_clean_bytes = self.store.delta_clean_bytes
         report.ckpt_dirty_bytes = self.store.delta_dirty_bytes
         if rt.faults is not None:
-            report.dropped_messages = rt.faults.dropped
-            report.retransmissions = rt.faults.retransmissions
-            report.duplicate_messages = rt.faults.duplicates
-            report.comm_timeouts = rt.faults.timeouts
+            report.dropped_messages = rt.faults.dropped - faults_base[0]
+            report.retransmissions = rt.faults.retransmissions - faults_base[1]
+            report.duplicate_messages = rt.faults.duplicates - faults_base[2]
+            report.comm_timeouts = rt.faults.timeouts - faults_base[3]
         return report
 
 

@@ -20,10 +20,12 @@ from repro.runtime.exceptions import (
     RuntimeFault,
     SpareExhaustedError,
 )
+from repro.runtime.factory import make_runtime
 from repro.runtime.failure import (
     AdjacentPairFailureModel,
     ExponentialFailureModel,
     FailureInjector,
+    LeaseScopedInjector,
     RackFailureModel,
     ScriptedKill,
 )
@@ -31,6 +33,14 @@ from repro.runtime.finish import FinishReport, PlaceZeroLedger
 from repro.runtime.globalref import GlobalRef, PlaceLocalHandle
 from repro.runtime.heap import PlaceHeap
 from repro.runtime.place import Place, PlaceGroup
+from repro.runtime.pool import (
+    BORROW,
+    DEDICATED,
+    ECONOMICS_MODES,
+    POOLED,
+    PlaceLease,
+    PlacePool,
+)
 from repro.runtime.runtime import PlaceContext, Runtime, RuntimeStats
 from repro.runtime.sugar import AsyncHandle, FinishScope, at, finish
 
@@ -47,6 +57,8 @@ __all__ = [
     "AdjacentPairFailureModel",
     "ExponentialFailureModel",
     "FailureInjector",
+    "LeaseScopedInjector",
+    "make_runtime",
     "RackFailureModel",
     "ScriptedKill",
     "FinishReport",
@@ -56,6 +68,12 @@ __all__ = [
     "PlaceHeap",
     "Place",
     "PlaceGroup",
+    "PlaceLease",
+    "PlacePool",
+    "BORROW",
+    "DEDICATED",
+    "POOLED",
+    "ECONOMICS_MODES",
     "PlaceContext",
     "Runtime",
     "RuntimeStats",

@@ -85,6 +85,13 @@ class PhiAccrualDetector:
         Upper bound on how long :meth:`resolve` waits for a verdict before
         fail-safe confirming the remaining suspects (default
         ``2 × detect_timeout``).
+    places:
+        Restrict monitoring to these place ids (a lease's members, minus
+        its driver).  Default: every place except the runtime driver — the
+        classic single-job scope.
+    start_time:
+        Virtual time monitoring begins (a job admitted at time *T* only
+        expects heartbeats from *T* on).
     """
 
     def __init__(
@@ -95,6 +102,8 @@ class PhiAccrualDetector:
         phi_suspect: float = 1.0,
         ewma_alpha: float = 0.2,
         max_resolve_wait: Optional[float] = None,
+        places: Optional[Sequence[int]] = None,
+        start_time: float = 0.0,
     ):
         if detect_timeout <= 0:
             raise ValueError("detect_timeout must be positive")
@@ -123,9 +132,14 @@ class PhiAccrualDetector:
         self._mean: Dict[int, float] = {}
         self._next_seq: Dict[int, int] = {}
         self._state: Dict[int, PlaceHealth] = {}
-        for place_id in sorted(runtime.all_place_ids()):
-            if place_id != runtime.DRIVER_ID:
-                self.monitor(place_id)
+        if places is None:
+            places = [
+                pid
+                for pid in sorted(runtime.all_place_ids())
+                if pid != runtime.DRIVER_ID
+            ]
+        for place_id in sorted(places):
+            self.monitor(place_id, from_time=start_time)
 
     # -- membership ----------------------------------------------------------
 

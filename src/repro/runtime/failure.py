@@ -35,6 +35,8 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.util.validation import require
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store ↔ failure)
     from repro.resilience.store import AppResilientStore
 
@@ -213,6 +215,48 @@ class FailureInjector:
     def pending(self) -> int:
         """Number of scheduled kills that have not fired yet."""
         return len(self.unfired())
+
+
+class LeaseScopedInjector(FailureInjector):
+    """A per-tenant injector whose clock is the lease driver's clock.
+
+    The runtime polls ``due_at_phase`` with the *global* maximum time,
+    which in a shared pool includes every other tenant's progress — a
+    time-triggered kill scripted against job A's timeline would fire
+    instantly just because job B ran first.  This subclass substitutes the
+    owning lease's driver-local time, so ``kill_at_time`` means "at this
+    point in *this job's* execution".
+
+    Iteration / context kills are already job-local (the executor polls
+    them); service fault plans use those plus lease-local timed kills, and
+    never global phase triggers.
+    """
+
+    def __init__(self, runtime, lease, kills: Optional[List[ScriptedKill]] = None):
+        self.runtime = runtime
+        self.lease = lease
+        super().__init__(kills)  # routes through add(), checking scope
+
+    def add(self, kill: ScriptedKill) -> "FailureInjector":
+        self._check_scope(kill)
+        return super().add(kill)
+
+    def _check_scope(self, kill: ScriptedKill) -> None:
+        require(
+            kill.place_id != self.lease.driver.id,
+            f"kill targets lease driver {kill.place_id} — the per-tenant "
+            f"coordinator is immortal (the lease analogue of place zero)",
+        )
+        require(
+            kill.place_id in self.lease.ever_ids,
+            f"kill targets place {kill.place_id} outside lease "
+            f"{self.lease.name!r} (members {sorted(self.lease.ever_ids)}) — "
+            f"a scoped injector must not reach into other tenants",
+        )
+
+    def due_at_phase(self, phase: int, global_time: float) -> List[int]:
+        local_time = self.runtime.clock.now(self.lease.driver.id)
+        return super().due_at_phase(phase, local_time)
 
 
 @dataclass

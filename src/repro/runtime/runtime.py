@@ -36,9 +36,9 @@ letting every *live* task complete and then raising ``DeadPlaceException``
 
 from __future__ import annotations
 
-from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.engine.scheduler import Scheduler
 from repro.engine.timeline import Timeline
@@ -52,6 +52,7 @@ from repro.runtime.failure import FailureInjector, RetryPolicy, TransientFaultMo
 from repro.runtime.finish import FinishReport, PlaceZeroLedger
 from repro.runtime.heap import PlaceHeap
 from repro.runtime.place import Place, PlaceGroup
+from repro.runtime.pool import PlaceLease, PlacePool
 from repro.util.logging import TraceLog
 from repro.util.validation import check_positive, require
 
@@ -188,7 +189,11 @@ class Runtime:
         total = nplaces + spares
         all_places = [Place(i) for i in range(total)]
         self.world = PlaceGroup(all_places[:nplaces])
-        self._spares: deque = deque(all_places[nplaces:])
+        #: Ownership bookkeeping: free places, leases, and the spare
+        #: reserve all live behind the pool (single-job paths see it as a
+        #: degenerate one-lease pool via :attr:`default_lease`).
+        self.pool = PlacePool(self, all_places[:nplaces], all_places[nplaces:])
+        self._default_lease: Optional[PlaceLease] = None
         self._heaps: Dict[int, PlaceHeap] = {p.id: PlaceHeap(p.id) for p in all_places}
         self._alive: Dict[int, bool] = {p.id: True for p in all_places}
         #: The discrete-event engine: owns the virtual clock, every
@@ -288,7 +293,7 @@ class Runtime:
         self._alive[place_id] = False
         self._death_times[place_id] = self.clock.global_time()
         self._heaps[place_id].destroy()
-        self._spares = deque(p for p in self._spares if p.id != place_id)
+        self.pool.on_place_killed(place_id)
         self.engine.purge_place(place_id)
         self.stats.kills += 1
         self.trace.emit("kill", self.clock.global_time(), place=place_id)
@@ -303,16 +308,30 @@ class Runtime:
 
     def claim_spare(self) -> Optional[Place]:
         """Take one live spare place (or ``None`` if exhausted)."""
-        while self._spares:
-            place = self._spares.popleft()
-            if self.is_alive(place.id):
-                return place
-        return None
+        return self.pool.claim_reserve()
 
     @property
     def spares_remaining(self) -> int:
-        """Number of live spare places not yet claimed."""
-        return sum(1 for p in self._spares if self.is_alive(p.id))
+        """Number of live spare places not yet claimed (O(1))."""
+        return self.pool.reserve_remaining
+
+    @property
+    def default_lease(self) -> PlaceLease:
+        """The degenerate whole-world lease used by single-job paths.
+
+        Created lazily: it covers every free place (place zero included,
+        which stays the driver) with ``pooled`` access to the global spare
+        reserve, so executors that never heard of leases behave exactly as
+        before the pool existed.
+        """
+        if self._default_lease is None or self._default_lease.state != "active":
+            self._default_lease = self.pool.lease(
+                size=self.pool.free_live,
+                name="default",
+                economics="pooled",
+                include_place_zero=True,
+            )
+        return self._default_lease
 
     def add_place(self) -> Place:
         """Elastically create a brand-new place (Replace-Elastic extension).
@@ -367,6 +386,40 @@ class Runtime:
     # -- execution -----------------------------------------------------------
 
     DRIVER_ID = 0
+
+    @contextmanager
+    def job_context(
+        self,
+        lease: PlaceLease,
+        injector: Optional[FailureInjector] = None,
+        detector=None,
+    ) -> Iterator[PlaceLease]:
+        """Run one tenant's job scoped to its lease.
+
+        Inside the context the lease's driver place plays place zero's
+        role: ``DRIVER_ID`` (hence finish joins, heartbeat sinks, ``at``
+        return paths and barriers) points at the lease driver, and the
+        runtime's failure injector / detector are swapped for the
+        job-scoped ones, so kills scripted for tenant A cannot fire while
+        tenant B is executing.  Everything is restored on exit, even when
+        the job aborts.
+        """
+        require(lease.state == "active", f"lease {lease.name!r} is released")
+        self.check_alive(lease.driver.id)
+        prev_driver = self.DRIVER_ID
+        prev_injector = self.injector
+        prev_detector = self.detector
+        self.DRIVER_ID = lease.driver.id
+        if injector is not None:
+            self.injector = injector
+        if detector is not None:
+            self.detector = detector
+        try:
+            yield lease
+        finally:
+            self.DRIVER_ID = prev_driver
+            self.injector = prev_injector
+            self.detector = prev_detector
 
     def now(self) -> float:
         """The driver's (place zero's) current virtual time."""

@@ -1,0 +1,82 @@
+"""Job queue and admission control for the shared place pool.
+
+Admission is strict FIFO: the head job waits until the pool can hold its
+whole lease (head-of-line blocking is the price of starvation freedom —
+a stream of small jobs can never park a big one forever).  A bounded
+queue rejects arrivals outright once it is full, which is the
+back-pressure surface a real front door would have.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.runtime.pool import DEDICATED, PlacePool
+from repro.service.jobs import JobSpec
+from repro.util.validation import require
+
+
+class JobQueue:
+    """FIFO queue of jobs waiting for pool capacity."""
+
+    def __init__(self, max_depth: Optional[int] = None):
+        require(
+            max_depth is None or max_depth >= 0, "max_depth must be >= 0 or None"
+        )
+        self._queue: Deque[JobSpec] = deque()
+        self.max_depth = max_depth
+        self.rejected: List[JobSpec] = []
+        #: High-water mark of the queue depth.
+        self.peak_depth = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def offer(self, job: JobSpec) -> bool:
+        """Enqueue *job*; False (recorded in ``rejected``) if full."""
+        if self.max_depth is not None and len(self._queue) >= self.max_depth:
+            self.rejected.append(job)
+            return False
+        self._queue.append(job)
+        self.peak_depth = max(self.peak_depth, len(self._queue))
+        return True
+
+    def head(self) -> Optional[JobSpec]:
+        return self._queue[0] if self._queue else None
+
+    def pop(self) -> JobSpec:
+        return self._queue.popleft()
+
+
+class AdmissionController:
+    """Decides when the queue's head job may carve its lease."""
+
+    def __init__(self, pool: PlacePool, economics: str):
+        self.pool = pool
+        self.economics = economics
+
+    def can_admit(self, job: JobSpec) -> bool:
+        """True when the pool can host *job* right now.
+
+        Needs enough live free places for the group (place zero excluded —
+        it is the service coordinator) and, under ``dedicated`` economics,
+        enough live reserve to commit the job's dedicated spares up-front.
+        """
+        free = self.pool.lendable_free
+        if free < job.places:
+            return False
+        if self.economics == DEDICATED:
+            return self.pool.reserve_remaining >= job.dedicated_spares
+        return True
+
+    def pop_admissible(self, queue: JobQueue) -> Optional[JobSpec]:
+        """Pop the head job if FIFO order allows it to start right now.
+
+        One job per call: the caller must carve the lease before asking
+        again, so the capacity check always sees the pool's true state.
+        """
+        job = queue.head()
+        if job is None or not self.can_admit(job):
+            return None
+        return queue.pop()

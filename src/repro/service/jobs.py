@@ -1,0 +1,209 @@
+"""Job specifications, the mixed-workload stream, and baselines.
+
+A *job* is one iterative application (linreg / logreg / pagerank / gnmf)
+at a given place count and iteration budget.  The stream generator draws
+job sizes from a Zipf distribution (many small tenants, a heavy tail of
+big ones — the shape shared clusters actually see) and arrival times from
+a Poisson process, all deterministically from the service seed.
+
+Workloads are deliberately tiny, like the chaos campaigns': a service run
+executes dozens of full jobs and what matters is scheduling, recovery and
+confinement — per-iteration numerics are already covered elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.apps.data import GnmfWorkload, PageRankWorkload, RegressionWorkload
+from repro.apps.nonresilient import (
+    GnmfNonResilient,
+    LinRegNonResilient,
+    LogRegNonResilient,
+    PageRankNonResilient,
+)
+from repro.apps.resilient import (
+    GnmfResilient,
+    LinRegResilient,
+    LogRegResilient,
+    PageRankResilient,
+)
+from repro.resilience.executor import NonResilientExecutor
+from repro.runtime.cost import CostModel
+from repro.runtime.factory import make_runtime
+from repro.util.validation import check_positive, require
+
+
+def _service_regression(iterations: int) -> RegressionWorkload:
+    return RegressionWorkload(
+        features=8, examples_per_place=32, blocks_per_place=2, iterations=iterations
+    )
+
+
+def _service_pagerank(iterations: int) -> PageRankWorkload:
+    return PageRankWorkload(
+        nodes_per_place=18, out_degree=3, blocks_per_place=2, iterations=iterations
+    )
+
+
+def _service_gnmf(iterations: int) -> GnmfWorkload:
+    return GnmfWorkload(
+        rows_per_place=24,
+        cols=12,
+        rank=4,
+        density=0.2,
+        blocks_per_place=2,
+        iterations=iterations,
+    )
+
+
+#: app name → (non-resilient class, resilient class, workload factory,
+#: result accessor).  The chaos trio plus GNMF — the full mixed workload.
+SERVICE_APPS: Dict[str, Tuple[type, type, Callable, Callable]] = {
+    "linreg": (
+        LinRegNonResilient,
+        LinRegResilient,
+        _service_regression,
+        lambda app: app.model(),
+    ),
+    "logreg": (
+        LogRegNonResilient,
+        LogRegResilient,
+        _service_regression,
+        lambda app: app.model(),
+    ),
+    "pagerank": (
+        PageRankNonResilient,
+        PageRankResilient,
+        _service_pagerank,
+        lambda app: app.ranks(),
+    ),
+    "gnmf": (
+        GnmfNonResilient,
+        GnmfResilient,
+        _service_gnmf,
+        lambda app: app.factors()[0],
+    ),
+}
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One admitted-or-queued unit of work."""
+
+    job_id: int
+    app: str
+    places: int
+    iterations: int
+    arrival: float
+    checkpoint_interval: int = 3
+    #: Reserve places committed up-front under ``dedicated`` economics.
+    dedicated_spares: int = 1
+
+    def __post_init__(self) -> None:
+        require(self.app in SERVICE_APPS, f"unknown app {self.app!r}")
+        check_positive(self.places, "places")
+        check_positive(self.iterations, "iterations")
+        require(self.arrival >= 0, "arrival must be >= 0")
+
+
+@dataclass
+class JobResult:
+    """Outcome and per-job metrics of one stream entry."""
+
+    job_id: int
+    app: str
+    places: int
+    #: "completed" | "data-loss" | "rejected" | "aborted"
+    status: str
+    arrival: float
+    admitted: float = 0.0
+    finished: float = 0.0
+    queue_wait: float = 0.0
+    latency: float = 0.0
+    restores: int = 0
+    failures_observed: int = 0
+    spares_claimed: int = 0
+    borrows: int = 0
+    #: Place count at completion (< ``places`` when recovery shrank).
+    final_places: int = 0
+    #: Ids killed while this job was the active tenant.
+    kills_during_run: List[int] = field(default_factory=list)
+    #: True when the converged answer matched the failure-free baseline.
+    result_ok: Optional[bool] = None
+    detail: str = ""
+
+    @property
+    def survived(self) -> bool:
+        return self.status == "completed"
+
+
+def generate_jobs(
+    n: int,
+    seed: int,
+    arrival_rate: float,
+    apps: Tuple[str, ...] = ("linreg", "logreg", "pagerank", "gnmf"),
+    min_places: int = 2,
+    max_places: int = 6,
+    min_iterations: int = 4,
+    max_iterations: int = 12,
+    checkpoint_interval: int = 3,
+    zipf_a: float = 2.2,
+    dedicated_spares: int = 1,
+) -> List[JobSpec]:
+    """A seeded stream of *n* mixed jobs.
+
+    Sizes follow ``min_places + (Zipf(a) - 1)`` clipped to *max_places*;
+    inter-arrival gaps are exponential with mean ``1 / arrival_rate``
+    (virtual seconds).  Pure in ``(seed, n, knobs)``.
+    """
+    check_positive(n, "n")
+    require(arrival_rate > 0, "arrival_rate must be > 0")
+    require(min_places >= 1, "min_places must be >= 1")
+    require(max_places >= min_places, "max_places must be >= min_places")
+    for app in apps:
+        require(app in SERVICE_APPS, f"unknown app {app!r}")
+    rng = np.random.default_rng([seed, 9001])
+    jobs: List[JobSpec] = []
+    t = 0.0
+    for job_id in range(n):
+        t += float(rng.exponential(1.0 / arrival_rate))
+        size = min_places + int(rng.zipf(zipf_a)) - 1
+        size = min(size, max_places)
+        jobs.append(
+            JobSpec(
+                job_id=job_id,
+                app=str(rng.choice(list(apps))),
+                places=size,
+                iterations=int(rng.integers(min_iterations, max_iterations + 1)),
+                arrival=t,
+                checkpoint_interval=checkpoint_interval,
+                dedicated_spares=dedicated_spares,
+            )
+        )
+    return jobs
+
+
+class BaselineCache:
+    """Memoized failure-free reference answers, keyed by job shape.
+
+    Numerical results depend only on (app, group size, iterations) — never
+    on the cost model or on which concrete place ids ran the job — so one
+    tiny zero-cost single-job runtime per distinct shape suffices.
+    """
+
+    def __init__(self) -> None:
+        self._cache: Dict[Tuple[str, int, int], np.ndarray] = {}
+
+    def get(self, app: str, places: int, iterations: int) -> np.ndarray:
+        key = (app, places, iterations)
+        if key not in self._cache:
+            nonres_cls, _, wl_factory, result_of = SERVICE_APPS[app]
+            rt = make_runtime(places, cost=CostModel.zero())
+            instance = nonres_cls(rt, wl_factory(iterations))
+            NonResilientExecutor(rt, instance).run()
+            self._cache[key] = np.asarray(result_of(instance))
+        return self._cache[key]
