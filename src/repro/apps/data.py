@@ -154,3 +154,110 @@ class GnmfWorkload:
         return GnmfWorkload(
             rows_per_place=60, cols=30, rank=4, density=0.2, iterations=iterations
         )
+
+
+@dataclass(frozen=True)
+class CGWorkload:
+    """Configuration of the preconditioned conjugate-gradient application.
+
+    Solve ``A x = b`` for a synthetic symmetric positive-definite banded
+    matrix of order ``rows_per_place * places``.  Row *i* couples to its
+    immediate neighbors and to ``i ± stride`` (a 1-D stencil plus a long
+    bond), with a seeded jitter on the diagonal keeping the system strictly
+    diagonally dominant — hence SPD — for every size.  The generator is
+    partition-independent: any place holding rows ``[lo, hi)`` produces
+    exactly the rows the global matrix has there, which is what makes
+    failure-vs-failure-free comparisons (and exact ABFT reconstruction)
+    well defined.
+
+    The coupling is deliberately wider than one place's band at chaos
+    sizes, so adjacent-pair and rack kills produce genuinely *coupled*
+    joint re-solves rather than independent per-partition ones.
+    """
+
+    rows_per_place: int = 10_000
+    stride: int = 7
+    iterations: int = 30
+    seed: int = 42
+    #: Optional relative-residual convergence threshold (in the Jacobi
+    #: preconditioner's inner-product norm); bounded by ``iterations``.
+    tolerance: float = 0.0
+
+    #: Stencil weights: diag = DIAG_BASE + jitter(i) in [0, 1),
+    #: (i, i±1) = NEAR, (i, i±stride) = FAR.  |NEAR|·2 + |FAR|·2 = 3 < 4.
+    DIAG_BASE = 4.0
+    NEAR = -1.0
+    FAR = -0.5
+
+    def __post_init__(self) -> None:
+        check_positive(self.rows_per_place, "rows_per_place")
+        check_positive(self.stride, "stride")
+        require(self.stride > 1, "stride must be > 1 (1 duplicates NEAR)")
+        check_positive(self.iterations, "iterations")
+        require(self.tolerance >= 0, "tolerance must be >= 0")
+
+    def rows(self, places: int) -> int:
+        """Total system order for a given place count (weak scaling)."""
+        return self.rows_per_place * places
+
+    def diagonal(self, n: int):
+        """The global diagonal of ``A`` (length *n*), seeded."""
+        from repro.matrix.random import random_vector
+
+        return self.DIAG_BASE + random_vector(self.seed, n, tag=2)
+
+    def rhs(self, n: int):
+        """The global right-hand side ``b`` (length *n*), seeded."""
+        from repro.matrix.random import random_vector
+
+        return random_vector(self.seed, n, tag=1)
+
+    def band(self, n: int, lo: int, hi: int):
+        """Rows ``[lo, hi)`` of the global matrix as a ``SparseCSR``.
+
+        Pure in ``(seed, n, lo, hi)`` and independent of how the rest of
+        the matrix is partitioned.
+        """
+        import numpy as np
+
+        from repro.matrix.sparse import SparseCSR
+
+        diag = self.diagonal(n)
+        rows_out = []
+        cols_out = []
+        vals_out = []
+        local_rows = np.arange(lo, hi)
+        for offset, weight in (
+            (-self.stride, self.FAR),
+            (-1, self.NEAR),
+            (0, 0.0),  # diagonal handled below (jittered)
+            (1, self.NEAR),
+            (self.stride, self.FAR),
+        ):
+            cols = local_rows + offset
+            mask = (cols >= 0) & (cols < n)
+            if offset == 0:
+                vals = diag[local_rows]
+                mask = np.ones(hi - lo, dtype=bool)
+            else:
+                vals = np.full(hi - lo, weight)
+            rows_out.append(local_rows[mask] - lo)
+            cols_out.append(cols[mask])
+            vals_out.append(vals[mask])
+        return SparseCSR.from_coo(
+            hi - lo,
+            n,
+            np.concatenate(rows_out),
+            np.concatenate(cols_out),
+            np.concatenate(vals_out),
+        )
+
+    @staticmethod
+    def paper_scale() -> "CGWorkload":
+        """The benchmark configuration (10k rows per place)."""
+        return CGWorkload()
+
+    @staticmethod
+    def small(iterations: int = 20) -> "CGWorkload":
+        """A reduced physical size for fast simulation and tests."""
+        return CGWorkload(rows_per_place=24, stride=7, iterations=iterations)

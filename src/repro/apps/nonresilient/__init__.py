@@ -7,12 +7,14 @@ self-contained programs so the Table II lines-of-code comparison measures
 real code.
 """
 
+from repro.apps.nonresilient.cg import CGNonResilient
 from repro.apps.nonresilient.gnmf import GnmfNonResilient
 from repro.apps.nonresilient.linreg import LinRegNonResilient
 from repro.apps.nonresilient.logreg import LogRegNonResilient
 from repro.apps.nonresilient.pagerank import PageRankNonResilient
 
 __all__ = [
+    "CGNonResilient",
     "GnmfNonResilient",
     "LinRegNonResilient",
     "LogRegNonResilient",

@@ -8,12 +8,14 @@ versions so the Table II lines-of-code comparison measures two complete,
 independent programs — as the paper's benchmarks were.
 """
 
+from repro.apps.resilient.cg import CGResilient
 from repro.apps.resilient.gnmf import GnmfResilient
 from repro.apps.resilient.linreg import LinRegResilient
 from repro.apps.resilient.logreg import LogRegResilient
 from repro.apps.resilient.pagerank import PageRankResilient
 
 __all__ = [
+    "CGResilient",
     "GnmfResilient",
     "LinRegResilient",
     "LogRegResilient",

@@ -118,6 +118,24 @@ def pagerank_bench_workload(iterations: int = 30) -> PageRankWorkload:
     )
 
 
+#: Physical → logical scale for the CG benchmark: the logical problem is
+#: a 10 000-rows/place banded SPD system vs the 1 000-rows/place physical
+#: one the simulator iterates.
+CG_SCALE = 10.0
+
+
+def cg_bench_workload(iterations: int = 30):
+    """The physical CG workload the benchmarks simulate."""
+    from repro.apps.data import CGWorkload
+
+    return CGWorkload(rows_per_place=1_000, stride=7, iterations=iterations)
+
+
+def cg_cost() -> CostModel:
+    """Cluster profile at the CG benchmark's logical scale."""
+    return cluster_2015().with_scale(CG_SCALE)
+
+
 def regression_cost() -> CostModel:
     """Cluster profile at the regression benchmarks' logical scale."""
     return cluster_2015().with_scale(REGRESSION_SCALE)

@@ -13,12 +13,14 @@ from functools import partial
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.apps.nonresilient import (
+    CGNonResilient,
     GnmfNonResilient,
     LinRegNonResilient,
     LogRegNonResilient,
     PageRankNonResilient,
 )
 from repro.apps.resilient import (
+    CGResilient,
     GnmfResilient,
     LinRegResilient,
     LogRegResilient,
@@ -58,6 +60,13 @@ APP_REGISTRY = {
         GnmfResilient,
         calibration.gnmf_bench_workload,
         calibration.gnmf_cost,
+    ),
+    # Extension application: ABFT PCG, the checkpoint-free recovery app.
+    "cg": (
+        CGNonResilient,
+        CGResilient,
+        calibration.cg_bench_workload,
+        calibration.cg_cost,
     ),
 }
 

@@ -34,13 +34,15 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.apps.data import PageRankWorkload, RegressionWorkload
+from repro.apps.data import CGWorkload, PageRankWorkload, RegressionWorkload
 from repro.apps.nonresilient import (
+    CGNonResilient,
     LinRegNonResilient,
     LogRegNonResilient,
     PageRankNonResilient,
 )
 from repro.apps.resilient import (
+    CGResilient,
     LinRegResilient,
     LogRegResilient,
     PageRankResilient,
@@ -76,6 +78,10 @@ def _tiny_pagerank(iterations: int) -> PageRankWorkload:
     )
 
 
+def _tiny_cg(iterations: int) -> CGWorkload:
+    return CGWorkload(rows_per_place=24, stride=7, iterations=iterations)
+
+
 #: app name → (non-resilient class, resilient class, tiny workload factory,
 #: result accessor).  Workloads are deliberately minuscule: a campaign runs
 #: hundreds of full failure/recovery cycles and only correctness matters.
@@ -98,12 +104,33 @@ CHAOS_APPS: Dict[str, Tuple[type, type, Callable, Callable]] = {
         _tiny_pagerank,
         lambda app: app.ranks(),
     ),
+    "cg": (
+        CGNonResilient,
+        CGResilient,
+        _tiny_cg,
+        lambda app: app.solution(),
+    ),
 }
 
 #: Event kinds a schedule is drawn from.  "restore" is excluded from the
 #: first event (a during-restore kill needs an earlier failure to trigger
-#: a restore at all).
-_EVENT_KINDS = ("iteration", "pair", "rack", "checkpoint", "restore", "phase")
+#: a restore at all); "double" draws two victims *with replacement* at the
+#: same instant — the realistic correlated-failure model that can name the
+#: same victim twice, which :func:`dedupe_schedule` resolves.
+_EVENT_KINDS = (
+    "iteration", "pair", "rack", "checkpoint", "restore", "phase", "double",
+)
+
+#: Kinds that need an earlier failure before they can fire at all.
+_FOLLOWUP_KINDS = ("restore", "reconstruct")
+
+
+def _event_kinds(recovery: str) -> Tuple[str, ...]:
+    """The kind pool for a campaign: reconstruct campaigns additionally
+    draw kills fired in the middle of a reconstruction."""
+    if recovery == "reconstruct":
+        return _EVENT_KINDS + ("reconstruct",)
+    return _EVENT_KINDS
 
 
 @dataclass(frozen=True)
@@ -138,6 +165,10 @@ class CampaignConfig:
     #: Incremental (dirty-partition-only) checkpointing for every schedule
     #: of the campaign.  Full checkpoints (paper parity) by default.
     ckpt_delta: bool = False
+    #: Recovery scheme: "checkpoint" (rollback) or "reconstruct"
+    #: (checkpoint-free, apps implementing the reconstructable protocol
+    #: only — checkpoint/restart stays as the fallback rung).
+    recovery: str = "checkpoint"
 
     @property
     def transient(self) -> bool:
@@ -186,7 +217,7 @@ class CampaignResult:
             f"chaos campaign: app={cfg.app} schedules={cfg.schedules} "
             f"seed={cfg.seed} places={cfg.places} replicas={cfg.replicas} "
             f"placement={cfg.placement} stable_fallback={cfg.stable_fallback} "
-            f"ckpt_delta={cfg.ckpt_delta}",
+            f"ckpt_delta={cfg.ckpt_delta} recovery={cfg.recovery}",
         ]
         if cfg.transient:
             lines.append(
@@ -223,12 +254,37 @@ def _describe(kill: ScriptedKill) -> str:
     return f"p{kill.place_id}@{kill.during}#{kill.occurrence}"
 
 
+def dedupe_schedule(kills: List[ScriptedKill]) -> List[ScriptedKill]:
+    """Drop repeat kills of an already-condemned victim.
+
+    Correlated draws (the "double" kind samples *with replacement*) can
+    name the same place twice — at the same instant, or after an earlier
+    event already condemned it.  A fail-stop place dies once, and the
+    injector rejects a second kill for the same victim, so only the first
+    kill per place survives; later echoes are dropped.
+    """
+    seen = set()
+    deduped: List[ScriptedKill] = []
+    for kill in kills:
+        if kill.place_id in seen:
+            continue
+        seen.add(kill.place_id)
+        deduped.append(kill)
+    return deduped
+
+
 def make_schedule(
-    rng: np.random.Generator, places: int, iterations: int
+    rng: np.random.Generator,
+    places: int,
+    iterations: int,
+    kinds: Tuple[str, ...] = _EVENT_KINDS,
 ) -> List[ScriptedKill]:
     """Draw one randomized failure schedule (1-3 correlated/scripted events).
 
-    Victims are distinct (fail-stop places die once) and never place zero.
+    Victims never include place zero, and the returned schedule is
+    deduplicated: the "double" kind draws its two simultaneous victims
+    with replacement, so the raw draw can condemn the same place twice —
+    :func:`dedupe_schedule` keeps the first kill only.
     """
     pool = list(range(1, places))
     kills: List[ScriptedKill] = []
@@ -241,10 +297,10 @@ def make_schedule(
     for event in range(n_events):
         if not pool:
             break
-        kinds = _EVENT_KINDS if event > 0 else tuple(
-            k for k in _EVENT_KINDS if k != "restore"
+        event_kinds = kinds if event > 0 else tuple(
+            k for k in kinds if k not in _FOLLOWUP_KINDS
         )
-        kind = str(rng.choice(kinds))
+        kind = str(rng.choice(event_kinds))
         when = int(rng.integers(1, iterations))
         if kind == "pair":
             adjacent = [p for p in pool if p + 1 in pool]
@@ -261,6 +317,16 @@ def make_schedule(
                 if pid in pool:
                     kills.append(ScriptedKill(place_id=take(pid), iteration=when))
             continue
+        if kind == "double":
+            # Two *independent* failures landing at the same instant,
+            # drawn with replacement over every killable place — the
+            # correlated-failure model that can (and sometimes does) name
+            # one victim twice or re-condemn an earlier event's victim.
+            for victim in (int(x) for x in rng.integers(1, places, size=2)):
+                kills.append(ScriptedKill(place_id=victim, iteration=when))
+                if victim in pool:
+                    pool.remove(victim)
+            continue
         victim = take(int(rng.choice(pool)))
         if kind == "checkpoint":
             occurrence = int(rng.integers(1, 4))
@@ -271,13 +337,15 @@ def make_schedule(
             )
         elif kind == "restore":
             kills.append(ScriptedKill(place_id=victim, during="restore"))
+        elif kind == "reconstruct":
+            kills.append(ScriptedKill(place_id=victim, during="reconstruct"))
         elif kind == "phase":
             kills.append(
                 ScriptedKill(place_id=victim, phase=int(rng.integers(3, 60)))
             )
         else:
             kills.append(ScriptedKill(place_id=victim, iteration=when))
-    return kills
+    return dedupe_schedule(kills)
 
 
 def _failure_free_result(config: CampaignConfig) -> np.ndarray:
@@ -367,6 +435,9 @@ def run_schedule(
         checkpoint_mode=checkpoint_mode,
         detector=detector,
         corruption=corruption,
+        replicas=config.replicas,
+        placement=make_placement(config.placement),
+        recovery=config.recovery,
     )
     outcome = ScheduleOutcome(
         index=index,
@@ -463,10 +534,57 @@ def run_schedule(
         )
 
     fired = [k for k in kills if k not in report.pending_kills]
+
+    # Invariants 6-7 (reconstruct campaigns): rollback is never silent —
+    # every restore must be a recorded fallback — and a failure pattern
+    # inside the published redundancy must be absorbed with *zero* lost
+    # iterations (no rollback at all).
+    if config.recovery == "reconstruct":
+        if report.restores and not report.fallback_restores:
+            outcome.violations.append(
+                f"{report.restores} rollback(s) without a recorded "
+                "reconstruct fallback"
+            )
+        # "Covered" claims are only made for patterns whose burst size is
+        # statically knowable: iteration-triggered kills land at loop
+        # tops, after the previous burst's recovery re-published full
+        # redundancy.  A phase/during/time kill can fire *mid-recovery*
+        # and compound the in-flight burst past the replica count — that
+        # is legitimate fallback territory, not a violation.
+        bursts: Dict[int, int] = {}
+        for kill in fired:
+            if kill.iteration is not None:
+                bursts[kill.iteration] = bursts.get(kill.iteration, 0) + 1
+        covered = (
+            bool(fired)
+            and all(k.iteration is not None for k in fired)
+            and max(bursts.values()) <= config.replicas
+            and len(fired) <= config.spares
+        )
+        if covered:
+            if report.fallback_restores or report.restores:
+                outcome.violations.append(
+                    f"burst pattern within redundancy (max burst "
+                    f"{max(bursts.values())} <= {config.replicas} replicas, "
+                    f"{len(fired)} kills <= {config.spares} spares) fell "
+                    f"back to rollback ({report.fallback_restores} "
+                    f"fallback(s), {report.restores} restore(s))"
+                )
+            if not report.reconstructions:
+                outcome.violations.append(
+                    "fired kills within redundancy produced no reconstruction"
+                )
+            if report.restored_iterations:
+                outcome.violations.append(
+                    f"covered burst lost iterations anyway (rolled back to "
+                    f"{report.restored_iterations})"
+                )
+
     recovered = (
         report.failures_observed
         or fired
         or report.restores
+        or report.reconstructions
         or report.evictions
         or report.quarantined_copies
     )
@@ -496,7 +614,9 @@ def _campaign_index(
     bitwise-identical outcomes to the serial loop, in any worker order.
     """
     rng = np.random.default_rng([config.seed, index])
-    kills = make_schedule(rng, config.places, config.iterations)
+    kills = make_schedule(
+        rng, config.places, config.iterations, kinds=_event_kinds(config.recovery)
+    )
     modes = _restore_modes(config)
     mode = modes[int(rng.integers(len(modes)))]
     checkpoint_mode = "overlapped" if rng.integers(2) else "blocking"

@@ -36,6 +36,7 @@ from repro.bench.harness import (
 )
 from repro.resilience.executor import (
     CHECKPOINT_MODES,
+    RECOVERY_MODES,
     IterativeExecutor,
     NonResilientExecutor,
     RestoreMode,
@@ -107,6 +108,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--timeline", action="store_true", help="print an ASCII finish timeline"
+    )
+    run.add_argument(
+        "--recovery",
+        choices=list(RECOVERY_MODES),
+        default="checkpoint",
+        help="recovery scheme: checkpoint rollback or checkpoint-free "
+        "reconstruction (reconstructable apps only, e.g. cg)",
     )
     run.add_argument(
         "--ckpt-mode",
@@ -238,7 +246,7 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos = sub.add_parser(
         "chaos", help="run a seeded campaign of randomized failure schedules"
     )
-    chaos.add_argument("app", choices=["linreg", "logreg", "pagerank"])
+    chaos.add_argument("app", choices=["cg", "linreg", "logreg", "pagerank"])
     chaos.add_argument("--schedules", type=int, default=50)
     chaos.add_argument("--chaos-seed", type=int, default=0)
     chaos.add_argument("--places", type=int, default=6)
@@ -277,6 +285,14 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run every schedule with incremental (dirty-partition-only) "
         "checkpointing",
+    )
+    chaos.add_argument(
+        "--recovery",
+        choices=list(RECOVERY_MODES),
+        default="checkpoint",
+        help="recovery scheme: rollback to a checkpoint, or checkpoint-free "
+        "reconstruction (apps implementing the reconstructable protocol, "
+        "e.g. cg; rollback stays as the fallback rung)",
     )
     chaos.add_argument(
         "--jobs",
@@ -421,6 +437,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             detector=detector,
             corruption=corruption,
             delta=args.ckpt_delta,
+            recovery=args.recovery,
         )
         try:
             report = executor.run()
@@ -464,12 +481,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"({report.ckpt_clean_bytes:.0f} B skipped, "
             f"{report.ckpt_dirty_bytes:.0f} B copied)"
         )
+    if report.reconstructions or report.fallback_restores:
+        print(
+            f"reconstructions:      {report.reconstructions} "
+            f"({report.reconstructed_partitions} partitions, "
+            f"{report.aborted_reconstructions} aborted, "
+            f"{report.fallback_restores} fell back to rollback)"
+        )
+        print(
+            f"redundancy overhead:  {report.redundancy_time:.4f} s, "
+            f"{report.redundancy_bytes:.0f} B published, "
+            f"{report.repaired_static_keys} static copies repaired"
+        )
     if report.pending_kills:
         print(f"kills never fired:    {len(report.pending_kills)}")
     print(f"virtual total:        {report.total_time:.4f} s")
     print(
         f"  = step {report.step_time:.4f} + checkpoint {report.checkpoint_time:.4f}"
         f" + restore {report.restore_time:.4f} + lost {report.lost_time:.4f}"
+        + (
+            f" + reconstruct {report.reconstruct_time:.4f}"
+            f" + redundancy {report.redundancy_time:.4f}"
+            if report.reconstruct_time or report.redundancy_time
+            else ""
+        )
     )
     print(f"final place group:    {app.places.ids}")
     if args.profile:
@@ -572,6 +607,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             detect_timeout=args.detect_timeout,
             partition_rate=args.partition_rate,
             ckpt_delta=args.ckpt_delta,
+            recovery=args.recovery,
         ),
         jobs=_resolve_jobs(args.jobs),
     )

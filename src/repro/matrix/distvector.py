@@ -336,6 +336,39 @@ class DistVector(MultiPlaceObject):
         self._allocate()
         return self
 
+    def rehome(self, new_group: PlaceGroup) -> "DistVector":
+        """Adopt a same-size group, allocating only the missing segments.
+
+        The reconstruction path: survivors keep their live segments (and
+        group indices); places that joined the group (spares holding no
+        payload under this object's key) get zeroed segments for the
+        caller to fill.  Idempotent — safe to re-run when a retry enlarges
+        the replacement set.
+        """
+        require(new_group.size == self.group.size, "rehome cannot resize the group")
+        self.group = new_group
+        key, sizes = self.heap_key, self.partition.sizes
+
+        def stale(index: int) -> bool:
+            # Missing — or left over from an aborted recovery that had
+            # this spare at a different index (wrong segment length).
+            heap = self.runtime.heap_of(new_group[index].id)
+            if not heap.contains(key):
+                return True
+            return len(heap.get(key).data) != sizes[index]
+
+        missing = [index for index in range(new_group.size) if stale(index)]
+        if not missing:
+            return self
+        sub = PlaceGroup([new_group[index] for index in missing])
+        size_of = {new_group[index].id: sizes[index] for index in missing}
+
+        def alloc(ctx: PlaceContext) -> None:
+            ctx.heap.put(key, Vector.make(size_of[ctx.place.id]))
+
+        self.runtime.finish_all(sub, alloc, label=f"{self.name}:rehome")
+        return self
+
     def make_snapshot(self, base: Optional[DistObjectSnapshot] = None) -> DistObjectSnapshot:
         """Save each segment under its place index, doubly stored.
 

@@ -249,6 +249,31 @@ class DupVector(MultiPlaceObject):
         self._allocate(new_group)
         return self
 
+    def rehome(self, new_group: PlaceGroup) -> "DupVector":
+        """Adopt a same-size group, allocating only the missing replicas.
+
+        New members get zeroed replicas; the next ``sync()`` (or any full
+        rewrite such as ``DistVector.to_dup``) makes them consistent.
+        """
+        require(new_group.size == self.group.size, "rehome cannot resize the group")
+        self.group = new_group
+        key, n = self.heap_key, self.n
+        missing = [
+            place
+            for place in new_group
+            if not self.runtime.heap_of(place.id).contains(key)
+        ]
+        if not missing:
+            return self
+
+        def alloc(ctx: PlaceContext) -> None:
+            ctx.heap.put(key, Vector.make(n))
+
+        self.runtime.finish_all(
+            PlaceGroup(missing), alloc, label=f"{self.name}:rehome"
+        )
+        return self
+
     def make_snapshot(self, base: Optional[DistObjectSnapshot] = None) -> DistObjectSnapshot:
         """Save every replica under its place index, doubly stored.
 

@@ -46,8 +46,13 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import List, Optional
 
-from repro.resilience.iterative import ResilientIterativeApp, RestoreContext
+from repro.resilience.iterative import (
+    ReconstructableIterativeApp,
+    ResilientIterativeApp,
+    RestoreContext,
+)
 from repro.resilience.placement import ReplicaPlacement
+from repro.resilience.reconstruct import ReconstructionStore
 from repro.resilience.store import AppResilientStore
 from repro.runtime.detector import PhiAccrualDetector
 from repro.runtime.exceptions import (
@@ -132,6 +137,31 @@ class ExecutionReport:
     ckpt_dirty_partitions: int = 0
     ckpt_clean_bytes: float = 0.0
     ckpt_dirty_bytes: float = 0.0
+    #: Checkpoint-free recovery accounting (``recovery="reconstruct"``).
+    #: Successful reconstructions — failures survived with **zero** lost
+    #: iterations (``restored_iterations`` stays empty for these).
+    reconstructions: int = 0
+    #: Partitions rebuilt across all successful reconstructions.
+    reconstructed_partitions: int = 0
+    #: Virtual time spent reconstructing (successful + aborted attempts).
+    reconstruct_time: float = 0.0
+    #: Durations of successful reconstructions.
+    reconstruct_durations: List[float] = field(default_factory=list)
+    #: Reconstruction attempts aborted by a further failure mid-recovery.
+    aborted_reconstructions: int = 0
+    #: Failures the reconstruct path could not absorb (burst beyond the
+    #: published redundancy, spare shortage, or no committed generation):
+    #: each one fell back to classic checkpoint/restart and shows up in
+    #: ``restores`` / ``restored_iterations`` as a rollback.
+    fallback_restores: int = 0
+    #: Virtual time spent re-publishing redundant state each iteration —
+    #: the steady-state overhead reconstruction trades for rollback-free
+    #: recovery (the analogue of ``checkpoint_time``).
+    redundancy_time: float = 0.0
+    #: Logical bytes pushed through redundancy publishing.
+    redundancy_bytes: float = 0.0
+    #: Static snapshot copies re-replicated after reconstructions.
+    repaired_static_keys: int = 0
 
     @property
     def checkpoint_pct(self) -> float:
@@ -154,6 +184,13 @@ class ExecutionReport:
 #: Valid values of ``IterativeExecutor``'s ``checkpoint_mode``.
 CHECKPOINT_MODES = ("blocking", "overlapped")
 
+#: Valid values of ``IterativeExecutor``'s ``recovery``:
+#: ``"checkpoint"`` is the paper's rollback scheme; ``"reconstruct"`` is
+#: checkpoint-free (ABFT) recovery for apps implementing
+#: :class:`~repro.resilience.iterative.ReconstructableIterativeApp`, with
+#: checkpoint/restart kept as the fallback rung of the recovery ladder.
+RECOVERY_MODES = ("checkpoint", "reconstruct")
+
 
 class IterativeExecutor:
     """Drives a resilient iterative application to completion."""
@@ -175,6 +212,7 @@ class IterativeExecutor:
         corruption: Optional[CorruptionModel] = None,
         delta: bool = False,
         lease: Optional[PlaceLease] = None,
+        recovery: str = "checkpoint",
     ):
         check_positive(checkpoint_interval, "checkpoint_interval")
         require(
@@ -185,6 +223,16 @@ class IterativeExecutor:
             checkpoint_mode in CHECKPOINT_MODES,
             f"checkpoint_mode must be one of {CHECKPOINT_MODES}",
         )
+        require(
+            recovery in RECOVERY_MODES,
+            f"recovery must be one of {RECOVERY_MODES}",
+        )
+        if recovery == "reconstruct":
+            require(
+                isinstance(app, ReconstructableIterativeApp),
+                "recovery='reconstruct' needs a ReconstructableIterativeApp "
+                "(publish_redundant/reconstruct)",
+            )
         self.runtime = runtime
         self.app = app
         #: The executor's slice of the place pool.  Replacement places are
@@ -216,6 +264,22 @@ class IterativeExecutor:
             runtime.attach_detector(detector)
         #: Post-commit bit-rot injection (chaos campaigns).
         self.corruption = corruption
+        self.recovery = recovery
+        #: Redundant-state store for checkpoint-free recovery; replica
+        #: count and placement mirror the checkpoint store's knobs.
+        self.rstore: Optional[ReconstructionStore] = (
+            ReconstructionStore(
+                runtime,
+                replicas=replicas if replicas is not None else 1,
+                placement=placement,
+            )
+            if recovery == "reconstruct"
+            else None
+        )
+        #: Spares claimed by an aborted reconstruction attempt, kept for
+        #: the next attempt (or the fallback restore) — a lease has no
+        #: un-claim, so a claimed spare must not leak.
+        self._spare_stash: List = []
 
     def _evict(self, place_id: int, report: ExecutionReport) -> None:
         """Act on a CONFIRMED_DEAD verdict: fence the place out.
@@ -234,18 +298,32 @@ class IterativeExecutor:
 
     # -- group construction per mode ---------------------------------------------
 
+    def _claim_spare(self):
+        """A spare from the stash of aborted-reconstruct claims, else the
+        lease (claimed spares cannot be returned, so the stash drains
+        first)."""
+        self._spare_stash = [
+            p for p in self._spare_stash if self.runtime.is_alive(p.id)
+        ]
+        if self._spare_stash:
+            return self._spare_stash.pop()
+        return self.lease.claim_spare()
+
     def _replacement_group(self, group: PlaceGroup) -> tuple:
         """New group + effective mode after a failure in *group*."""
         dead = [p for p in group if not self.runtime.is_alive(p.id)]
         mode = self.mode
         if mode == RestoreMode.REPLACE_REDUNDANT:
-            if self.lease.spares_remaining < len(dead):
+            stashed = sum(
+                1 for p in self._spare_stash if self.runtime.is_alive(p.id)
+            )
+            if self.lease.spares_remaining + stashed < len(dead):
                 # Spares exhausted (checked before claiming any, so none
                 # are wasted): fall back to the configured shrink mode.
                 return self.runtime.live_group(group), self.spare_fallback
             new_group = group
             for victim in dead:
-                spare = self.lease.claim_spare()
+                spare = self._claim_spare()
                 if spare is None:
                     # Lost the race for the last shared spare (another
                     # lease claimed it between the check and the claim):
@@ -259,6 +337,82 @@ class IterativeExecutor:
                 new_group = new_group.replace(victim, self.lease.add_place())
             return new_group, mode
         return self.runtime.live_group(group), mode
+
+    # -- checkpoint-free recovery ----------------------------------------------
+
+    def _try_reconstruct(self, report: ExecutionReport) -> bool:
+        """The rung above rollback: rebuild the lost partitions in place.
+
+        Returns ``True`` once the application is back at the last
+        published boundary (zero lost iterations, counter not rolled
+        back).  Returns ``False`` when this failure cannot be absorbed —
+        no committed generation, spare shortage, a burst beyond the
+        published redundancy (``DataLossError`` from a fetch), or too many
+        attempts aborted by further failures — and the caller falls back
+        to checkpoint/restart.
+
+        A transient verdict with no confirmed deaths also lands here with
+        an empty lost set: every place resets to the boundary from its
+        *local* primary copies — consistent recovery from a mid-step
+        transient without any communication or rollback.
+        """
+        rt = self.runtime
+        rstore = self.rstore
+        if not rstore.ready:
+            return False
+        attempts = 0
+        while True:
+            attempts += 1
+            if attempts > self.max_restore_attempts:
+                return False
+            # The app's group only advances on success, so the dead set is
+            # recomputed from the same base group each attempt; spares
+            # from an aborted attempt sit in the stash and are reused.
+            group = self.app.places
+            dead_idx = [
+                i for i in range(group.size) if not rt.is_alive(group[i].id)
+            ]
+            spares = []
+            for _ in dead_idx:
+                spare = self._claim_spare()
+                if spare is None:
+                    self._spare_stash.extend(spares)
+                    return False
+                spares.append(spare)
+            new_group = group
+            for idx, spare in zip(dead_idx, spares):
+                new_group = new_group.replace(group[idx], spare)
+            t0 = rt.now()
+            rt.injector.enter_context("reconstruct")
+            try:
+                self.app.reconstruct(new_group, rstore, dead_idx)
+            except DataLossError:
+                report.reconstruct_time += rt.now() - t0
+                self._spare_stash.extend(spares)
+                return False
+            except (DeadPlaceException, MultipleException) as again:
+                # A further failure mid-reconstruction.  Every rebuild
+                # primitive (rehome / fetch-reset / re-solve / repair) is
+                # idempotent, so the retry simply redoes the recovery over
+                # a refreshed group.
+                report.reconstruct_time += rt.now() - t0
+                report.aborted_reconstructions += 1
+                report.failures_observed += len(again.places)
+                self._spare_stash.extend(spares)
+                if self.detector is not None:
+                    confirmed, _, waited = self.detector.resolve(again.places)
+                    report.detection_wait_time += waited
+                    for pid in confirmed:
+                        self._evict(pid, report)
+                continue
+            finally:
+                rt.injector.exit_context("reconstruct")
+            dt = rt.now() - t0
+            report.reconstruct_time += dt
+            report.reconstruct_durations.append(dt)
+            report.reconstructions += 1
+            report.reconstructed_partitions += len(dead_idx)
+            return True
 
     # -- main loop ------------------------------------------------------------
 
@@ -284,6 +438,21 @@ class IterativeExecutor:
         iteration = 0
         last_checkpoint_iter: Optional[int] = None
         restore_attempts = 0
+
+        if self.rstore is not None:
+            # The redundant baseline must exist before any scripted kill
+            # can fire (they fire at the loop top): from iteration 0 on,
+            # reconstruction always has a committed generation.  A kill
+            # can still land inside this very first publish (phase/time
+            # triggers); the store's atomicity leaves it uncommitted and
+            # the loop's failure machinery takes over on the first
+            # iteration attempt.
+            t0 = rt.now()
+            try:
+                self.app.publish_redundant(self.rstore, iteration)
+                report.redundancy_time += rt.now() - t0
+            except (DeadPlaceException, MultipleException):
+                report.lost_time += rt.now() - t0
 
         while not self.app.is_finished():
             for victim in rt.injector.due_at_iteration(iteration):
@@ -332,6 +501,13 @@ class IterativeExecutor:
                 report.iterations_executed += 1
                 iteration += 1
                 restore_attempts = 0
+                if self.rstore is not None:
+                    # Refresh the redundant state to the new boundary (a
+                    # failure mid-publish leaves the previous generation
+                    # committed — reconstruction then redoes one step).
+                    t0 = rt.now()
+                    self.app.publish_redundant(self.rstore, iteration)
+                    report.redundancy_time += rt.now() - t0
             except (DeadPlaceException, MultipleException) as failure:
                 # Any backups still in flight from an overlapped checkpoint
                 # must land before recovery timing starts (their residue is
@@ -370,6 +546,20 @@ class IterativeExecutor:
                             "consecutive times under transient faults"
                         ) from failure
                     continue
+                if self.rstore is not None:
+                    if self._try_reconstruct(report):
+                        # Back at the last published boundary: no rollback,
+                        # no lost iterations beyond the interrupted step.
+                        iteration = self.rstore.state_iteration
+                        restore_attempts = 0
+                        continue
+                    # The burst exceeded the published redundancy (or
+                    # spares ran out): drop to the classic rung.  The
+                    # committed generation is now unreliable — and a
+                    # shrinking restore would orphan its group binding —
+                    # so it is rebuilt from scratch by the next publish.
+                    report.fallback_restores += 1
+                    self.rstore.invalidate()
                 if self.store.latest() is None:
                     raise DataLossError(
                         "place failed before the first checkpoint committed; "
@@ -449,6 +639,9 @@ class IterativeExecutor:
         report.ckpt_dirty_partitions = self.store.delta_dirty_partitions
         report.ckpt_clean_bytes = self.store.delta_clean_bytes
         report.ckpt_dirty_bytes = self.store.delta_dirty_bytes
+        if self.rstore is not None:
+            report.redundancy_bytes = self.rstore.redundancy_bytes
+            report.repaired_static_keys = self.rstore.repaired_keys
         if rt.faults is not None:
             report.dropped_messages = rt.faults.dropped - faults_base[0]
             report.retransmissions = rt.faults.retransmissions - faults_base[1]

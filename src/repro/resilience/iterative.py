@@ -62,3 +62,30 @@ class ResilientIterativeApp(ABC):
         """Roll back to the snapshot iteration: ``remake`` every GML object
         over *new_places*, then ``store.restore()``, then reset the loop
         counter to *snapshot_iter*."""
+
+
+class ReconstructableIterativeApp(ResilientIterativeApp):
+    """An app that additionally supports checkpoint-free recovery.
+
+    Two extra methods extend the four-method model for
+    ``recovery="reconstruct"`` (the ABFT mode): after every successful
+    step the executor calls :meth:`publish_redundant`, and on a failure it
+    calls :meth:`reconstruct` *instead of* rolling back — the classic
+    ``checkpoint``/``restore`` pair stays as the fallback for bursts that
+    exceed the published redundancy.
+    """
+
+    @abstractmethod
+    def publish_redundant(self, store, iteration: int) -> None:
+        """Publish this iteration's redundant state into a
+        :class:`~repro.resilience.reconstruct.ReconstructionStore`:
+        statics once (``save_static``), the dynamic vectors every call
+        (one atomic ``publish``)."""
+
+    @abstractmethod
+    def reconstruct(self, new_places: PlaceGroup, store, lost_indices) -> None:
+        """Rebuild the partitions at *lost_indices* onto *new_places*
+        (same size, spares at the dead members' indices) from the store's
+        surviving copies, leaving every place at the last published
+        boundary — the loop counter does **not** roll back.  Raises
+        ``DataLossError`` when the burst exceeded the redundancy."""

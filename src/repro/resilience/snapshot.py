@@ -557,6 +557,23 @@ class DistObjectSnapshot:
                     return False
         return True
 
+    def rebind_group(self, new_group: PlaceGroup) -> None:
+        """Re-anchor this snapshot to a same-size replacement group.
+
+        Used by checkpoint-free reconstruction after spares replace dead
+        members at their old indices: survivors' copies are found at the
+        same places as before (same ids at the same indices), while keys
+        whose primary or replica homes moved to a spare read as damaged
+        (:meth:`key_intact` False) until the caller re-saves them — the
+        redundancy-repair pass of
+        :class:`~repro.resilience.reconstruct.ReconstructionStore`.
+        """
+        require(
+            new_group.size == self.group.size,
+            "rebind_group cannot resize the snapshot group",
+        )
+        self.group = new_group
+
     # -- lifecycle --------------------------------------------------------------
 
     def delete(self) -> None:

@@ -41,7 +41,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store ↔ failure)
     from repro.resilience.store import AppResilientStore
 
 #: Context names the executor announces for ``during=`` triggers.
-KILL_CONTEXTS = ("checkpoint", "restore")
+KILL_CONTEXTS = ("checkpoint", "restore", "reconstruct")
 
 
 @dataclass(frozen=True)
@@ -56,7 +56,7 @@ class ScriptedKill:
     #: Fire once virtual global time reaches this value (None = not used).
     time: Optional[float] = None
     #: Fire at the first finish inside this executor context
-    #: ("checkpoint" or "restore"); see ``occurrence``.
+    #: ("checkpoint", "restore" or "reconstruct"); see ``occurrence``.
     during: Optional[str] = None
     #: With ``during``: fire inside the *occurrence*-th entry of the context
     #: (1 = the first checkpoint/restore, 2 = the second, ...).

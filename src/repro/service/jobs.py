@@ -18,14 +18,21 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.apps.data import GnmfWorkload, PageRankWorkload, RegressionWorkload
+from repro.apps.data import (
+    CGWorkload,
+    GnmfWorkload,
+    PageRankWorkload,
+    RegressionWorkload,
+)
 from repro.apps.nonresilient import (
+    CGNonResilient,
     GnmfNonResilient,
     LinRegNonResilient,
     LogRegNonResilient,
     PageRankNonResilient,
 )
 from repro.apps.resilient import (
+    CGResilient,
     GnmfResilient,
     LinRegResilient,
     LogRegResilient,
@@ -60,8 +67,15 @@ def _service_gnmf(iterations: int) -> GnmfWorkload:
     )
 
 
+def _service_cg(iterations: int) -> CGWorkload:
+    return CGWorkload(rows_per_place=24, stride=7, iterations=iterations)
+
+
 #: app name → (non-resilient class, resilient class, workload factory,
 #: result accessor).  The chaos trio plus GNMF — the full mixed workload.
+#: CG rides along as the checkpoint-free tenant: ``ServiceConfig`` opts it
+#: into the stream (the default apps tuple is unchanged so existing seeded
+#: streams stay bit-identical) and runs it under ``recovery="reconstruct"``.
 SERVICE_APPS: Dict[str, Tuple[type, type, Callable, Callable]] = {
     "linreg": (
         LinRegNonResilient,
@@ -86,6 +100,12 @@ SERVICE_APPS: Dict[str, Tuple[type, type, Callable, Callable]] = {
         GnmfResilient,
         _service_gnmf,
         lambda app: app.factors()[0],
+    ),
+    "cg": (
+        CGNonResilient,
+        CGResilient,
+        _service_cg,
+        lambda app: app.solution(),
     ),
 }
 
@@ -125,6 +145,8 @@ class JobResult:
     queue_wait: float = 0.0
     latency: float = 0.0
     restores: int = 0
+    #: Checkpoint-free recoveries (CG under ``recovery="reconstruct"``).
+    reconstructions: int = 0
     failures_observed: int = 0
     spares_claimed: int = 0
     borrows: int = 0

@@ -27,7 +27,11 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.bench.calibration import regression_cost
-from repro.resilience.executor import IterativeExecutor, RestoreMode
+from repro.resilience.executor import (
+    RECOVERY_MODES,
+    IterativeExecutor,
+    RestoreMode,
+)
 from repro.resilience.placement import make_placement
 from repro.resilience.store import AppResilientStore
 from repro.runtime.cost import CostModel
@@ -81,6 +85,11 @@ class ServiceConfig:
     stable_fallback: bool = False
     restore_mode: str = "replace-redundant"
     checkpoint_mode: str = "blocking"
+    #: Recovery mode for CG jobs ("reconstruct" = checkpoint-free ABFT
+    #: recovery; "checkpoint" = the classic rollback path).  Only CG
+    #: implements the reconstruction protocol, so other apps always run
+    #: under checkpoint/restart regardless of this knob.
+    cg_recovery: str = "reconstruct"
     #: "calibrated" charges the regression cluster profile so latency and
     #: throughput are meaningful; "zero" runs in zero virtual time (pure
     #: invariant checking).
@@ -112,6 +121,10 @@ class ServiceConfig:
         require(
             self.cost_profile in ("calibrated", "zero"),
             "cost_profile must be 'calibrated' or 'zero'",
+        )
+        require(
+            self.cg_recovery in RECOVERY_MODES,
+            f"cg_recovery must be one of {RECOVERY_MODES}",
         )
         for app in self.apps:
             require(app in SERVICE_APPS, f"unknown app {app!r}")
@@ -169,6 +182,11 @@ class ServiceReport:
         return self.completed / self.admitted if self.admitted else 0.0
 
     @property
+    def reconstructions(self) -> int:
+        """Checkpoint-free recoveries across the stream (CG tenants)."""
+        return sum(j.reconstructions for j in self.jobs)
+
+    @property
     def degraded(self) -> int:
         """Completed jobs that shrank below their requested width."""
         return sum(
@@ -202,6 +220,7 @@ class ServiceReport:
             "violations": len(self.violations),
             "total_kills": self.total_kills,
             "borrows": self.borrows,
+            "reconstructions": self.reconstructions,
         }
 
     def summary(self) -> str:
@@ -409,6 +428,9 @@ class ClusterService:
                     placement=make_placement(cfg.placement),
                     stable_fallback=cfg.stable_fallback,
                 )
+                recovery = (
+                    cfg.cg_recovery if job.app == "cg" else "checkpoint"
+                )
                 report = IterativeExecutor(
                     rt,
                     app,
@@ -419,8 +441,12 @@ class ClusterService:
                     max_restore_attempts=cfg.max_restore_attempts,
                     detector=detector,
                     lease=lease,
+                    replicas=cfg.replicas,
+                    placement=make_placement(cfg.placement),
+                    recovery=recovery,
                 ).run()
                 result.restores = report.restores
+                result.reconstructions = report.reconstructions
                 result.failures_observed = report.failures_observed
                 result.final_places = report.final_group_size
                 baseline = self.baselines.get(job.app, job.places, job.iterations)

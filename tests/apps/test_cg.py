@@ -1,0 +1,129 @@
+"""Tests for the CG application against NumPy references."""
+
+import numpy as np
+import pytest
+
+from repro.apps.data import CGWorkload
+from repro.apps.nonresilient.cg import CGNonResilient
+from repro.apps.resilient.cg import CGResilient
+from repro.resilience.executor import IterativeExecutor, NonResilientExecutor
+from repro.runtime import CostModel, Runtime
+
+
+def small_wl(iterations=10, **kw):
+    return CGWorkload(rows_per_place=24, stride=7, iterations=iterations, **kw)
+
+
+def make_rt(n=3, **kw):
+    return Runtime(n, cost=CostModel.zero(), **kw)
+
+
+def dense_system(wl, places):
+    n = wl.rows(places)
+    A = np.asarray(wl.band(n, 0, n).to_dense().data)
+    return A, wl.rhs(n)
+
+
+def numpy_pcg(A, b, inv_diag, iterations):
+    """The same Jacobi-PCG recurrence, in plain NumPy."""
+    x = np.zeros_like(b)
+    r = b.copy()
+    z = r * inv_diag
+    p = z.copy()
+    rz = r @ z
+    for _ in range(iterations):
+        q = A @ p
+        alpha = rz / (q @ p)
+        x += alpha * p
+        r -= alpha * q
+        z = r * inv_diag
+        rz_new = r @ z
+        beta = rz_new / rz if rz else 0.0
+        p = z + beta * p
+        rz = rz_new
+    return x
+
+
+class TestWorkload:
+    def test_matrix_is_spd(self):
+        wl = small_wl()
+        A, _ = dense_system(wl, 3)
+        assert np.array_equal(A, A.T)
+        assert np.linalg.eigvalsh(A).min() > 0
+
+    def test_band_is_partition_independent(self):
+        wl = small_wl()
+        n = wl.rows(3)
+        whole = np.asarray(wl.band(n, 0, n).to_dense().data)
+        for lo, hi in ((0, 24), (24, 48), (48, 72)):
+            band = np.asarray(wl.band(n, lo, hi).to_dense().data)
+            assert np.array_equal(band, whole[lo:hi])
+
+
+class TestAlgorithm:
+    def test_matches_numpy_pcg(self):
+        wl = small_wl(iterations=12)
+        rt = make_rt(3)
+        app = CGNonResilient(rt, wl)
+        A, b = dense_system(wl, 3)
+        app.run()
+        ref = numpy_pcg(A, b, 1.0 / wl.diagonal(wl.rows(3)), 12)
+        assert np.allclose(app.solution(), ref, atol=1e-10)
+
+    def test_converges_to_solution(self):
+        wl = small_wl(iterations=80)
+        rt = make_rt(2)
+        app = CGNonResilient(rt, wl)
+        A, b = dense_system(wl, 2)
+        app.run()
+        assert np.allclose(app.solution(), np.linalg.solve(A, b), atol=1e-8)
+
+    def test_residual_norm_decreases(self):
+        rt = make_rt(3)
+        app = CGNonResilient(rt, small_wl(iterations=20))
+        norms = [app.residual_norm()]
+        for _ in range(20):
+            app.step()
+            norms.append(app.residual_norm())
+        assert norms[-1] < 1e-3 * norms[0]
+
+    def test_tolerance_stops_early(self):
+        rt = make_rt(2)
+        app = CGNonResilient(rt, small_wl(iterations=200, tolerance=1e-6))
+        app.run()
+        assert app.iteration < 200
+        assert app.residual_norm() <= 1e-6 * np.sqrt(app.rz0)
+
+    def test_resilient_equals_nonresilient_without_failure(self):
+        wl = small_wl(iterations=8)
+        rt1, rt2 = make_rt(3), make_rt(3, resilient=True)
+        a = CGNonResilient(rt1, wl)
+        NonResilientExecutor(rt1, a).run()
+        b = CGResilient(rt2, wl)
+        IterativeExecutor(rt2, b, checkpoint_interval=3).run()
+        assert np.array_equal(a.solution(), b.solution())
+
+    def test_reconstruct_mode_bit_equal_without_failure(self):
+        # The redundancy publishes must not perturb the trajectory.
+        wl = small_wl(iterations=8)
+        rt1, rt2 = make_rt(3), make_rt(3, resilient=True)
+        a = CGNonResilient(rt1, wl)
+        NonResilientExecutor(rt1, a).run()
+        b = CGResilient(rt2, wl)
+        report = IterativeExecutor(
+            rt2, b, checkpoint_interval=3, recovery="reconstruct"
+        ).run()
+        assert report.reconstructions == 0
+        assert report.redundancy_bytes > 0
+        assert np.array_equal(a.solution(), b.solution())
+
+    def test_trajectory_is_group_width_reproducible(self):
+        wl = small_wl(iterations=9)
+        runs = []
+        for _ in range(2):
+            rt = make_rt(3)
+            app = CGNonResilient(rt, wl)
+            app.run()
+            runs.append((app.solution(), app.rz))
+        assert np.array_equal(runs[0][0], runs[1][0])
+        assert runs[0][1] == runs[1][1]

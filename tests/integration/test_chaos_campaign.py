@@ -13,9 +13,16 @@ campaign runner asserts, per schedule, that
 * ``DataLossError`` never escapes a store with the stable-storage tier.
 """
 
+import numpy as np
 import pytest
 
-from repro.chaos import CampaignConfig, run_campaign
+from repro.chaos import (
+    CampaignConfig,
+    dedupe_schedule,
+    make_schedule,
+    run_campaign,
+)
+from repro.runtime.failure import ScriptedKill
 
 SCHEDULES = 200
 
@@ -148,3 +155,67 @@ def test_summary_mentions_every_status():
     assert "schedules=30" in text
     for status in result.counts():
         assert status in text
+
+
+class TestDedupeSchedule:
+    # Regression surfaced by simultaneous-kill support: the "double" kind
+    # draws its two victims with replacement, so a raw schedule can name
+    # the same place twice — the injector rejects a second kill for a
+    # condemned victim, so the schedule must be deduplicated first.
+
+    def test_same_instant_duplicate_dropped(self):
+        kills = [
+            ScriptedKill(place_id=3, iteration=4),
+            ScriptedKill(place_id=3, iteration=4),
+        ]
+        assert dedupe_schedule(kills) == kills[:1]
+
+    def test_first_kill_per_place_wins(self):
+        kills = [
+            ScriptedKill(place_id=2, iteration=1),
+            ScriptedKill(place_id=4, during="checkpoint", occurrence=1),
+            ScriptedKill(place_id=2, phase=17),
+            ScriptedKill(place_id=4, iteration=8),
+        ]
+        assert dedupe_schedule(kills) == kills[:2]
+
+    def test_distinct_victims_untouched(self):
+        kills = [
+            ScriptedKill(place_id=1, iteration=2),
+            ScriptedKill(place_id=2, iteration=2),
+            ScriptedKill(place_id=3, during="restore"),
+        ]
+        assert dedupe_schedule(kills) == kills
+
+    def test_make_schedule_never_emits_duplicate_victims(self):
+        # Over many seeds (the "double" kind fires often enough to
+        # collide), every drawn schedule must be duplicate-free and never
+        # touch place zero.
+        for seed in range(300):
+            rng = np.random.default_rng(seed)
+            kills = make_schedule(rng, places=6, iterations=10)
+            victims = [k.place_id for k in kills]
+            assert len(victims) == len(set(victims)), f"seed {seed}: {victims}"
+            assert 0 not in victims
+
+
+def test_campaign_cg_reconstruct():
+    # The checkpoint-free ladder under randomized bursts (single kills,
+    # adjacent pairs, racks, kills inside checkpoints / restores /
+    # reconstructions): covered bursts recover with zero rolled-back
+    # iterations, anything beyond the redundancy falls back to rollback,
+    # and classic invariants hold throughout.
+    result = run_campaign(
+        CampaignConfig(
+            app="cg",
+            schedules=60,
+            seed=7,
+            replicas=2,
+            placement="spread",
+            spares=6,
+            recovery="reconstruct",
+        )
+    )
+    assert result.violations == [], result.summary()
+    assert result.counts().get("recovered", 0) > 0
+    assert "recovery=reconstruct" in result.summary()

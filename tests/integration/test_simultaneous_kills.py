@@ -1,0 +1,130 @@
+"""Simultaneous multi-place failures under classic checkpoint/restart.
+
+The reconstruct work surfaced a family of burst patterns (adjacent pairs,
+racks, kills landing inside a restore) that the *existing* rollback path
+must also survive: one restore handles every death the triggering event
+reported, the restore-retry loop absorbs kills landing mid-recovery, and
+a detector must be able to confirm two deaths from a single event.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.data import PageRankWorkload, RegressionWorkload
+from repro.apps.nonresilient import LinRegNonResilient, PageRankNonResilient
+from repro.apps.resilient import LinRegResilient, PageRankResilient
+from repro.resilience.executor import IterativeExecutor, RestoreMode
+from repro.resilience.placement import SpreadPlacement
+from repro.runtime import CostModel, Runtime
+from repro.runtime.detector import PhiAccrualDetector
+
+PLACES = 6
+ITER = 12
+REG_WL = RegressionWorkload(
+    features=8, examples_per_place=32, iterations=ITER, blocks_per_place=2
+)
+PR_WL = PageRankWorkload(
+    nodes_per_place=24, out_degree=4, iterations=ITER, blocks_per_place=2
+)
+
+
+def baseline(NonRes, wl, get, places=PLACES):
+    rt = Runtime(places, cost=CostModel.zero())
+    app = NonRes(rt, wl)
+    app.run()
+    return get(app)
+
+
+@pytest.mark.parametrize("victims", [(2, 3), (1, 4)], ids=["adjacent", "spread"])
+def test_pair_kill_one_restore(victims):
+    # Two deaths in one iteration arrive as one MultipleException: a
+    # single restore (with two spares installed) must recover both.
+    ref = baseline(LinRegNonResilient, REG_WL, lambda a: a.model())
+    rt = Runtime(PLACES, cost=CostModel.zero(), resilient=True, spares=2)
+    app = LinRegResilient(rt, REG_WL)
+    for victim in victims:
+        rt.injector.kill_at_iteration(victim, iteration=6)
+    report = IterativeExecutor(
+        rt,
+        app,
+        checkpoint_interval=4,
+        mode=RestoreMode.REPLACE_REDUNDANT,
+        replicas=2,
+        placement=SpreadPlacement(),
+    ).run()
+    assert report.restores == 1
+    assert report.failures_observed >= 2
+    assert report.final_group_size == PLACES
+    assert np.array_equal(app.model(), ref)
+
+
+def test_rack_kill_shrinks_once():
+    # A three-place rack burst with no spares: one shrink restore drops
+    # all three victims together, not one at a time.
+    ref = baseline(PageRankNonResilient, PR_WL, lambda a: a.ranks())
+    rt = Runtime(PLACES, cost=CostModel.zero(), resilient=True)
+    app = PageRankResilient(rt, PR_WL)
+    for victim in (2, 3, 4):
+        rt.injector.kill_at_iteration(victim, iteration=6)
+    report = IterativeExecutor(
+        rt,
+        app,
+        checkpoint_interval=4,
+        mode=RestoreMode.SHRINK_REBALANCE,
+        replicas=3,
+        placement=SpreadPlacement(),
+    ).run()
+    assert report.restores == 1
+    assert report.final_group_size == PLACES - 3
+    assert np.allclose(app.ranks(), ref, atol=1e-8)
+
+
+def test_pair_kill_during_restore_retries():
+    # A second pair landing inside the restore itself: the retry loop
+    # must fold the new deaths into the next attempt.  The aborted
+    # attempt's two claimed spares cannot be returned, so the retry needs
+    # three fresh ones: 5 in the pool keeps the group at full width.
+    ref = baseline(PageRankNonResilient, PR_WL, lambda a: a.ranks())
+    rt = Runtime(PLACES, cost=CostModel.zero(), resilient=True, spares=5)
+    app = PageRankResilient(rt, PR_WL)
+    for victim in (1, 2):
+        rt.injector.kill_at_iteration(victim, iteration=5)
+    rt.injector.kill_during(4, context="restore")
+    report = IterativeExecutor(
+        rt,
+        app,
+        checkpoint_interval=3,
+        mode=RestoreMode.REPLACE_REDUNDANT,
+        replicas=3,
+        placement=SpreadPlacement(),
+    ).run()
+    assert report.restores == 1
+    assert report.aborted_restores >= 1
+    assert report.final_group_size == PLACES
+    assert np.array_equal(app.ranks(), ref)
+
+
+def test_detector_confirms_two_deaths_in_one_event():
+    # With a detector attached, a simultaneous pair must be confirmed and
+    # evicted as two deaths of one recovery round — no split restores, no
+    # false positives.
+    ref = baseline(LinRegNonResilient, REG_WL, lambda a: a.model())
+    rt = Runtime(PLACES, cost=CostModel(latency=0.01), resilient=True, spares=2)
+    app = LinRegResilient(rt, REG_WL)
+    for victim in (2, 4):
+        rt.injector.kill_at_iteration(victim, iteration=6)
+    detector = PhiAccrualDetector(rt, detect_timeout=1.0)
+    report = IterativeExecutor(
+        rt,
+        app,
+        checkpoint_interval=4,
+        mode=RestoreMode.REPLACE_REDUNDANT,
+        replicas=2,
+        placement=SpreadPlacement(),
+        detector=detector,
+    ).run()
+    assert report.evictions == 2
+    assert report.false_positive_evictions == 0
+    assert report.restores == 1
+    assert report.detection_wait_time > 0.0
+    np.testing.assert_allclose(app.model(), ref, atol=1e-8)

@@ -27,7 +27,7 @@ class TestCalibration:
         assert calibration.pagerank_cost().logical_scale == calibration.PAGERANK_SCALE
 
     def test_registry_covers_all_apps(self):
-        assert set(APP_REGISTRY) == {"linreg", "logreg", "pagerank", "gnmf"}
+        assert set(APP_REGISTRY) == {"linreg", "logreg", "pagerank", "gnmf", "cg"}
 
 
 class TestOverheadSweep:
