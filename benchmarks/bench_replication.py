@@ -16,11 +16,16 @@ Two facets of the k-replica snapshot store on the LinReg workload:
 Writes ``results/replication.csv``.
 """
 
+import json
+import os
+
+import pytest
+
 from _common import emit, results_path
 from repro.apps.resilient import LinRegResilient
 from repro.bench import figures
 from repro.bench.calibration import regression_bench_workload, regression_cost
-from repro.resilience.executor import IterativeExecutor
+from repro.resilience.executor import IterativeExecutor, RestoreMode
 from repro.resilience.placement import make_placement
 from repro.runtime import Runtime
 
@@ -120,3 +125,155 @@ def test_replication_sweep(benchmark):
         assert (r["disk_reads"] > 0) == (k < 2)
         # ...and recovering beats restarting the whole run from scratch.
         assert r["recovery_s"] < baseline
+
+
+# -- bytes-vs-recoverability frontier: replicas K vs parity groups G ----------
+#
+# The frontier the parity tier was built for: per-key replication multiplies
+# checkpoint bytes by (K+1) to survive K losses per key, while one XOR block
+# per G partitions survives any single loss per group at ~(1 + 1/G)x.  Each
+# configuration is charged its physical checkpoint bytes and then faces the
+# same set of single-kill schedules; "survived" means the run finished and
+# "in memory" means it never read the stable-storage tier.
+#
+# Writes ``results/parity.csv`` and ``BENCH_parity.json``.
+
+FRONTIER = [
+    ("k=1", 1, "spread"),
+    ("k=2", 2, "spread"),
+    ("k=3", 3, "spread"),
+    ("parity:2", 1, "parity:2"),
+    ("parity:4", 1, "parity:4"),
+    ("parity:8", 1, "parity:8"),
+]
+SINGLE_KILL_VICTIMS = [1, 3, 6, 9, 11]
+
+
+def _frontier_executor(rt: Runtime, replicas: int, placement: str):
+    app = LinRegResilient(rt, regression_bench_workload(ITERATIONS))
+    return IterativeExecutor(
+        rt,
+        app,
+        checkpoint_interval=INTERVAL,
+        mode=RestoreMode.REPLACE_REDUNDANT,
+        replicas=replicas,
+        placement=make_placement(placement),
+    )
+
+
+def stored_bytes(replicas: int, placement: str) -> dict:
+    """Failure-free run: physical checkpoint footprint across all tiers."""
+    rt = Runtime(PLACES, cost=regression_cost(), resilient=True)
+    executor = _frontier_executor(rt, replicas, placement)
+    report = executor.run()
+    return {
+        "stored_bytes": executor.store.total_stored_bytes(),
+        "checkpoint_s": report.checkpoint_durations[0],
+    }
+
+
+def single_kill(replicas: int, placement: str, victim: int) -> dict:
+    rt = Runtime(PLACES, cost=regression_cost(), resilient=True, spares=1)
+    executor = _frontier_executor(rt, replicas, placement)
+    rt.injector.kill_at_iteration(victim, iteration=INTERVAL + 1)
+    try:
+        report = executor.run()
+    except Exception:  # DataLossError: the code was too weak for the kill
+        return {"survived": False, "in_memory": False, "recovery_s": None}
+    return {
+        "survived": True,
+        "in_memory": report.stable_fallback_reads == 0,
+        "recovery_s": report.restore_time + report.lost_time,
+        "parity_reconstructions": report.parity_reconstructions,
+    }
+
+
+def run_frontier():
+    baseline = stored_bytes(0, "spread")["stored_bytes"]  # 1x logical bytes
+    cells = {}
+    for name, replicas, placement in FRONTIER:
+        cell = stored_bytes(replicas, placement)
+        cell["bytes_ratio"] = cell["stored_bytes"] / baseline
+        cell["kills"] = {
+            victim: single_kill(replicas, placement, victim)
+            for victim in SINGLE_KILL_VICTIMS
+        }
+        cells[name] = cell
+    return baseline, cells
+
+
+def test_parity_frontier(benchmark):
+    baseline, cells = benchmark.pedantic(run_frontier, rounds=1, iterations=1)
+
+    lines = [
+        f"LinReg @ {PLACES} places, single kill at iteration {INTERVAL + 1} "
+        f"(victims {SINGLE_KILL_VICTIMS}); bytes relative to the "
+        "redundancy-free checkpoint:",
+        "config     bytes x  ckpt(s)  survived  in-memory",
+    ]
+    for name, _, _ in FRONTIER:
+        cell = cells[name]
+        kills = cell["kills"].values()
+        survived = sum(k["survived"] for k in kills)
+        memory = sum(k["in_memory"] for k in kills)
+        lines.append(
+            f"{name:9s}  {cell['bytes_ratio']:6.3f}  {cell['checkpoint_s']:7.3f}"
+            f"  {survived}/{len(cell['kills'])}       {memory}/{len(cell['kills'])}"
+        )
+    names = [name for name, _, _ in FRONTIER]
+    csv = figures.write_csv(
+        results_path("parity.csv"),
+        names,
+        {
+            "bytes_ratio": [cells[n]["bytes_ratio"] for n in names],
+            "checkpoint_s": [cells[n]["checkpoint_s"] for n in names],
+            "survived_single_kills": [
+                float(sum(k["survived"] for k in cells[n]["kills"].values()))
+                for n in names
+            ],
+            "in_memory_recoveries": [
+                float(sum(k["in_memory"] for k in cells[n]["kills"].values()))
+                for n in names
+            ],
+        },
+        x_name="config",
+    )
+    lines.append(f"series written to {csv}")
+    emit("Bytes-vs-recoverability frontier — replicas K vs parity G", "\n".join(lines))
+
+    bench_json = os.path.abspath(
+        os.path.join(os.path.dirname(results_path("x")), os.pardir, "BENCH_parity.json")
+    )
+    with open(bench_json, "w", encoding="utf-8") as fh:
+        json.dump(
+            {
+                "config": {
+                    "places": PLACES,
+                    "iterations": ITERATIONS,
+                    "interval": INTERVAL,
+                    "victims": SINGLE_KILL_VICTIMS,
+                    "baseline_bytes": baseline,
+                },
+                "frontier": cells,
+            },
+            fh,
+            indent=2,
+        )
+
+    # Replication pays (K+1)x; every parity group beats even K=1.
+    for k in (1, 2, 3):
+        assert cells[f"k={k}"]["bytes_ratio"] == pytest.approx(k + 1)
+    assert cells["parity:8"]["bytes_ratio"] < cells["parity:4"]["bytes_ratio"]
+    assert cells["parity:4"]["bytes_ratio"] < cells["parity:2"]["bytes_ratio"]
+    assert cells["parity:2"]["bytes_ratio"] < cells["k=1"]["bytes_ratio"]
+    # The ISSUE bar: parity:4 at <= 1.35x the redundancy-free bytes...
+    assert cells["parity:4"]["bytes_ratio"] <= 1.35
+    # ...while matching k=2's survival on every single-kill schedule,
+    # recovering in memory via XOR (never touching the disk tier).
+    for victim in SINGLE_KILL_VICTIMS:
+        reference = cells["k=2"]["kills"][victim]
+        assert reference["survived"] and reference["in_memory"]
+        for g in (2, 4, 8):
+            kill = cells[f"parity:{g}"]["kills"][victim]
+            assert kill["survived"] and kill["in_memory"]
+            assert kill["parity_reconstructions"] >= 1

@@ -52,7 +52,7 @@ from repro.resilience.executor import (
     NonResilientExecutor,
     RestoreMode,
 )
-from repro.resilience.placement import make_placement
+from repro.resilience.placement import ParityPlacement, make_placement
 from repro.resilience.store import AppResilientStore
 from repro.runtime.cost import CostModel
 from repro.runtime.detector import PhiAccrualDetector
@@ -169,6 +169,17 @@ class CampaignConfig:
     #: (checkpoint-free, apps implementing the reconstructable protocol
     #: only — checkpoint/restart stays as the fallback rung).
     recovery: str = "checkpoint"
+
+    def __post_init__(self) -> None:
+        # Fail fast (in the parent process, not inside pool workers) on a
+        # bad placement spec or on parity double-paying for protection.
+        policy = make_placement(self.placement)
+        if isinstance(policy, ParityPlacement) and self.replicas > 1:
+            raise ValueError(
+                "placement=parity replaces per-key replicas with one XOR "
+                f"parity block per group; replicas must be <= 1, got "
+                f"{self.replicas}"
+            )
 
     @property
     def transient(self) -> bool:
@@ -357,6 +368,57 @@ def _failure_free_result(config: CampaignConfig) -> np.ndarray:
     return np.asarray(result_of(app))
 
 
+def _parity_recovery_sets(config: CampaignConfig) -> Optional[List[set]]:
+    """Per-parity-group recovery sets over the initial world, or None when
+    the campaign does not run a parity placement.
+
+    A group's recovery set is its member places plus the place holding its
+    XOR parity block: losing any *one* of them is recoverable from memory,
+    losing two before a repair pass is the documented loss mode.
+    """
+    policy = make_placement(config.placement)
+    if not isinstance(policy, ParityPlacement):
+        return None
+    size = config.places
+    span = policy.group_span(size)
+    sets = []
+    for start in range(0, size, span):
+        members = list(range(start, min(start + span, size)))
+        sets.append(set(members) | {policy.parity_index(start, len(members), size)})
+    return sets
+
+
+def _parity_covered(
+    config: CampaignConfig, kills: List[ScriptedKill], mode: RestoreMode
+) -> bool:
+    """True when parity alone *must* absorb this schedule in memory.
+
+    Covered means: a parity campaign with no transient axes, every kill
+    landing at a loop top (iteration-triggered — mid-protocol kills can
+    compound an in-flight recovery), spares covering every replacement
+    (so the post-restore scrub re-materializes lost copies between
+    bursts), and no single burst taking two places of any parity group's
+    recovery set.
+    """
+    sets = _parity_recovery_sets(config)
+    if sets is None or config.transient:
+        return False
+    if mode is not RestoreMode.REPLACE_REDUNDANT:
+        return False
+    if not kills or any(k.iteration is None for k in kills):
+        return False
+    if len(kills) > config.spares:
+        return False
+    bursts: Dict[int, set] = {}
+    for kill in kills:
+        bursts.setdefault(kill.iteration, set()).add(kill.place_id)
+    for victims in bursts.values():
+        for group in sets:
+            if len(group & victims) > 1:
+                return False
+    return True
+
+
 def run_schedule(
     config: CampaignConfig,
     index: int,
@@ -464,7 +526,15 @@ def run_schedule(
             or "consecutive times" in message
             or not config.stable_fallback
         )
-        if documented:
+        if _parity_covered(config, kills, mode):
+            # No burst cost any parity group two places, so every loss was
+            # XOR-recoverable: reaching DataLossError anyway is a hole in
+            # the parity ladder, not a documented outcome.
+            outcome.violations.append(
+                f"single-loss-per-group parity schedule lost data: {message}"
+            )
+            outcome.status = "data_loss"
+        elif documented:
             outcome.status = "data_loss_accepted"
         else:
             # The stable tier exists precisely so in-memory loss is
@@ -579,6 +649,21 @@ def run_schedule(
                     f"covered burst lost iterations anyway (rolled back to "
                     f"{report.restored_iterations})"
                 )
+
+    # Invariant 8 (parity campaigns): a schedule whose bursts cost each
+    # parity group at most one place recovers from the XOR rung — never
+    # from disk — and any restore it needed actually reconstructed.
+    if _parity_covered(config, fired, mode):
+        if report.stable_fallback_reads:
+            outcome.violations.append(
+                f"parity-covered schedule read the disk tier "
+                f"{report.stable_fallback_reads} time(s)"
+            )
+        if report.restores and not report.parity_reconstructions:
+            outcome.violations.append(
+                "parity-covered schedule restored without a single XOR "
+                "reconstruction"
+            )
 
     recovered = (
         report.failures_observed

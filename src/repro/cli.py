@@ -144,9 +144,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--placement",
-        choices=sorted(PLACEMENTS),
+        type=str,
         default=None,
-        help="replica placement policy (default: ring, the paper's scheme)",
+        metavar="POLICY",
+        help="replica placement policy, optionally parameterized "
+        f"({', '.join(sorted(PLACEMENTS))}; e.g. stride:3, parity:4 — "
+        "parity stores one XOR block per g partitions instead of replicas; "
+        "default: ring, the paper's scheme)",
     )
     run.add_argument(
         "--stable-fallback",
@@ -252,8 +256,20 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--places", type=int, default=6)
     chaos.add_argument("--iterations", type=int, default=10)
     chaos.add_argument("--ckpt-interval", type=int, default=3)
-    chaos.add_argument("--replicas", type=int, default=2)
-    chaos.add_argument("--placement", choices=sorted(PLACEMENTS), default="spread")
+    chaos.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        metavar="K",
+        help="backup replicas per partition (default: 2, or 1 with parity)",
+    )
+    chaos.add_argument(
+        "--placement",
+        type=str,
+        default="spread",
+        metavar="POLICY",
+        help="placement policy, optionally parameterized (e.g. parity:4)",
+    )
     chaos.add_argument("--stable-fallback", action="store_true")
     chaos.add_argument("--spares", type=int, default=0)
     chaos.add_argument("--drop-rate", type=float, default=0.0, metavar="P")
@@ -322,8 +338,28 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--arrival-rate", type=float, default=1.0, metavar="R")
     serve.add_argument("--max-job-places", type=int, default=6)
     serve.add_argument("--ckpt-interval", type=int, default=3)
-    serve.add_argument("--replicas", type=int, default=2)
-    serve.add_argument("--placement", choices=sorted(PLACEMENTS), default="spread")
+    serve.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        metavar="K",
+        help="backup replicas per partition (default: 2, or 1 with parity)",
+    )
+    serve.add_argument(
+        "--placement",
+        type=str,
+        default="spread",
+        metavar="POLICY",
+        help="placement policy, optionally parameterized (e.g. parity:4)",
+    )
+    serve.add_argument(
+        "--repair-mttr",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="heal killed places back into the pool after a seeded "
+        "exponential mean-time-to-repair (0 = places stay dead)",
+    )
     serve.add_argument("--crash-rate", type=float, default=0.0, metavar="P")
     serve.add_argument("--pair-rate", type=float, default=0.0, metavar="R")
     serve.add_argument("--rack-rate", type=float, default=0.0, metavar="R")
@@ -356,6 +392,34 @@ def _cmd_list() -> int:
     print("applications:", ", ".join(sorted(APP_REGISTRY)))
     print("experiments: ", ", ".join(sorted(SWEEPS)))
     return 0
+
+
+def _resolve_replicas(replicas: Optional[int], placement: Optional[str]) -> int:
+    """Default ``--replicas`` per placement policy.
+
+    Parity replaces per-key replicas with one XOR block per group, so it
+    defaults to 1 (the primary only) where replica placements default to 2;
+    parity combined with more than one replica is a configuration error.
+    """
+    if placement:
+        try:
+            make_placement(placement)  # fail fast on a bad spec
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            raise SystemExit(2) from None
+    parity = bool(placement) and placement.split(":", 1)[0] == "parity"
+    if replicas is None:
+        return 1 if parity else 2
+    if parity and replicas > 1:
+        print(
+            f"error: --placement {placement} stores one XOR parity block "
+            f"per group instead of per-key replicas; --replicas {replicas} "
+            "would double-pay for protection. Use --replicas 1 (or shrink "
+            "the group via parity:g).",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    return replicas
 
 
 def _parse_stragglers(specs: Optional[List[str]]) -> List[tuple]:
@@ -425,6 +489,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             if args.corrupt
             else None
         )
+        if args.placement:
+            # Validate the spec (and parity/replicas compatibility) before
+            # building anything; replicas=None still means "object default".
+            _resolve_replicas(args.replicas, args.placement)
         executor = IterativeExecutor(
             rt,
             app,
@@ -596,7 +664,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             places=args.places,
             iterations=args.iterations,
             checkpoint_interval=args.ckpt_interval,
-            replicas=args.replicas,
+            replicas=_resolve_replicas(args.replicas, args.placement),
             placement=args.placement,
             stable_fallback=args.stable_fallback,
             spares=args.spares,
@@ -628,8 +696,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         arrival_rate=args.arrival_rate,
         max_places=args.max_job_places,
         checkpoint_interval=args.ckpt_interval,
-        replicas=args.replicas,
+        replicas=_resolve_replicas(args.replicas, args.placement),
         placement=args.placement,
+        repair_mttr=args.repair_mttr,
         crash_rate=args.crash_rate,
         pair_rate=args.pair_rate,
         rack_rate=args.rack_rate,

@@ -89,6 +89,17 @@ class Scheduler:
                 resource.retire()
         self._pending_arrivals.pop(place_id, None)
 
+    def revive_place(self, place_id: int) -> None:
+        """Return a purged place to service (pool repair).
+
+        The place's per-place resources were popped at purge time, so
+        :meth:`resource` lazily recreates fresh ones (empty frontiers) on
+        first use; all that is needed here is lifting the death mark.  The
+        caller re-registers the clock via ``set_at_least`` — the timeline
+        itself was never dropped.
+        """
+        self._dead.discard(place_id)
+
     def is_place_dead(self, place_id: int) -> bool:
         return place_id in self._dead
 

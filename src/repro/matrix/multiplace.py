@@ -60,6 +60,23 @@ class MultiPlaceObject(Snapshottable):
             from repro.resilience.stable import StableObjectSnapshot
 
             return StableObjectSnapshot(self.runtime, self.group, meta)
+        from repro.resilience.placement import ParityPlacement
+
+        if isinstance(self.snapshot_placement, ParityPlacement):
+            from repro.resilience.parity import ParityObjectSnapshot
+
+            require(
+                self.snapshot_backups <= 1,
+                "parity placement replaces per-key replicas; configure "
+                "replicas=1 (backups=0) with placement=parity[:g]",
+            )
+            return ParityObjectSnapshot(
+                self.runtime,
+                self.group,
+                meta,
+                placement=self.snapshot_placement,
+                stable_fallback=self.snapshot_stable_fallback,
+            )
         return DistObjectSnapshot(
             self.runtime,
             self.group,

@@ -51,7 +51,7 @@ from repro.resilience.iterative import (
     ResilientIterativeApp,
     RestoreContext,
 )
-from repro.resilience.placement import ReplicaPlacement
+from repro.resilience.placement import ParityPlacement, ReplicaPlacement
 from repro.resilience.reconstruct import ReconstructionStore
 from repro.resilience.store import AppResilientStore
 from repro.runtime.detector import PhiAccrualDetector
@@ -162,6 +162,18 @@ class ExecutionReport:
     redundancy_bytes: float = 0.0
     #: Static snapshot copies re-replicated after reconstructions.
     repaired_static_keys: int = 0
+    #: Restore reads served by XOR-reconstructing a partition from its
+    #: parity group (the erasure-coded rung between replicas and disk).
+    parity_reconstructions: int = 0
+    #: Scrub/repair passes run after replace-mode restores.
+    scrubs: int = 0
+    #: Scrub passes aborted by a further failure (the restore-retry loop
+    #: folds the new deaths into the next recovery round).
+    aborted_scrubs: int = 0
+    #: Virtual time spent in scrub/repair passes.
+    scrub_time: float = 0.0
+    #: Copies (primaries + parity blocks) re-materialized by scrubs.
+    scrub_repaired_copies: int = 0
 
     @property
     def checkpoint_pct(self) -> float:
@@ -232,6 +244,13 @@ class IterativeExecutor:
                 isinstance(app, ReconstructableIterativeApp),
                 "recovery='reconstruct' needs a ReconstructableIterativeApp "
                 "(publish_redundant/reconstruct)",
+            )
+            require(
+                not isinstance(placement, ParityPlacement),
+                "recovery='reconstruct' publishes per-key replicas whose "
+                "placement mirrors the checkpoint store's; parity placement "
+                "applies to snapshot stores only — use recovery='checkpoint' "
+                "with placement=parity[:g]",
             )
         self.runtime = runtime
         self.app = app
@@ -429,6 +448,7 @@ class IterativeExecutor:
         # Runtime-global counters are recorded as deltas over this run, so
         # a report stays per-job when several executors share one runtime.
         fallback_base = rt.stats.stable_fallback_reads
+        parity_base = rt.stats.parity_reconstructions
         faults_base = (
             (rt.faults.dropped, rt.faults.retransmissions,
              rt.faults.duplicates, rt.faults.timeouts)
@@ -613,8 +633,51 @@ class IterativeExecutor:
                         continue
                     finally:
                         rt.injector.exit_context("restore")
+                    restore_dt = rt.now() - t0
+                    # Scrub/repair pass: with spares installed at the dead
+                    # members' indices, re-materialize the copies the
+                    # failure destroyed (missing primaries, lost parity
+                    # blocks) so the *next* failure faces a fully redundant
+                    # checkpoint again.  Shrink modes skip it — the old
+                    # snapshot's homes are gone for good and the next
+                    # checkpoint over the shrunken group supersedes it.
+                    if effective_mode in (
+                        RestoreMode.REPLACE_REDUNDANT,
+                        RestoreMode.REPLACE_ELASTIC,
+                    ):
+                        t_scrub = rt.now()
+                        rt.injector.enter_context("scrub")
+                        try:
+                            repaired = 0
+                            for snap in self.store.latest().all_snapshots():
+                                # Scrubbing runs between finishes, so due
+                                # context kills are polled explicitly.
+                                rt.poll_failures()
+                                repair = getattr(snap, "repair", None)
+                                if repair is not None:
+                                    repaired += repair(new_group)
+                        except (DeadPlaceException, MultipleException) as again:
+                            # A kill mid-scrub: the restored state may span
+                            # the new victims, so go around the full loop —
+                            # another restore, then another scrub.
+                            report.scrub_time += rt.now() - t_scrub
+                            report.aborted_scrubs += 1
+                            report.failures_observed += len(again.places)
+                            if self.detector is not None:
+                                confirmed, _, waited = self.detector.resolve(
+                                    again.places
+                                )
+                                report.detection_wait_time += waited
+                                for pid in confirmed:
+                                    self._evict(pid, report)
+                            continue
+                        finally:
+                            rt.injector.exit_context("scrub")
+                        report.scrubs += 1
+                        report.scrub_repaired_copies += repaired
+                        report.scrub_time += rt.now() - t_scrub
                     break
-                dt = rt.now() - t0
+                dt = restore_dt
                 report.restore_time += dt
                 report.restore_durations.append(dt)
                 report.restores += 1
@@ -634,6 +697,9 @@ class IterativeExecutor:
         report.final_group_size = self.app.places.size
         report.pending_kills = rt.injector.unfired()
         report.stable_fallback_reads = rt.stats.stable_fallback_reads - fallback_base
+        report.parity_reconstructions = (
+            rt.stats.parity_reconstructions - parity_base
+        )
         report.quarantined_copies = self.store.quarantined_copies()
         report.ckpt_clean_partitions = self.store.delta_clean_partitions
         report.ckpt_dirty_partitions = self.store.delta_dirty_partitions

@@ -1,0 +1,628 @@
+"""Erasure-coded parity tier for the snapshot store (ROADMAP item 1).
+
+Replication pays ``k x`` checkpoint bytes to survive ``k`` losses per key.
+ReStore (arXiv:2203.01107) and the extreme-scale multigrid resilience work
+(arXiv:1506.06185) both observe that *single* losses — by far the common
+case — are recoverable from a parity code at a fraction of that footprint.
+:class:`ParityObjectSnapshot` implements the XOR variant: partitions are
+grouped in runs of ``g`` consecutive group indices, and each group stores
+one parity block — the XOR of the members' serialized bytes, zero-padded
+to the longest member — on a place *outside* the group (chosen through
+``resolve_offsets``, so the block never co-resides with a member primary).
+
+Recovery ladder for a key: primary -> **parity-reconstruct** (XOR the
+group's parity block with every surviving peer) -> stable disk ->
+``DataLossError``.  Any single loss per group is absorbed in memory at
+``~(1 + 1/g)x`` checkpoint bytes; two losses in one group before a repair
+exceed the code's strength and fall through to disk or a documented loss.
+
+Parity blocks are first-class copies of the integrity machinery: they
+carry a CRC-32, are verified before any reconstruction, participate in
+``verify_all``, and a corrupt block is quarantined with fall-through to
+the next tier.  Delta checkpointing composes: XOR is incremental, so an
+unchanged group adopts its base parity block by reference at zero virtual
+cost, and a partly-dirty group charges transfers for the dirty members
+only.  :meth:`ParityObjectSnapshot.repair` is the scrub pass — after a
+recovery it re-materializes lost primaries from the parity tier and
+rebuilds missing parity blocks so protection does not erode across a long
+campaign.
+
+Simulation note: XOR blocks are *really* computed over the pickled
+payload bytes (reconstruction round-trips through ``pickle.loads`` and is
+checksum-verified against the original), while the virtual-time charge
+follows the cost model's dirty-bytes accounting — the same
+wall-work/modeled-cost split the rest of the store uses.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.resilience.placement import ParityPlacement, ReplicaPlacement
+from repro.resilience.snapshot import DistObjectSnapshot
+from repro.runtime.exceptions import DataLossError, SnapshotCorruptionError
+from repro.runtime.place import PlaceGroup
+from repro.runtime.runtime import PlaceContext, Runtime
+from repro.util.bytesize import payload_nbytes
+from repro.util.checksum import corrupt_payload, memoized_checksum
+from repro.util.validation import require
+from repro.util.versioning import freeze_payload
+
+#: Sentinel "tier" for a group's parity block (the stable tier is -1).
+PARITY_TIER = -2
+
+
+def _pickled(payload: Any) -> bytes:
+    return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+class ParityObjectSnapshot(DistObjectSnapshot):
+    """Snapshot whose redundancy is one XOR parity block per key group.
+
+    Keys keep their tier-0 primary; instead of per-key replicas
+    (``backups`` is forced to 0) each group of up to ``g`` consecutive
+    keys XORs its members into ``("snapp", id, gidx)`` on the group's
+    parity place.  Reconstructed payloads are materialized on that place
+    under ``("snapr", id, key)`` so ``fetch`` reads them like any other
+    in-memory copy.
+    """
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        group: PlaceGroup,
+        meta: Optional[Dict[str, Any]] = None,
+        placement: Optional[ReplicaPlacement] = None,
+        stable_fallback: bool = False,
+    ):
+        placement = placement if placement is not None else ParityPlacement()
+        require(
+            isinstance(placement, ParityPlacement),
+            f"ParityObjectSnapshot requires a ParityPlacement, got {placement!r}",
+        )
+        super().__init__(
+            runtime,
+            group,
+            meta,
+            backups=0,
+            placement=placement,
+            stable_fallback=stable_fallback,
+        )
+        #: Members per parity group (capped so a group-external place exists).
+        self._span = placement.group_span(group.size)
+        #: Group indices whose parity block has been built (or adopted).
+        self._parity: Set[int] = set()
+        #: CRC-32 per parity block, recorded at build time.
+        self._parity_checksums: Dict[int, int] = {}
+        #: Serialized length per key (the truncation bound at reconstruct).
+        self._parity_lengths: Dict[int, int] = {}
+        #: Base snapshot donating clean partitions (delta saves).
+        self._parity_base: Optional["ParityObjectSnapshot"] = None
+        #: Bytes held in parity blocks (the ~1/g overhead; part of
+        #: ``total_nbytes``).
+        self.parity_nbytes = 0.0
+        #: Reads satisfied by XOR reconstruction instead of a copy.
+        self.parity_reads = 0
+
+    # -- group geometry ----------------------------------------------------
+
+    def _parity_key(self, gidx: int) -> tuple:
+        return ("snapp", self.snap_id, gidx)
+
+    def _recon_key(self, key: int) -> tuple:
+        return ("snapr", self.snap_id, key)
+
+    def _parity_group(self, key: int) -> int:
+        return key // self._span
+
+    def _group_members(self, gidx: int) -> List[int]:
+        start = gidx * self._span
+        return list(range(start, min(start + self._span, self.group.size)))
+
+    def _saved_members(self, gidx: int) -> List[int]:
+        return [m for m in self._group_members(gidx) if m in self._saved_keys]
+
+    def _parity_place(self, gidx: int):
+        members = self._group_members(gidx)
+        index = self.placement.parity_index(
+            gidx * self._span, len(members), self.group.size
+        )
+        return self.group[index]
+
+    def _canonical(self, gidx: int) -> Tuple[int, int]:
+        """The ``(key, tier)`` bookkeeping entry for a group's parity block
+        (anchored to the group's first member)."""
+        return (self._group_members(gidx)[0], PARITY_TIER)
+
+    def _groups(self) -> List[int]:
+        return sorted({self._parity_group(key) for key in self._saved_keys})
+
+    # -- saving ------------------------------------------------------------
+
+    def save_from(
+        self, ctx: PlaceContext, key: int, payload: Any, token: Optional[Any] = None
+    ) -> None:
+        super().save_from(ctx, key, payload, token)
+        self._after_key_saved(key)
+
+    def save_clean_from(
+        self, ctx: PlaceContext, key: int, base: "DistObjectSnapshot"
+    ) -> None:
+        self._parity_base = base
+        super().save_clean_from(ctx, key, base)
+        self._parity_lengths[key] = base._parity_lengths.get(key, 0)
+        self._after_key_saved(key)
+
+    def _after_key_saved(self, key: int) -> None:
+        """Seal the key's parity group once every member has been saved.
+
+        An all-clean group whose base parity block survives adopts it by
+        reference (zero virtual cost — the XOR of unchanged bytes is
+        unchanged).  Otherwise the block is rebuilt; with an intact base
+        the XOR update is incremental, so only dirty members are charged.
+        """
+        gidx = self._parity_group(key)
+        if gidx in self._parity:
+            return
+        members = self._group_members(gidx)
+        if any(m not in self._saved_keys for m in members):
+            return
+        base = self._parity_base
+        base_ok = (
+            base is not None
+            and gidx in base._parity
+            and self.runtime.is_alive(base._parity_place(gidx).id)
+            and self.runtime.heap_of(base._parity_place(gidx).id).contains(
+                base._parity_key(gidx)
+            )
+        )
+        if base_ok and all(m in self.clean_keys for m in members):
+            self._adopt_parity(gidx, base)
+            return
+        parity_place = self._parity_place(gidx)
+        if not self.runtime.is_alive(parity_place.id):
+            # No home for the block: the group runs unprotected until a
+            # repair pass (key_intact stays False, forcing dirty re-saves).
+            return
+        dirty = [m for m in members if m not in self.clean_keys]
+        self._build_parity(gidx, charge_keys=dirty if base_ok else members)
+
+    def _adopt_parity(self, gidx: int, base: "ParityObjectSnapshot") -> None:
+        rt = self.runtime
+        parity_place = base._parity_place(gidx)
+        block = rt.heap_of(parity_place.id).get(base._parity_key(gidx))
+        rt.heap_of(parity_place.id).put(self._parity_key(gidx), block)
+        self._parity_checksums[gidx] = base._parity_checksums[gidx]
+        if base._canonical(gidx) in base._verified:
+            self._verified.add(self._canonical(gidx))
+        self._parity.add(gidx)
+        nbytes = payload_nbytes(block)
+        self.parity_nbytes += nbytes
+        self.total_nbytes += nbytes
+
+    def _build_parity(self, gidx: int, charge_keys: List[int]) -> None:
+        """Compute and store the group's XOR block; charge *charge_keys*.
+
+        The XOR always runs over every member (wall-clock work), but the
+        virtual-time charge covers only *charge_keys* — all members on a
+        fresh build, the dirty members alone when an intact base block
+        makes the update incremental.
+        """
+        rt = self.runtime
+        cost = rt.cost
+        members = self._saved_members(gidx)
+        parity_place = self._parity_place(gidx)
+        blobs: Dict[int, bytes] = {}
+        for m in members:
+            payload = rt.heap_of(self.group[m].id).get(self._primary_key(m))
+            blobs[m] = _pickled(payload)
+            self._parity_lengths[m] = len(blobs[m])
+        maxlen = max(len(b) for b in blobs.values())
+        acc = np.zeros(maxlen, dtype=np.uint8)
+        for blob in blobs.values():
+            arr = np.frombuffer(blob, dtype=np.uint8)
+            acc[: len(arr)] ^= arr
+        acc.setflags(write=False)
+        charged_bytes = 0
+        for m in charge_keys:
+            if m not in blobs:
+                continue
+            nbytes = len(blobs[m])
+            src = self.group[m].id
+            if src != parity_place.id:
+                arrive = rt.engine.transfer(
+                    src, parity_place.id, nbytes, rt.clock.now(src)
+                )
+                rt.clock.set_at_least(parity_place.id, arrive)
+                rt.stats.messages += 1
+                rt.stats.bytes_sent += cost.scaled_bytes(nbytes)
+            charged_bytes += nbytes
+        rt.clock.advance(
+            parity_place.id, cost.flops(charged_bytes) + cost.checksum(maxlen)
+        )
+        rt.heap_of(parity_place.id).put(self._parity_key(gidx), acc)
+        self._parity_checksums[gidx] = memoized_checksum(acc, None)
+        self._verified.add(self._canonical(gidx))
+        self._parity.add(gidx)
+        self.parity_nbytes += maxlen
+        self.total_nbytes += maxlen
+
+    def stored_nbytes(self) -> float:
+        """Physical bytes: each partition once, plus the parity blocks
+        (the ``~(1 + 1/g)x`` footprint), plus the optional disk copies."""
+        logical = self.total_nbytes - self.parity_nbytes
+        return self.total_nbytes + (logical if self.stable_fallback else 0.0)
+
+    # -- delta compatibility ----------------------------------------------
+
+    def delta_compatible(self, base: "DistObjectSnapshot") -> bool:
+        return super().delta_compatible(base) and base._span == self._span
+
+    def key_intact(self, key: int) -> bool:
+        """Conservative: the key's primary, its group's parity block, and
+        every peer primary must survive — a degraded group must re-save
+        dirty so the next checkpoint rebuilds full protection."""
+        if not super().key_intact(key):
+            return False
+        rt = self.runtime
+        gidx = self._parity_group(key)
+        if gidx not in self._parity:
+            return False
+        parity_place = self._parity_place(gidx)
+        if not rt.is_alive(parity_place.id) or not rt.heap_of(
+            parity_place.id
+        ).contains(self._parity_key(gidx)):
+            return False
+        for m in self._saved_members(gidx):
+            place = self.group[m]
+            if not rt.is_alive(place.id) or not rt.heap_of(place.id).contains(
+                self._primary_key(m)
+            ):
+                return False
+        return True
+
+    # -- locating / reconstruction ----------------------------------------
+
+    def locate(self, key: int) -> Tuple[int, tuple]:
+        """Primary -> parity-reconstruct -> stable, verified at each rung."""
+        require(key in self._saved_keys, f"snapshot has no key {key}")
+        rt = self.runtime
+        primary = self.group[key]
+        quarantined_before = len(self.quarantined)
+        if rt.is_alive(primary.id) and rt.heap_of(primary.id).contains(
+            self._primary_key(key)
+        ):
+            if self._verify_copy(key, 0, primary.id, self._primary_key(key)):
+                return primary.id, self._primary_key(key)
+        hit = self._locate_via_parity(key)
+        if hit is not None:
+            return hit
+        if key in self._stable:
+            if self._verify_copy(key, self.STABLE_TIER, self.STABLE_TIER, None):
+                return self.STABLE_TIER, ("stable", self.snap_id, key)
+        if len(self.quarantined) > quarantined_before:
+            raise SnapshotCorruptionError(
+                f"every surviving copy of snapshot key {key} failed checksum "
+                f"verification and was quarantined "
+                f"({len(self.quarantined) - quarantined_before} this search)"
+            )
+        raise DataLossError(
+            f"primary and parity tiers of snapshot key {key} lost (primary "
+            f"{primary}; >=2 members of parity group "
+            f"{self._parity_group(key)} gone before repair; no stable-"
+            f"storage tier)"
+        )
+
+    def _verify_parity_block(self, gidx: int) -> bool:
+        """Checksum the group's parity block; quarantine on mismatch."""
+        canon = self._canonical(gidx)
+        if canon in self._verified:
+            return True
+        rt = self.runtime
+        parity_place = self._parity_place(gidx)
+        block = rt.heap_of(parity_place.id).get(self._parity_key(gidx))
+        rt.clock.advance(
+            parity_place.id, rt.cost.checksum(payload_nbytes(block))
+        )
+        if memoized_checksum(block, None) == self._parity_checksums.get(gidx):
+            self._verified.add(canon)
+            return True
+        rt.heap_of(parity_place.id).remove_if_present(self._parity_key(gidx))
+        self._parity.discard(gidx)
+        self.quarantined.append(canon)
+        return False
+
+    def _locate_via_parity(self, key: int) -> Optional[Tuple[int, tuple]]:
+        """Reconstruct *key* from its group's parity block, if possible.
+
+        Requires the (verified) parity block plus a verified primary for
+        every peer; any hole means the loss exceeds the code's strength
+        and the caller falls through to the stable tier.  The payload is
+        materialized on the parity place and checked against the key's
+        save-time CRC before being offered — a garbled reconstruction is
+        quarantined, never returned.
+        """
+        rt = self.runtime
+        gidx = self._parity_group(key)
+        parity_place = self._parity_place(gidx)
+        recon_key = self._recon_key(key)
+        if rt.is_alive(parity_place.id) and rt.heap_of(parity_place.id).contains(
+            recon_key
+        ):
+            return parity_place.id, recon_key
+        if gidx not in self._parity:
+            return None
+        if not rt.is_alive(parity_place.id) or not rt.heap_of(
+            parity_place.id
+        ).contains(self._parity_key(gidx)):
+            return None
+        if not self._verify_parity_block(gidx):
+            return None
+        peers = [m for m in self._saved_members(gidx) if m != key]
+        for m in peers:
+            place = self.group[m]
+            if not rt.is_alive(place.id) or not rt.heap_of(place.id).contains(
+                self._primary_key(m)
+            ):
+                return None
+            if not self._verify_copy(m, 0, place.id, self._primary_key(m)):
+                return None
+        cost = rt.cost
+        block = rt.heap_of(parity_place.id).get(self._parity_key(gidx))
+        acc = np.array(block, dtype=np.uint8)
+        xored = payload_nbytes(block)
+        for m in peers:
+            payload = rt.heap_of(self.group[m].id).get(self._primary_key(m))
+            blob = _pickled(payload)
+            arr = np.frombuffer(blob, dtype=np.uint8)
+            acc[: len(arr)] ^= arr
+            xored += len(blob)
+            src = self.group[m].id
+            if src != parity_place.id:
+                arrive = rt.engine.transfer(
+                    src, parity_place.id, len(blob), rt.clock.now(src)
+                )
+                rt.clock.set_at_least(parity_place.id, arrive)
+                rt.stats.messages += 1
+                rt.stats.bytes_sent += cost.scaled_bytes(len(blob))
+        length = self._parity_lengths.get(key)
+        if length is None or length > acc.size:
+            self.quarantined.append(self._canonical(gidx))
+            return None
+        payload = pickle.loads(acc[:length].tobytes())
+        freeze_payload(payload)
+        nbytes = payload_nbytes(payload)
+        rt.clock.advance(
+            parity_place.id,
+            cost.flops(xored) + cost.memcpy(nbytes) + cost.checksum(nbytes),
+        )
+        if memoized_checksum(payload, None) != self._checksums.get(key):
+            # The block XORed clean but the result does not hash to the
+            # partition saved — a silently corrupt peer slipped through.
+            # Quarantine the block and fall through to the next tier.
+            rt.heap_of(parity_place.id).remove_if_present(self._parity_key(gidx))
+            self._parity.discard(gidx)
+            self._verified.discard(self._canonical(gidx))
+            self.quarantined.append(self._canonical(gidx))
+            return None
+        rt.heap_of(parity_place.id).put(recon_key, payload)
+        self._verified.add((key, 0))
+        self.parity_reads += 1
+        rt.stats.parity_reconstructions += 1
+        return parity_place.id, recon_key
+
+    # -- corruption / integrity -------------------------------------------
+
+    def tiers(self, key: int) -> List[int]:
+        """0 = primary, :data:`PARITY_TIER` = the group's parity block
+        (reported on the group's first member only, so a corruption sweep
+        strikes each block at per-copy odds), stable last."""
+        out = super().tiers(key)
+        gidx = self._parity_group(key)
+        if (
+            key == self._group_members(gidx)[0]
+            and gidx in self._parity
+            and self.runtime.is_alive(self._parity_place(gidx).id)
+            and self.runtime.heap_of(self._parity_place(gidx).id).contains(
+                self._parity_key(gidx)
+            )
+        ):
+            insert_at = 1 if 0 in out else 0
+            out.insert(insert_at, PARITY_TIER)
+        return out
+
+    def corrupt_copy(self, key: int, tier: int) -> bool:
+        if tier != PARITY_TIER:
+            return super().corrupt_copy(key, tier)
+        rt = self.runtime
+        gidx = self._parity_group(key)
+        if gidx not in self._parity:
+            return False
+        parity_place = self._parity_place(gidx)
+        if not rt.is_alive(parity_place.id):
+            return False
+        heap = rt.heap_of(parity_place.id)
+        if not heap.contains(self._parity_key(gidx)):
+            return False
+        heap.put(self._parity_key(gidx), corrupt_payload(heap.get(self._parity_key(gidx))))
+        self._verified.discard(self._canonical(gidx))
+        return True
+
+    def verify_all(self) -> Tuple[int, int]:
+        clean = 0
+        before = len(self.quarantined)
+        for key in self.saved_keys():
+            for tier in self.tiers(key):
+                if tier == self.STABLE_TIER:
+                    ok = self._verify_copy(key, tier, self.STABLE_TIER, None)
+                elif tier == PARITY_TIER:
+                    ok = self._verify_parity_block(self._parity_group(key))
+                else:
+                    ok = self._verify_copy(
+                        key, 0, self.group[key].id, self._primary_key(key)
+                    )
+                if ok:
+                    clean += 1
+        return clean, len(self.quarantined) - before
+
+    # -- health ------------------------------------------------------------
+
+    def fully_redundant(self) -> bool:
+        if not super().fully_redundant():
+            return False
+        rt = self.runtime
+        for gidx in self._groups():
+            if gidx not in self._parity:
+                return False
+            parity_place = self._parity_place(gidx)
+            if not rt.is_alive(parity_place.id) or not rt.heap_of(
+                parity_place.id
+            ).contains(self._parity_key(gidx)):
+                return False
+        return True
+
+    def recoverable(self) -> bool:
+        """Presence-based (no reconstruction side effects): every key has a
+        live primary, a stable copy, or a complete parity equation."""
+        rt = self.runtime
+
+        def _present(key: int) -> bool:
+            place = self.group[key]
+            return rt.is_alive(place.id) and rt.heap_of(place.id).contains(
+                self._primary_key(key)
+            )
+
+        for key in self._saved_keys:
+            if _present(key):
+                continue
+            if key in self._stable:
+                continue
+            gidx = self._parity_group(key)
+            parity_place = self._parity_place(gidx)
+            if (
+                gidx in self._parity
+                and rt.is_alive(parity_place.id)
+                and (
+                    rt.heap_of(parity_place.id).contains(self._parity_key(gidx))
+                    or rt.heap_of(parity_place.id).contains(self._recon_key(key))
+                )
+                and all(
+                    _present(m) for m in self._saved_members(gidx) if m != key
+                )
+            ):
+                continue
+            return False
+        return True
+
+    def placement_ok(self) -> bool:
+        if not super().placement_ok():
+            return False
+        if self.group.size <= 1:
+            return True
+        for gidx in self._groups():
+            member_places = {self.group[m].id for m in self._saved_members(gidx)}
+            if self._parity_place(gidx).id in member_places:
+                return False
+        return True
+
+    # -- scrub / repair -----------------------------------------------------
+
+    def repair(self, new_group: Optional[PlaceGroup] = None) -> int:
+        """Re-materialize lost copies after a recovery (the scrub pass).
+
+        With *new_group* (same size, spares installed at the dead members'
+        indices) the snapshot is first re-anchored, so lost primaries have
+        live homes again.  Each missing primary is refilled from the best
+        surviving tier (parity reconstruction or disk), then missing
+        parity blocks are rebuilt from the now-complete member set — both
+        fully charged through the engine.  Returns the number of copies
+        re-materialized; raises ``DeadPlaceException`` if a place dies
+        mid-scrub (the executor's retry loop folds that into the next
+        recovery round).
+        """
+        rt = self.runtime
+        if (
+            new_group is not None
+            and new_group.size == self.group.size
+            and new_group.ids != self.group.ids
+        ):
+            self.rebind_group(new_group)
+        if new_group is not None:
+            # Scrub mode: the caller installed a fully-live replacement
+            # group, so any dead member now means a *new* failure — abort
+            # (fail fast) instead of silently leaving holes behind.
+            for place in self.group:
+                rt.check_alive(place.id)
+        repaired = 0
+        for key in sorted(self._saved_keys):
+            home = self.group[key]
+            if not rt.is_alive(home.id):
+                continue
+            if rt.heap_of(home.id).contains(self._primary_key(key)):
+                continue
+            try:
+                src_id, heap_key = self.locate(key)
+            except DataLossError:
+                continue
+            if src_id == self.STABLE_TIER:
+                payload = self._stable[key]
+                rt.engine.stable_read(home.id, payload_nbytes(payload))
+            else:
+                payload = rt.heap_of(src_id).get(heap_key)
+                nbytes = payload_nbytes(payload)
+                if src_id != home.id:
+                    arrive = rt.engine.transfer(
+                        src_id, home.id, nbytes, rt.clock.now(src_id)
+                    )
+                    rt.clock.set_at_least(home.id, arrive)
+                    rt.stats.messages += 1
+                    rt.stats.bytes_sent += rt.cost.scaled_bytes(nbytes)
+                rt.clock.advance(home.id, rt.cost.memcpy(nbytes))
+            rt.heap_of(home.id).put(self._primary_key(key), payload)
+            self._verified.add((key, 0))
+            repaired += 1
+        for gidx in self._groups():
+            parity_place = self._parity_place(gidx)
+            if not rt.is_alive(parity_place.id):
+                continue
+            if gidx in self._parity and rt.heap_of(parity_place.id).contains(
+                self._parity_key(gidx)
+            ):
+                continue
+            members = self._saved_members(gidx)
+            complete = all(
+                rt.is_alive(self.group[m].id)
+                and rt.heap_of(self.group[m].id).contains(self._primary_key(m))
+                for m in members
+            )
+            if not complete:
+                continue
+            self._parity.discard(gidx)
+            self._build_parity(gidx, charge_keys=members)
+            repaired += 1
+        return repaired
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def delete(self) -> None:
+        rt = self.runtime
+        for gidx in self._groups():
+            parity_place = self._parity_place(gidx)
+            if rt.is_alive(parity_place.id):
+                heap = rt.heap_of(parity_place.id)
+                heap.remove_if_present(self._parity_key(gidx))
+                for m in self._group_members(gidx):
+                    heap.remove_if_present(self._recon_key(m))
+        self._parity.clear()
+        super().delete()
+
+    def __repr__(self) -> str:
+        return (
+            f"ParityObjectSnapshot(id={self.snap_id}, "
+            f"keys={sorted(self._saved_keys)}, group={self.group.ids}, "
+            f"span={self._span}, parity_groups={sorted(self._parity)}, "
+            f"stable_fallback={self.stable_fallback})"
+        )

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.resilience.placement import ReplicaPlacement
+from repro.resilience.placement import ParityPlacement, ReplicaPlacement
 from repro.resilience.snapshot import DistObjectSnapshot, Snapshottable
 from repro.runtime.place import PlaceGroup
 from repro.runtime.runtime import PlaceContext, Runtime
@@ -53,6 +53,12 @@ class ReconstructionStore:
         placement: Optional[ReplicaPlacement] = None,
     ):
         require(replicas >= 1, "reconstruction needs at least one replica")
+        require(
+            not isinstance(placement, ParityPlacement),
+            "parity placement stores per-group XOR blocks, which the "
+            "redundant-state store cannot incrementally refresh every "
+            "iteration; use a replica placement (ring/stride/spread)",
+        )
         self.runtime = runtime
         self.replicas = replicas
         self.placement = placement

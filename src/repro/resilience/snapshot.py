@@ -295,6 +295,16 @@ class DistObjectSnapshot:
         self.clean_nbytes += nbytes
         self.total_nbytes += nbytes
 
+    def stored_nbytes(self) -> float:
+        """Physical bytes this snapshot occupies across every tier.
+
+        ``total_nbytes`` counts each partition's logical size once; the
+        replica tiers and the optional disk copy each store it again —
+        the ``k x`` footprint the parity tier exists to undercut.
+        """
+        copies = self.backups + 1 + (1 if self.stable_fallback else 0)
+        return self.total_nbytes * copies
+
     @property
     def num_keys(self) -> int:
         """Number of partitions saved so far."""

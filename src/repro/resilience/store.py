@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.resilience.placement import ReplicaPlacement
+from repro.resilience.placement import ParityPlacement, ReplicaPlacement
 from repro.resilience.snapshot import DistObjectSnapshot, Snapshottable
 from repro.runtime.runtime import Runtime
 from repro.util.validation import require
@@ -64,6 +64,13 @@ class AppResilientStore:
         delta: bool = False,
     ):
         self.runtime = runtime
+        if isinstance(placement, ParityPlacement) and (replicas or 0) > 1:
+            raise ValueError(
+                "placement=parity replaces per-key replicas with one XOR "
+                f"parity block per group; replicas must be <= 1, got "
+                f"{replicas} (shrink the parity group via parity:g to buy "
+                "more protection instead of double-paying)"
+            )
         #: Store-level replication knobs; ``None`` leaves each object's own
         #: snapshot configuration untouched, a value overrides all of them.
         self.replicas = replicas
@@ -89,6 +96,9 @@ class AppResilientStore:
             obj.snapshot_backups = self.replicas
         if self.placement is not None:
             obj.snapshot_placement = self.placement
+        if isinstance(getattr(obj, "snapshot_placement", None), ParityPlacement):
+            # Parity stores group blocks, not per-key backups.
+            obj.snapshot_backups = 0
         if self.stable_fallback is not None:
             obj.snapshot_stable_fallback = self.stable_fallback
 
@@ -253,3 +263,12 @@ class AppResilientStore:
         return sum(s.total_nbytes for s in latest.snapshots.values()) + sum(
             s.total_nbytes for s in latest.read_only.values()
         )
+
+    def total_stored_bytes(self) -> float:
+        """Physical bytes of the latest checkpoint across every tier —
+        replicas and disk copies multiply, parity adds its ``~1/g``
+        overhead once (the bytes-vs-recoverability frontier's x-axis)."""
+        latest = self.latest()
+        if latest is None:
+            return 0.0
+        return sum(s.stored_nbytes() for s in latest.all_snapshots())

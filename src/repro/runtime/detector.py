@@ -154,6 +154,20 @@ class PhiAccrualDetector:
         self._next_seq[place_id] = 1
         self._state[place_id] = PlaceHealth.ALIVE
 
+    def forget(self, place_id: int) -> None:
+        """Drop all knowledge of a place (repair re-registers it fresh).
+
+        A revived place is a new process: its old heartbeat history, its
+        confirmed-dead verdict and its reported mark are all stale, and
+        keeping any of them would make :meth:`monitor` a no-op or condemn
+        the fresh incarnation instantly.
+        """
+        self._state.pop(place_id, None)
+        self._last.pop(place_id, None)
+        self._mean.pop(place_id, None)
+        self._next_seq.pop(place_id, None)
+        self._reported.discard(place_id)
+
     def monitored(self) -> List[int]:
         return sorted(self._state)
 

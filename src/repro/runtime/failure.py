@@ -41,7 +41,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store ↔ failure)
     from repro.resilience.store import AppResilientStore
 
 #: Context names the executor announces for ``during=`` triggers.
-KILL_CONTEXTS = ("checkpoint", "restore", "reconstruct")
+KILL_CONTEXTS = ("checkpoint", "restore", "reconstruct", "scrub")
 
 
 @dataclass(frozen=True)

@@ -226,6 +226,9 @@ class PlacePool:
         self._lease_of: Dict[int, PlaceLease] = {}
         self._leases: List[PlaceLease] = []
         self._next_lease = 0
+        #: Where each dead place sat when it was killed ("reserve", "free",
+        #: "dedicated" or "leased") — repair re-files it accordingly.
+        self._dead_origin: Dict[int, str] = {}
         #: Peak number of reserve places claimed at once (occupancy metric).
         self.reserve_claimed = 0
         self.reserve_peak_claimed = 0
@@ -241,13 +244,50 @@ class PlacePool:
         if place_id in self._reserve_ids:
             self._reserve_ids.discard(place_id)
             self._reserve_live -= 1
+            self._dead_origin[place_id] = "reserve"
         elif place_id in self._free_ids:
             self._free_ids.discard(place_id)
             self._free_live -= 1
+            self._dead_origin[place_id] = "free"
         else:
             lease = self._lease_of.get(place_id)
+            if lease is not None and place_id in lease._dedicated_ids:
+                self._dead_origin[place_id] = "dedicated"
+            else:
+                self._dead_origin[place_id] = "leased"
             if lease is not None:
                 lease._on_member_killed(place_id)
+
+    def on_place_revived(self, place: Place) -> None:
+        """Re-file a repaired place (called by :meth:`Runtime.revive`).
+
+        The place returns *where it came from*: reserve places rejoin the
+        spare reserve, free places the free set.  A place that died inside
+        a lease rejoins the free set once that lease is gone (release
+        already dropped its mapping); while the lease is still active a
+        regular member stays a member (``release`` recycles it normally)
+        and a dedicated spare rejoins the lease's private spare queue.
+        Stale deque entries left by the kill are harmless — every pop
+        revalidates against the id sets.
+        """
+        origin = self._dead_origin.pop(place.id, None)
+        lease = self._lease_of.get(place.id)
+        if origin == "reserve":
+            self._reserve.append(place)
+            self._reserve_ids.add(place.id)
+            self._reserve_live += 1
+        elif origin == "dedicated" and lease is not None and lease.state == ACTIVE:
+            lease._dedicated.append(place)
+            lease._dedicated_ids.add(place.id)
+            lease._dedicated_live += 1
+        elif lease is not None and lease.state == ACTIVE:
+            # Still a live member of an active lease: nothing to re-file.
+            pass
+        else:
+            self._lease_of.pop(place.id, None)
+            self._free.append(place)
+            self._free_ids.add(place.id)
+            self._free_live += 1
 
     @property
     def reserve_remaining(self) -> int:

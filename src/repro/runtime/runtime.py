@@ -69,6 +69,11 @@ class RuntimeStats:
     #: Snapshot restore reads that fell through every in-memory replica
     #: to the stable-storage tier (the last rung of the recovery ladder).
     stable_fallback_reads: int = 0
+    #: Partitions rebuilt by XOR from a parity group (the erasure-coded
+    #: rung of the ladder, between the replicas and the disk).
+    parity_reconstructions: int = 0
+    #: Dead places brought back by :meth:`Runtime.revive` (pool repair).
+    repairs: int = 0
     finish_reports: List[FinishReport] = field(default_factory=list)
 
     def reset_reports(self) -> None:
@@ -194,6 +199,9 @@ class Runtime:
         #: degenerate one-lease pool via :attr:`default_lease`).
         self.pool = PlacePool(self, all_places[:nplaces], all_places[nplaces:])
         self._default_lease: Optional[PlaceLease] = None
+        #: Every Place object ever created, by id (repair needs the object
+        #: back after its pool entry went stale).
+        self._places: Dict[int, Place] = {p.id: p for p in all_places}
         self._heaps: Dict[int, PlaceHeap] = {p.id: PlaceHeap(p.id) for p in all_places}
         self._alive: Dict[int, bool] = {p.id: True for p in all_places}
         #: The discrete-event engine: owns the virtual clock, every
@@ -298,6 +306,36 @@ class Runtime:
         self.stats.kills += 1
         self.trace.emit("kill", self.clock.global_time(), place=place_id)
 
+    def revive(self, place_id: int) -> Place:
+        """Repair a dead place: fresh empty heap, clock at the current time.
+
+        Models an operator replacing the failed host (ROADMAP pool repair):
+        the place id returns to service with *none* of its old state — heap
+        contents died with the process — so it is only useful as a spare
+        for future leases/restores.  The pool re-files it where it came
+        from (reserve or free list), a detector is told to re-monitor it,
+        and a startup message round-trip is charged before it is usable.
+        """
+        require(
+            place_id in self._alive and not self._alive[place_id],
+            f"revive requires a dead place, got {place_id}",
+        )
+        place = self._places[place_id]
+        self._alive[place_id] = True
+        self._heaps[place_id] = PlaceHeap(place_id)
+        self._death_times.pop(place_id, None)
+        self.engine.revive_place(place_id)
+        self.clock.set_at_least(
+            place_id, self.clock.global_time() + self.cost.message(0)
+        )
+        self.pool.on_place_revived(place)
+        if self.detector is not None:
+            self.detector.forget(place_id)
+            self.detector.monitor(place_id, from_time=self.clock.now(place_id))
+        self.stats.repairs += 1
+        self.trace.emit("repair", self.clock.global_time(), place=place_id)
+        return place
+
     def dead_ids(self) -> List[int]:
         """Ids of all places that have died so far."""
         return sorted(pid for pid, alive in self._alive.items() if not alive)
@@ -341,6 +379,7 @@ class Runtime:
         """
         place = Place(self._next_place_id)
         self._next_place_id += 1
+        self._places[place.id] = place
         self._heaps[place.id] = PlaceHeap(place.id)
         self._alive[place.id] = True
         # Process spawn is not free: charge one message round-trip of setup.
@@ -382,6 +421,16 @@ class Runtime:
     def _fire_due_failures(self) -> None:
         for victim in self.injector.due_at_phase(self.phase, self.clock.global_time()):
             self.kill(victim)
+
+    def poll_failures(self) -> None:
+        """Fire due scripted kills outside a phase boundary.
+
+        Kills normally land at ``finish_tasks`` entry; protocol code that
+        runs *between* finishes for a long stretch (the scrub/repair pass)
+        polls explicitly so ``kill_during(context=...)`` triggers can land
+        inside it too.
+        """
+        self._fire_due_failures()
 
     # -- execution -----------------------------------------------------------
 

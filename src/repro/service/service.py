@@ -56,8 +56,18 @@ from repro.service.jobs import (
 from repro.util.validation import check_positive, require
 
 #: Event priorities at equal virtual time: bursts strike first, finished
-#: leases free their places next, and only then do new arrivals queue.
-_PRI_FAULT, _PRI_COMPLETION, _PRI_ARRIVAL = 0, 1, 2
+#: leases free their places next, then healed places rejoin the pool, and
+#: only then do new arrivals queue (so an arrival sees maximum capacity).
+_PRI_FAULT, _PRI_COMPLETION, _PRI_REPAIR, _PRI_ARRIVAL = 0, 1, 2, 3
+
+
+class _RepairEvent:
+    """A healed place rejoining the pool at its seeded repair time."""
+
+    __slots__ = ("place_id",)
+
+    def __init__(self, place_id: int):
+        self.place_id = place_id
 
 
 @dataclass(frozen=True)
@@ -102,6 +112,10 @@ class ServiceConfig:
     drop_rate: float = 0.0
     dup_rate: float = 0.0
     detect_timeout: float = 0.0
+    #: Mean time to repair (exponential, seeded per place): killed places
+    #: rejoin the pool's free set after their repair delay.  0 disables
+    #: healing — dead places stay dead, the pool only ever shrinks.
+    repair_mttr: float = 0.0
     max_queue: Optional[int] = None
     max_restore_attempts: int = 10
 
@@ -126,6 +140,17 @@ class ServiceConfig:
             self.cg_recovery in RECOVERY_MODES,
             f"cg_recovery must be one of {RECOVERY_MODES}",
         )
+        require(self.repair_mttr >= 0, "repair_mttr must be >= 0")
+        # Fail fast on a bad placement spec, and on parity double-paying.
+        from repro.resilience.placement import ParityPlacement
+
+        if isinstance(make_placement(self.placement), ParityPlacement):
+            require(
+                self.replicas <= 1,
+                "placement=parity replaces per-key replicas with one XOR "
+                "parity block per group; configure replicas=1 (or shrink "
+                "the group via parity:g)",
+            )
         for app in self.apps:
             require(app in SERVICE_APPS, f"unknown app {app!r}")
 
@@ -155,6 +180,8 @@ class ServiceReport:
     cross_tenant_aborts: int = 0
     total_kills: int = 0
     borrows: int = 0
+    #: Killed places healed back into the pool (``repair_mttr`` > 0).
+    repaired_places: int = 0
 
     @property
     def completed(self) -> int:
@@ -221,6 +248,7 @@ class ServiceReport:
             "total_kills": self.total_kills,
             "borrows": self.borrows,
             "reconstructions": self.reconstructions,
+            "repaired_places": self.repaired_places,
         }
 
     def summary(self) -> str:
@@ -238,7 +266,8 @@ class ServiceReport:
             f"queue wait {self.mean_queue_wait:.3f}s",
             f"  reserve occupancy {self.reserve_mean_occupancy:.0%} "
             f"(peak {self.reserve_peak_claimed}/{self.reserve_size})  "
-            f"kills {self.total_kills}  borrows {self.borrows}",
+            f"kills {self.total_kills}  borrows {self.borrows}  "
+            f"repaired {self.repaired_places}",
             f"  cross-tenant aborts {self.cross_tenant_aborts}  "
             f"violations {len(self.violations)}",
         ]
@@ -293,6 +322,11 @@ class ClusterService:
             rack_size=config.rack_size,
         )
         self._results: Dict[int, JobResult] = {}
+        #: Dead places with a repair event already in flight, and how many
+        #: times each place has been repaired (the seed axis, so a place
+        #: that dies again after healing draws a fresh repair delay).
+        self._repairs_scheduled: set = set()
+        self._repair_counts: Dict[int, int] = {}
 
     # -- the event loop ----------------------------------------------------
 
@@ -318,6 +352,8 @@ class ClusterService:
             last_t = t
             if isinstance(payload, PoolFaultEvent):
                 self._strike(payload)
+            elif isinstance(payload, _RepairEvent):
+                self._heal(payload.place_id)
             elif isinstance(payload, PlaceLease):
                 self.pool.release(payload)
             else:  # arrival
@@ -339,6 +375,7 @@ class ClusterService:
                 finished_at, lease = self._run_job(admitted, now=t)
                 heapq.heappush(heap, (finished_at, _PRI_COMPLETION, seq, lease))
                 seq += 1
+            seq = self._schedule_repairs(heap, seq, now=t)
 
         # Jobs still queued can never start (the pool shrank under them or
         # they were always bigger than the free set): starvation, reported
@@ -374,6 +411,44 @@ class ClusterService:
             if lease is not None:
                 continue
             rt.kill(victim)
+
+    def _schedule_repairs(self, heap: List, seq: int, now: float) -> int:
+        """Queue a repair event for every newly-dead place (MTTR > 0).
+
+        Each place draws its delay from a seed-derived stream keyed by
+        (place, repair count), so the schedule is deterministic in the
+        config seed yet a place that dies again after healing draws a
+        fresh delay.  Repairs are anchored to the *death* time (clamped to
+        now: a job's deaths are only observed once it returns).
+        """
+        mttr = self.config.repair_mttr
+        if mttr <= 0:
+            return seq
+        rt = self.runtime
+        for pid in sorted(rt.dead_ids()):
+            if pid in self._repairs_scheduled:
+                continue
+            self._repairs_scheduled.add(pid)
+            count = self._repair_counts.get(pid, 0)
+            delay = float(
+                np.random.default_rng(
+                    [self.config.seed, 31, pid, count]
+                ).exponential(mttr)
+            )
+            died = rt.death_time(pid)
+            at = max(now, (died if died is not None else now) + delay)
+            heapq.heappush(heap, (at, _PRI_REPAIR, seq, _RepairEvent(pid)))
+            seq += 1
+        return seq
+
+    def _heal(self, place_id: int) -> None:
+        """A repair event fired: revive the place back into the pool."""
+        rt = self.runtime
+        self._repairs_scheduled.discard(place_id)
+        if rt.is_alive(place_id):
+            return
+        self._repair_counts[place_id] = self._repair_counts.get(place_id, 0) + 1
+        rt.revive(place_id)
 
     def _run_job(self, job: JobSpec, now: float) -> Tuple[float, PlaceLease]:
         """Admit and eagerly execute one job inside its lease."""
@@ -538,6 +613,7 @@ class ClusterService:
         report.reserve_size = self.pool.reserve_size
         report.reserve_peak_claimed = self.pool.reserve_peak_claimed
         report.total_kills = self.runtime.stats.kills
+        report.repaired_places = self.runtime.stats.repairs
         report.borrows = sum(j.borrows for j in report.jobs)
         # Completions can land past the last heap event's time only via
         # the completion events themselves, which are in the heap — so
