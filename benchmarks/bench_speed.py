@@ -1,0 +1,225 @@
+"""Wall-clock speed benchmark for the hot-path pass (BENCH_speed.json).
+
+Unlike every other file in this directory — which regenerates a table or
+figure of the paper in *virtual* time — this benchmark measures how fast
+the simulator itself runs in *wall-clock* time, on the two workloads the
+speed pass targeted:
+
+* the 200-schedule chaos campaign (``repro.chaos``), linreg and pagerank;
+* the Figs. 2-4 overhead sweep and Figs. 5-7 restore sweep.
+
+Each suite is measured warm (a short warm-up run first) and best-of-N, so
+import/compile time and allocator warm-up never pollute the numbers.
+
+Baseline numbers were measured on the pre-pass tree *interleaved with* the
+optimized tree in a single session on the same machine (stash/pop A/B, one
+core), so the ratio is not contaminated by machine drift between sessions.
+
+Two correctness gates run alongside the timing and fail the benchmark on
+any drift:
+
+* the campaign outcome fingerprint (137 recovered / 63 data-loss-accepted,
+  zero invariant violations for seed 1234) must be reproduced exactly;
+* the linreg golden virtual times (same pins as ``tests/test_golden_timing``)
+  must match to 1e-12 — wall-clock speed must never buy virtual-time drift.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_speed.py           # full protocol
+    PYTHONPATH=src python benchmarks/bench_speed.py --quick   # CI-sized
+    PYTHONPATH=src python benchmarks/bench_speed.py --probe   # print raw
+        timings as JSON and write nothing (used to pin the baselines)
+
+Writes ``results/speed.csv`` and ``BENCH_speed.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import os
+import platform
+import sys
+import time
+from typing import Callable, Dict
+
+CAMPAIGN_SEED = 1234
+CAMPAIGN_SCHEDULES = 200
+
+#: Expected outcome counts of the seed-1234 linreg/pagerank campaigns.
+CAMPAIGN_FINGERPRINT = {"recovered": 137, "data_loss_accepted": 63}
+
+#: Golden linreg virtual times (ms/iter) — same pins as tests/test_golden_timing.
+GOLDEN_LINREG_PLACES = [2, 8, 20]
+GOLDEN_LINREG_ITERS = 6
+GOLDEN_LINREG = {
+    "non-resilient finish": [76.73699999999998, 96.69500000000035, 130.30499999999876],
+    "resilient finish": [85.56499999999993, 128.48499999999743, 209.98000000000636],
+}
+
+#: Pre-pass wall-clock seconds, measured interleaved with the optimized
+#: tree (stash/pop A/B, best-of-2 warm runs, single-core container).
+BASELINE_S = {
+    "campaign_linreg_200": 2.416,
+    "campaign_pagerank_200": 2.350,
+    "fig2_4_overhead": 40.88,
+    "fig5_7_restore": 110.21,
+}
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure(quick: bool = False, repeats: int = 2) -> Dict[str, float]:
+    """Run every suite warm and return ``{suite: best wall seconds}``."""
+    from repro.bench.harness import run_overhead_sweep, run_restore_sweep
+    from repro.chaos import CampaignConfig, run_campaign
+
+    schedules = 50 if quick else CAMPAIGN_SCHEDULES
+    places = [2, 8, 20] if quick else None  # None -> full paper axis
+
+    timings: Dict[str, float] = {}
+
+    # Warm-up: compile + first-touch everything outside the timed region.
+    run_campaign(CampaignConfig(app="linreg", schedules=10, seed=CAMPAIGN_SEED))
+
+    for app in ("linreg", "pagerank"):
+        cfg = CampaignConfig(app=app, schedules=schedules, seed=CAMPAIGN_SEED)
+        timings[f"campaign_{app}_{schedules}"] = _best_of(
+            lambda cfg=cfg: run_campaign(cfg), repeats
+        )
+
+    timings["fig2_4_overhead"] = _best_of(
+        lambda: [
+            run_overhead_sweep(app, places_list=places)
+            for app in ("linreg", "logreg", "pagerank")
+        ],
+        1,
+    )
+    timings["fig5_7_restore"] = _best_of(
+        lambda: [
+            run_restore_sweep(app, places_list=places)
+            for app in ("linreg", "logreg", "pagerank")
+        ],
+        1,
+    )
+    return timings
+
+
+def check_campaign_fingerprint() -> Dict[str, int]:
+    """Re-run the linreg campaign and assert the outcome fingerprint."""
+    from repro.chaos import CampaignConfig, run_campaign
+
+    rep = run_campaign(
+        CampaignConfig(
+            app="linreg", schedules=CAMPAIGN_SCHEDULES, seed=CAMPAIGN_SEED
+        )
+    )
+    counts = rep.counts()
+    if counts != CAMPAIGN_FINGERPRINT:
+        raise AssertionError(
+            f"campaign outcome drift: {counts} != {CAMPAIGN_FINGERPRINT}"
+        )
+    if rep.violations:
+        raise AssertionError(f"{len(rep.violations)} invariant violation(s)")
+    return counts
+
+
+def check_virtual_time_drift() -> None:
+    """Golden-timing gate: the speed pass must be virtually bit-exact."""
+    from repro.bench.harness import run_overhead_sweep
+
+    series = run_overhead_sweep(
+        "linreg", places_list=GOLDEN_LINREG_PLACES, iterations=GOLDEN_LINREG_ITERS
+    )
+    for label, golden in GOLDEN_LINREG.items():
+        measured = series.values[label]
+        for m, g in zip(measured, golden):
+            if abs(m - g) > max(1e-12 * abs(g), 1e-9):
+                raise AssertionError(
+                    f"virtual-time drift in {label}: {measured} != {golden}"
+                )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true", help="CI-sized protocol")
+    parser.add_argument(
+        "--probe",
+        action="store_true",
+        help="print raw timings as JSON and write nothing (baseline pinning)",
+    )
+    args = parser.parse_args(argv)
+
+    timings = measure(quick=args.quick)
+    if args.probe:
+        print(json.dumps(timings, indent=2))
+        return 0
+
+    fingerprint = check_campaign_fingerprint()
+    check_virtual_time_drift()
+
+    from repro.matrix.sparse_backend import active_backend
+
+    here = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    rows = []
+    for suite, seconds in timings.items():
+        base = BASELINE_S.get(suite)
+        speedup = (base / seconds) if (base and not args.quick) else None
+        rows.append(
+            {
+                "suite": suite,
+                "wall_s": round(seconds, 3),
+                "baseline_s": base if not args.quick else None,
+                "speedup": round(speedup, 2) if speedup else None,
+            }
+        )
+
+    csv_path = os.path.join(here, "results", "speed.csv")
+    with open(csv_path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=["suite", "wall_s", "baseline_s", "speedup"])
+        writer.writeheader()
+        writer.writerows(rows)
+
+    payload = {
+        "protocol": "quick" if args.quick else "full",
+        "suites": rows,
+        "campaign": {
+            "app": "linreg",
+            "schedules": CAMPAIGN_SCHEDULES,
+            "seed": CAMPAIGN_SEED,
+            "outcomes": fingerprint,
+            "violations": 0,
+        },
+        "virtual_time_drift": "none (golden linreg pins matched to 1e-12)",
+        "sparse_backend": active_backend(),
+        "baseline_methodology": (
+            "pre-pass tree measured interleaved with the optimized tree "
+            "(stash/pop A/B) in one session on the same machine; warm, "
+            "best-of-2 per suite; single-core container"
+        ),
+        "python": platform.python_version(),
+    }
+    json_path = os.path.join(here, "BENCH_speed.json")
+    with open(json_path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+    for row in rows:
+        line = f"{row['suite']:>24}: {row['wall_s']:.3f}s"
+        if row["speedup"]:
+            line += f"  ({row['speedup']:.2f}x vs baseline {row['baseline_s']:.3f}s)"
+        print(line)
+    print(f"wrote {csv_path} and {json_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,7 @@ from repro.bench.harness import (
     run_restore_sweep,
     table4_from_reports,
 )
+from repro.matrix import sparse_backend
 from repro.resilience.executor import (
     CHECKPOINT_MODES,
     RECOVERY_MODES,
@@ -69,6 +70,15 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Resilient GML reproduction: run apps / regenerate experiments.",
+    )
+    parser.add_argument(
+        "--sparse-backend",
+        choices=["auto", "scipy", "numpy"],
+        default=None,
+        help=(
+            "sparse kernel backend (default: $REPRO_SPARSE_BACKEND or auto; "
+            "auto = scipy when available, NumPy otherwise)"
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -730,6 +740,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
+    if args.sparse_backend is not None:
+        sparse_backend.set_backend(args.sparse_backend)
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":

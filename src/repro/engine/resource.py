@@ -72,8 +72,11 @@ class Resource:
         The request starts at ``max(free_at, t_request)`` and occupies the
         server for *duration* seconds.
         """
-        self.check_live()
-        start = max(self.free_at, t_request)
+        if self.retired:
+            self.check_live()
+        start = self.free_at
+        if t_request > start:
+            start = t_request
         done = start + duration
         self.free_at = done
         self.busy_time += duration
@@ -81,6 +84,48 @@ class Resource:
         if self.on_acquire is not None:
             self.on_acquire(self, t_request, start, done)
         return done
+
+    def acquire_batch(self, arrivals, duration: float) -> float:
+        """Serve a batch of requests in ascending arrival order.
+
+        Bit-exact to calling :meth:`acquire` once per sorted arrival — the
+        frontier advances through the identical float operations — but
+        amortizes the per-event Python call overhead:
+
+        * ``duration == 0`` collapses to ``free_at = max(free_at,
+          max(arrivals))``, exactly what the per-event loop computes
+          (zero-cost models, e.g. chaos campaigns, take this O(n) max);
+        * otherwise one tight local loop over the pre-sorted arrivals.
+
+        When an ``on_acquire`` hook is installed the per-event path runs so
+        event recording sees every acquisition.  Returns the new frontier.
+        """
+        self.check_live()
+        n = len(arrivals)
+        if n == 0:
+            return self.free_at
+        if self.on_acquire is not None:
+            done = self.free_at
+            for t in sorted(arrivals):
+                done = self.acquire(t, duration)
+            return done
+        if duration == 0.0:
+            top = max(arrivals)
+            if top > self.free_at:
+                self.free_at = top
+            self.served += n
+            return self.free_at
+        free = self.free_at
+        busy = self.busy_time
+        for t in sorted(arrivals):
+            if t > free:
+                free = t
+            free += duration
+            busy += duration
+        self.free_at = free
+        self.busy_time = busy
+        self.served += n
+        return free
 
     def retire(self) -> None:
         """Mark the owning place dead; further acquisitions raise."""
@@ -114,16 +159,27 @@ class DuplexLink:
 
     def acquire(self, t_request: float, duration: float) -> float:
         """Occupy both ends; returns the transfer's completion time."""
-        self.tx.check_live()
-        self.rx.check_live()
-        start = max(self.tx.free_at, self.rx.free_at, t_request)
+        tx, rx = self.tx, self.rx
+        if tx.retired:
+            tx.check_live()
+        if rx.retired:
+            rx.check_live()
+        start = tx.free_at
+        if rx.free_at > start:
+            start = rx.free_at
+        if t_request > start:
+            start = t_request
         done = start + duration
-        for side in (self.tx, self.rx):
-            side.free_at = done
-            side.busy_time += duration
-            side.served += 1
-            if side.on_acquire is not None:
-                side.on_acquire(side, t_request, start, done)
+        tx.free_at = done
+        rx.free_at = done
+        tx.busy_time += duration
+        rx.busy_time += duration
+        tx.served += 1
+        rx.served += 1
+        if tx.on_acquire is not None:
+            tx.on_acquire(tx, t_request, start, done)
+        if rx.on_acquire is not None:
+            rx.on_acquire(rx, t_request, start, done)
         return done
 
     def ends(self) -> Tuple[Resource, Resource]:

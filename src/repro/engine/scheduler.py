@@ -53,13 +53,24 @@ class Scheduler:
         self.clock = clock if clock is not None else VirtualClock()
         self.timeline = timeline if timeline is not None else Timeline(enabled=False)
         self._resources: Dict[Any, Resource] = {}
+        #: Cached duplex links (pairs of live resources).  Invalidated
+        #: wholesale on place purge/revive — those pop and recreate the
+        #: underlying per-place resources.
+        self._links: Dict[Any, DuplexLink] = {}
         self._dead: Set[int] = set()
         #: Overlap scope: while > 0, transfer arrivals are deferred.
         self._overlap_depth = 0
         #: place id -> latest deferred completion time.
         self._pending_arrivals: Dict[int, float] = {}
         self.ledger = self.resource(("ledger",))
-        self.ledger.on_acquire = self._record_service
+        # The ledger's recording hook is installed only while the timeline
+        # is enabled: a hook-free resource can take the batched ledger fast
+        # path (Resource.acquire_batch) with identical virtual times.
+        self.timeline.on_toggle(self._sync_ledger_hook)
+        # Mirror of ``timeline.enabled`` as a plain attribute: the transfer
+        # and finish hot paths test it once per event, and an attribute
+        # read is markedly cheaper than the notifying property.
+        self.timeline.on_toggle(self._sync_timeline_flag)
         self.disk = self.resource(("disk",))
         #: Transient message-fault model; ``None`` keeps the network
         #: reliable and every transfer bit-exact with the fault-free model.
@@ -87,6 +98,7 @@ class Scheduler:
             resource = self._resources.pop((tag, place_id), None)
             if resource is not None:
                 resource.retire()
+        self._links.clear()
         self._pending_arrivals.pop(place_id, None)
 
     def revive_place(self, place_id: int) -> None:
@@ -99,6 +111,7 @@ class Scheduler:
         itself was never dropped.
         """
         self._dead.discard(place_id)
+        self._links.clear()
 
     def is_place_dead(self, place_id: int) -> bool:
         return place_id in self._dead
@@ -129,8 +142,13 @@ class Scheduler:
         return [self._resources[k] for k in sorted(self._resources, key=repr)]
 
     def link(self, tx_key: Any, rx_key: Any) -> DuplexLink:
-        """The duplex link over two resource keys."""
-        return DuplexLink(self.resource(tx_key), self.resource(rx_key))
+        """The duplex link over two resource keys (cached per pair)."""
+        key = (tx_key, rx_key)
+        lk = self._links.get(key)
+        if lk is None:
+            lk = DuplexLink(self.resource(tx_key), self.resource(rx_key))
+            self._links[key] = lk
+        return lk
 
     # -- arrivals and the overlap scope ---------------------------------------
 
@@ -281,7 +299,7 @@ class Scheduler:
                 route = "nic"
         done += extra_delay
         self._arrive(dst_id, done)
-        if self.timeline.enabled:
+        if self._tl_enabled:
             self.timeline.record(
                 TransferEvent(
                     t_start=t_request,
@@ -325,7 +343,7 @@ class Scheduler:
         t_request = self.clock.now(place_id) + cost.message(nbytes)
         done = self.disk.acquire(t_request, cost.disk(nbytes))
         self._arrive(place_id, done)
-        if self.timeline.enabled:
+        if self._tl_enabled:
             self.timeline.record(
                 DiskEvent(
                     t_start=t_request,
@@ -349,7 +367,7 @@ class Scheduler:
         done = self.disk.acquire(t_request, cost.disk(nbytes))
         arrival = done + cost.message(nbytes)
         self._arrive(place_id, arrival)
-        if self.timeline.enabled:
+        if self._tl_enabled:
             self.timeline.record(
                 DiskEvent(
                     t_start=t_request,
@@ -390,10 +408,36 @@ class Scheduler:
         t_join = clock.now(driver)
         if t_floor is not None:
             t_join = max(t_floor, t_join)
-        for t_end in sorted(task_ends):
-            t_join = max(t_join, t_end + cost.message(ret_bytes)) + cost.task_join_time
-            stats.messages += 1
-            stats.bytes_sent += cost.scaled_bytes(ret_bytes)
+        n_ends = len(task_ends)
+        if n_ends:
+            # Hoisted constants: message cost depends only on ret_bytes and
+            # the join overhead is per-task fixed, so the historical
+            # `max(t_join, end + msg) + join_dt` recurrence runs with the
+            # identical float operations, minus the per-event lookups.
+            msg = cost.message(ret_bytes)
+            join_dt = cost.task_join_time
+            if msg == 0.0 and join_dt == 0.0:
+                # The recurrence collapses to a running max — exactly what
+                # the loop computes when both costs are zero (chaos runs
+                # under CostModel.zero() live here).
+                top = max(task_ends)
+                if top > t_join:
+                    t_join = top
+            else:
+                for t_end in sorted(task_ends):
+                    arrive = t_end + msg
+                    if arrive > t_join:
+                        t_join = arrive
+                    t_join += join_dt
+            stats.messages += n_ends
+            inc = cost.scaled_bytes(ret_bytes)
+            if inc:
+                # Repeated addition keeps the accumulator bit-identical to
+                # the historical per-task `+=`.
+                acc = stats.bytes_sent
+                for _ in range(n_ends):
+                    acc += inc
+                stats.bytes_sent = acc
 
         task_end_max = max(task_ends) if task_ends else t_start
         ledger_ready = 0.0
@@ -417,7 +461,7 @@ class Scheduler:
             dead_places=list(dead_places or []),
         )
         stats.finish_reports.append(report)
-        if self.timeline.enabled:
+        if self._tl_enabled:
             self.timeline.record(
                 FinishEvent(
                     t_start=t_start,
@@ -432,10 +476,18 @@ class Scheduler:
 
     # -- event hooks -----------------------------------------------------------
 
+    def _sync_ledger_hook(self, enabled: bool) -> None:
+        """Attach/detach the ledger recording hook as tracing toggles."""
+        self.ledger.on_acquire = self._record_service if enabled else None
+
+    def _sync_timeline_flag(self, enabled: bool) -> None:
+        """Keep the plain-attribute mirror of ``timeline.enabled`` fresh."""
+        self._tl_enabled = enabled
+
     def _record_service(
         self, resource: Resource, t_request: float, start: float, done: float
     ) -> None:
-        if self.timeline.enabled:
+        if self._tl_enabled:
             self.timeline.record(
                 ServiceEvent(t_start=t_request, t_end=done, resource=str(resource.key))
             )

@@ -113,8 +113,29 @@ class Timeline:
     """
 
     def __init__(self, enabled: bool = False):
-        self.enabled = enabled
+        self._enabled = bool(enabled)
+        self._toggle_listeners: List = []
         self.events: List[EngineEvent] = []
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        self._enabled = bool(value)
+        for listener in self._toggle_listeners:
+            listener(self._enabled)
+
+    def on_toggle(self, listener) -> None:
+        """Register ``listener(enabled)``; called now and on every toggle.
+
+        Lets hot paths install per-event hooks only while recording is on
+        (e.g. the scheduler's ledger hook, whose absence unlocks the
+        batched ledger fast path).
+        """
+        self._toggle_listeners.append(listener)
+        listener(self._enabled)
 
     def record(self, event: EngineEvent) -> None:
         """Append an event (no-op while disabled)."""

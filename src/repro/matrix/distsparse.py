@@ -145,12 +145,14 @@ class DistSparseRowMatrix(MultiPlaceObject):
             "output partition must align to the matrix row bands",
         )
         group, key = self.group, self.heap_key
+        dup_key, out_key = dup.heap_key, out.heap_key
         sparse_factor = self.runtime.cost.sparse_flop_factor
 
         def task(ctx: PlaceContext) -> None:
-            band: SparseCSR = ctx.heap.get(key)
-            xdata = ctx.heap.get(dup.heap_key).data
-            seg: Vector = ctx.heap.get(out.heap_key)
+            heap_get = ctx.heap.get
+            band: SparseCSR = heap_get(key)
+            xdata = heap_get(dup_key).data
+            seg: Vector = heap_get(out_key)
             seg.touch()
             seg.data[:] = band.spmv(xdata)
             ctx.charge_flops(2.0 * band.nnz * sparse_factor)
@@ -209,11 +211,11 @@ class DistSparseRowMatrix(MultiPlaceObject):
             {"m": self.m, "n": self.n, "sizes": list(self.partition.sizes)}
         )
         base = self._delta_base(snap, base)
-        group = self.group
+        group, key = self.group, self.heap_key
 
         def save(ctx: PlaceContext) -> None:
             index = group.index_of(ctx.place)
-            band: SparseCSR = ctx.heap.get(self.heap_key)
+            band: SparseCSR = ctx.heap.get(key)
             self._save_partition(
                 snap, ctx, index, band.version, base, band.copy, band.freeze_view
             )
@@ -228,13 +230,13 @@ class DistSparseRowMatrix(MultiPlaceObject):
             "snapshot is for a different matrix",
         )
         old_partition = Partition1D(self.m, snapshot.meta["sizes"])
-        group = self.group
+        group, key = self.group, self.heap_key
 
         if old_partition == self.partition:
             def load(ctx: PlaceContext) -> None:
                 index = group.index_of(ctx.place)
                 payload: SparseCSR = snapshot.fetch(ctx, index)
-                ctx.heap.put(self.heap_key, payload.copy())
+                ctx.heap.put(key, payload.copy())
                 ctx.charge_memcpy(payload.nbytes)
 
             self.runtime.finish_all(group, load, label=f"{self.name}:restore")
@@ -262,6 +264,6 @@ class DistSparseRowMatrix(MultiPlaceObject):
                     extract_bytes=(end - start) * _NNZ_BYTES,
                 )
                 pieces.append(piece)
-            ctx.heap.put(self.heap_key, SparseCSR.vstack(pieces))
+            ctx.heap.put(key, SparseCSR.vstack(pieces))
 
         self.runtime.finish_all(group, load_repartitioned, label=f"{self.name}:restore")

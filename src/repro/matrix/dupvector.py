@@ -93,9 +93,10 @@ class DupVector(MultiPlaceObject):
         label: str = "cellwise",
     ) -> "DupVector":
         per_place_flops = flops_cellwise(self.n) if flops is None else flops
+        key = self.heap_key
 
         def task(ctx: PlaceContext) -> None:
-            fn(ctx.heap.get(self.heap_key))
+            fn(ctx.heap.get(key))
             ctx.charge_flops(per_place_flops)
 
         self.runtime.finish_all(self.group, task, label=f"{self.name}:{label}")
@@ -119,9 +120,10 @@ class DupVector(MultiPlaceObject):
         """Binary replica-aligned operation: fn(mine, theirs) at every place."""
         self._check_aligned(other)
         per_place_flops = flops_cellwise(self.n) if flops is None else flops
+        key, other_key = self.heap_key, other.heap_key
 
         def task(ctx: PlaceContext) -> None:
-            fn(ctx.heap.get(self.heap_key), ctx.heap.get(other.heap_key))
+            fn(ctx.heap.get(key), ctx.heap.get(other_key))
             ctx.charge_flops(per_place_flops)
 
         self.runtime.finish_all(self.group, task, label=f"{self.name}:{label}")

@@ -92,6 +92,12 @@ class Partition1D:
         self.n = n
         self.sizes = list(sizes)
         self.offsets = offsets_of(self.sizes)
+        # Partitions are immutable after construction, so segment ranges
+        # are precomputed and the overlap queries of the distributed
+        # matvec routing (same handful of ranges every iteration) are
+        # memoized.
+        self._ranges = list(zip(self.offsets[:-1], self.offsets[1:]))
+        self._overlap_memo: dict = {}
 
     @classmethod
     def even(cls, n: int, parts: int) -> "Partition1D":
@@ -104,8 +110,10 @@ class Partition1D:
 
     def range_of(self, segment: int) -> Tuple[int, int]:
         """Half-open global index range of a segment."""
+        if 0 <= segment < len(self._ranges):
+            return self._ranges[segment]
         check_index(segment, self.num_segments, "segment")
-        return self.offsets[segment], self.offsets[segment + 1]
+        return self._ranges[segment]  # pragma: no cover - check_index raised
 
     def segment_of(self, index: int) -> int:
         """The segment containing global index *index*."""
@@ -116,11 +124,17 @@ class Partition1D:
         """Segments intersecting ``[lo, hi)`` as ``(segment, start, end)``.
 
         Coordinates are global; used to route block-row results of the
-        distributed matvec into the output vector's segments.
+        distributed matvec into the output vector's segments.  Results are
+        memoized (callers only iterate them, never mutate).
         """
+        memo_key = (lo, hi)
+        cached = self._overlap_memo.get(memo_key)
+        if cached is not None:
+            return cached
         require(0 <= lo <= hi <= self.n, f"bad range [{lo},{hi}) for n={self.n}")
         if lo == hi:
-            return []
+            self._overlap_memo[memo_key] = []
+            return self._overlap_memo[memo_key]
         result = []
         seg = self.segment_of(lo)
         while seg < self.num_segments:
@@ -131,6 +145,7 @@ class Partition1D:
             if shi >= hi:
                 break
             seg += 1
+        self._overlap_memo[memo_key] = result
         return result
 
     def overlaps(self, old: "Partition1D") -> List[Tuple[int, int, int, int]]:

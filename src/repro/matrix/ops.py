@@ -52,6 +52,8 @@ def dist_block_matvec(G: DistBlockMatrix, x: DupVector, y: DistVector) -> DistVe
     rt = G.runtime
     group = G.group
 
+    sparse_factor = rt.cost.sparse_flop_factor
+
     def compute(ctx: PlaceContext) -> Dict[int, Tuple[int, np.ndarray]]:
         bs: BlockSet = ctx.heap.get(G.heap_key)
         xdata = ctx.heap.get(x.heap_key).data
@@ -64,7 +66,7 @@ def dist_block_matvec(G: DistBlockMatrix, x: DupVector, y: DistVector) -> DistVe
                 part = block.data.spmv(xdata[c0:c1])
             else:
                 part = block.data.matvec(xdata[c0:c1])
-            flops += _block_flops(block, rt.cost.sparse_flop_factor)
+            flops += _block_flops(block, sparse_factor)
             if block.rb in partials:
                 partials[block.rb][1][:] += part
                 flops += r1 - r0
@@ -77,25 +79,28 @@ def dist_block_matvec(G: DistBlockMatrix, x: DupVector, y: DistVector) -> DistVe
 
     # Route block-row results into the output segments.  Aligned layouts
     # route locally; scattered layouts (post-shrink) pay transfers.
+    partition = y.partition
+    clock_advance = rt.clock.advance
+    cost_flops = rt.cost.flops
+    cost_memcpy = rt.cost.memcpy
     for index in range(group.size):
-        lo, _hi = y.partition.range_of(index)
         seg = y.segment(index)
         seg.fill(0.0)
-        rt.clock.advance(group[index].id, rt.cost.memcpy(seg.nbytes))
+        clock_advance(group[index].id, cost_memcpy(seg.nbytes))
     for src_index, partials in enumerate(results):
         if partials is None:
             continue
         src_place = group[src_index]
         for _rb, (r0, part) in sorted(partials.items()):
             r1 = r0 + len(part)
-            for seg_index, start, end in y.partition.overlapping_segments(r0, r1):
+            for seg_index, start, end in partition.overlapping_segments(r0, r1):
                 dest_place = group[seg_index]
                 if dest_place != src_place:
                     point_to_point(rt, src_place.id, dest_place.id, (end - start) * 8)
                 seg = y.segment(seg_index)
-                seg_lo, _ = y.partition.range_of(seg_index)
+                seg_lo = partition.range_of(seg_index)[0]
                 seg.data[start - seg_lo : end - seg_lo] += part[start - r0 : end - r0]
-                rt.clock.advance(dest_place.id, rt.cost.flops(end - start))
+                clock_advance(dest_place.id, cost_flops(end - start))
     return y
 
 
@@ -107,6 +112,7 @@ def dist_block_t_matvec(G: DistBlockMatrix, r: DistVector, g: DupVector) -> DupV
     require(G.group == g.group, "matrix and output on different groups")
     rt = G.runtime
     group = G.group
+    sparse_factor = rt.cost.sparse_flop_factor
 
     def compute(ctx: PlaceContext) -> None:
         my_index = group.index_of(ctx.place)
@@ -121,7 +127,7 @@ def dist_block_t_matvec(G: DistBlockMatrix, r: DistVector, g: DupVector) -> DupV
                 partial[c0:c1] += block.data.spmv_t(rvals)
             else:
                 partial[c0:c1] += block.data.t_matvec(rvals)
-            flops += _block_flops(block, rt.cost.sparse_flop_factor)
+            flops += _block_flops(block, sparse_factor)
         out: Vector = ctx.heap.get(g.heap_key)
         out.touch()
         out.data[:] = partial

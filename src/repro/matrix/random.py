@@ -73,6 +73,13 @@ def _splitmix64(x: np.ndarray) -> np.ndarray:
         return z ^ (z >> np.uint64(31))
 
 
+#: (seed, n, out_degree) -> generated (rows, cols) edge arrays, shared by
+#: every LinkMatrix instance of the same logical matrix.  The arrays are
+#: only read (``destinations`` returns copies of slices), so sharing is safe.
+_EDGES_MEMO_CAPACITY = 8
+_edges_memo: dict = {}
+
+
 class LinkMatrix:
     """A synthetic column-stochastic web-link matrix of order *n*.
 
@@ -104,7 +111,16 @@ class LinkMatrix:
         """
         require(0 <= j0 <= j1 <= self.n, "bad column range")
         if self._dest_cache is None:
-            self._dest_cache = self._generate(0, self.n)
+            # Edges are a pure function of (seed, n, out_degree), so share
+            # the generated arrays across instances — chaos campaigns build
+            # a fresh LinkMatrix per schedule over the identical workload.
+            memo_key = (self.seed, self.n, self.out_degree)
+            cached = _edges_memo.get(memo_key)
+            if cached is None:
+                if len(_edges_memo) >= _EDGES_MEMO_CAPACITY:
+                    _edges_memo.clear()
+                cached = _edges_memo[memo_key] = self._generate(0, self.n)
+            self._dest_cache = cached
         rows, cols = self._dest_cache
         lo, hi = j0 * self.out_degree, j1 * self.out_degree
         return rows[lo:hi].copy(), cols[lo:hi].copy()

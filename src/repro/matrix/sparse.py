@@ -7,7 +7,18 @@ code paths we must own: counting the non-zeros of an arbitrary sub-region
 block from region pieces ("the non-zero elements for the overlapping regions
 must be counted to determine the space required for the new sparse block").
 
-All kernels are vectorized NumPy; no per-element Python loops.
+All kernels are vectorized NumPy; no per-element Python loops.  When
+``scipy.sparse`` is available (and not disabled via ``REPRO_SPARSE_BACKEND``
+/ ``repro.matrix.sparse_backend.set_backend``), the kernels dispatch to
+zero-copy ``csr_array``/``csc_array`` views over the same compressed
+buffers — bit-identical results (both accumulate in the same index order),
+just less per-call Python overhead.
+
+Duplicate policy: ``from_coo`` **sums** duplicate ``(row, col)`` entries —
+the same coalescing scipy applies — and does the summation on one
+deterministic path (stable row-major sort, first-occurrence order) for
+both backends, so NumPy- and scipy-built matrices are byte-identical even
+in the last ulp of a summed duplicate.
 """
 
 from __future__ import annotations
@@ -16,10 +27,19 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro.matrix import sparse_backend as _backend
 from repro.util.validation import require
 from repro.util.versioning import next_version
 
 _INDEX_DTYPE = np.int64
+
+#: Minimum triplet count for routing ``from_coo`` through scipy's coo→csr
+#: conversion.  Below this the deterministic NumPy coalesce wins outright —
+#: scipy's constructors carry ~100µs of per-call validation overhead that
+#: dwarfs the O(nnz log nnz) work on the small blocks the simulator builds
+#: constantly (restore stitching, link-matrix blocks).  Results are
+#: bit-identical on either path (asserted by the equivalence suite).
+_SCIPY_BUILD_MIN = 32768
 
 
 def _as_index(a) -> np.ndarray:
@@ -50,7 +70,7 @@ class SparseCSR:
     construction.
     """
 
-    __slots__ = ("m", "n", "indptr", "indices", "values", "version")
+    __slots__ = ("m", "n", "indptr", "indices", "values", "version", "_row_ids", "_sp", "_sp_ver")
 
     def __init__(self, m: int, n: int, indptr, indices, values):
         self.m, self.n = int(m), int(n)
@@ -58,6 +78,9 @@ class SparseCSR:
         self.indices = _as_index(indices)
         self.values = np.asarray(values, dtype=np.float64)
         self.version = next_version()
+        self._row_ids = None  # lazy: the index structure is immutable
+        self._sp = None  # lazy zero-copy scipy view
+        self._sp_ver = None  # version the view was built at (touch invalidates)
         require(self.m >= 0 and self.n >= 0, "negative matrix dims")
         require(len(self.indptr) == self.m + 1, "indptr must have m+1 entries")
         require(self.indptr[0] == 0, "indptr must start at 0")
@@ -70,22 +93,65 @@ class SparseCSR:
             )
         require(bool(np.all(np.diff(self.indptr) >= 0)), "indptr must be non-decreasing")
 
+
+    @classmethod
+    def _build(cls, m: int, n: int, indptr, indices, values) -> "SparseCSR":
+        """Construct from arrays that hold the CSR invariants by construction.
+
+        Internal fast path for kernel results (``from_coo`` output, region
+        extraction, stacking, scipy conversions) — the full validation in
+        ``__init__`` stays on the public constructor for caller-supplied
+        arrays.
+        """
+        self = object.__new__(cls)
+        self.m, self.n = int(m), int(n)
+        self.indptr = _as_index(indptr)
+        self.indices = _as_index(indices)
+        self.values = np.asarray(values, dtype=np.float64)
+        self.version = next_version()
+        self._row_ids = None
+        self._sp = None
+        self._sp_ver = None
+        return self
+
     # -- constructors ------------------------------------------------------
 
     @classmethod
     def empty(cls, m: int, n: int) -> "SparseCSR":
         """An all-zero sparse matrix."""
-        return cls(m, n, np.zeros(m + 1, dtype=_INDEX_DTYPE), [], [])
+        return cls._build(m, n, np.zeros(m + 1, dtype=_INDEX_DTYPE), [], [])
 
     @classmethod
     def from_coo(cls, m: int, n: int, rows, cols, vals) -> "SparseCSR":
-        """Build from triplets; duplicates are summed."""
+        """Build from triplets.
+
+        Duplicate ``(row, col)`` entries are **summed** (the same policy as
+        scipy's coalescing).  On the scipy backend, builds of at least
+        ``_SCIPY_BUILD_MIN`` triplets follow the coo→csr idiom with a
+        duplicate-entry guard: if the conversion coalesced anything
+        (``coo.data.size != csr.data.size``), the build is redone on the
+        deterministic NumPy path so both backends yield byte-identical
+        summed values regardless of scipy's internal summation order.
+        Smaller builds always take the NumPy path, which outruns scipy's
+        per-call constructor overhead at that scale — bit-identically.
+        """
         rows, cols = _as_index(rows), _as_index(cols)
         vals = np.asarray(vals, dtype=np.float64)
+        require(len(rows) == len(cols) == len(vals), "COO arrays differ in length")
+        if len(rows) >= _SCIPY_BUILD_MIN and _backend.USE_SCIPY:
+            require(rows.min() >= 0 and rows.max() < m, "COO row index out of range")
+            require(cols.min() >= 0 and cols.max() < n, "COO col index out of range")
+            sp = _backend.scipy_module()
+            coo = sp.coo_array((vals, (rows, cols)), shape=(int(m), int(n)))
+            mat = coo.tocsr()
+            if coo.data.size == mat.data.size:  # duplicate-entry guard
+                mat.sort_indices()
+                return cls._build(m, n, mat.indptr, mat.indices, mat.data)
+            # Duplicates present: fall through to the deterministic coalesce.
         rows, cols, vals = _coalesce_coo(m, n, rows, cols, vals)
         counts = np.bincount(rows, minlength=m)
         indptr = np.concatenate([[0], np.cumsum(counts)])
-        return cls(m, n, indptr, cols, vals)
+        return cls._build(m, n, indptr, cols, vals)
 
     @classmethod
     def from_dense(cls, dense: np.ndarray, tol: float = 0.0) -> "SparseCSR":
@@ -117,7 +183,7 @@ class SparseCSR:
         return self.nnz / total if total else 0.0
 
     def copy(self) -> "SparseCSR":
-        return SparseCSR(
+        return SparseCSR._build(
             self.m, self.n, self.indptr.copy(), self.indices.copy(), self.values.copy()
         )
 
@@ -136,27 +202,61 @@ class SparseCSR:
         self.indptr.setflags(write=False)
         self.indices.setflags(write=False)
         self.values.setflags(write=False)
-        return SparseCSR(self.m, self.n, self.indptr, self.indices, self.values)
+        return SparseCSR._build(self.m, self.n, self.indptr, self.indices, self.values)
 
     def payload_arrays(self) -> Tuple[np.ndarray, ...]:
         """Backing arrays for snapshot checksumming (``repro.util.checksum``)."""
         return (self.indptr, self.indices, self.values)
 
     def row_ids(self) -> np.ndarray:
-        """Expanded row index of every stored entry (COO view helper)."""
-        return np.repeat(np.arange(self.m, dtype=_INDEX_DTYPE), np.diff(self.indptr))
+        """Expanded row index of every stored entry (COO view helper).
+
+        Cached: the index structure (``indptr``) is immutable after
+        construction, so repeated matvecs stop paying the O(nnz)
+        ``np.repeat`` re-expansion per call.
+        """
+        ids = self._row_ids
+        if ids is None:
+            ids = np.repeat(np.arange(self.m, dtype=_INDEX_DTYPE), np.diff(self.indptr))
+            ids.setflags(write=False)
+            self._row_ids = ids
+        return ids
+
+    def _scipy(self):
+        """Zero-copy ``scipy.sparse.csr_array`` view over the same buffers.
+
+        Cached per :attr:`version`: ``touch()`` bumps the version before any
+        mutation (in place or CoW detach), so a stale view can never serve a
+        kernel.  scipy wraps ``values`` as a view (``data.base is values``) —
+        no payload copy either way.
+        """
+        if self._sp is None or self._sp_ver != self.version:
+            sp = _backend.scipy_module()
+            self._sp = sp.csr_array(
+                (self.values, self.indices, self.indptr), shape=(self.m, self.n)
+            )
+            self._sp_ver = self.version
+        return self._sp
 
     def to_dense(self) -> np.ndarray:
         """Expand to a dense 2-D array."""
+        if _backend.USE_SCIPY:
+            return self._scipy().toarray()
         out = np.zeros((self.m, self.n))
         out[self.row_ids(), self.indices] = self.values
         return out
 
     # -- kernels ------------------------------------------------------------
+    #
+    # Each kernel has a NumPy segment-sum path and a scipy dispatch; both
+    # accumulate contributions in the same index order, so results are
+    # bit-identical (asserted by tests/matrix/test_backend_equivalence.py).
 
     def spmv(self, x: np.ndarray) -> np.ndarray:
         """``self @ x``: row-wise gather-multiply-segment-sum."""
         require(x.shape == (self.n,), f"spmv operand must be length {self.n}")
+        if _backend.USE_SCIPY:
+            return self._scipy() @ x
         out = np.zeros(self.m)
         if self.nnz:
             products = self.values * x[self.indices]
@@ -167,6 +267,8 @@ class SparseCSR:
     def spmv_t(self, x: np.ndarray) -> np.ndarray:
         """``self.T @ x``: scatter-add into column bins."""
         require(x.shape == (self.m,), f"spmv_t operand must be length {self.m}")
+        if _backend.USE_SCIPY:
+            return self._scipy().T @ x
         out = np.zeros(self.n)
         if self.nnz:
             products = self.values * x[self.row_ids()]
@@ -182,6 +284,8 @@ class SparseCSR:
     def matmat(self, dense: np.ndarray) -> np.ndarray:
         """``self @ dense`` for a 2-D operand (sparse-dense product)."""
         require(dense.ndim == 2 and dense.shape[0] == self.n, "matmat shape mismatch")
+        if _backend.USE_SCIPY:
+            return self._scipy() @ dense
         out = np.zeros((self.m, dense.shape[1]))
         if self.nnz:
             contrib = self.values[:, None] * dense[self.indices, :]
@@ -191,6 +295,8 @@ class SparseCSR:
     def t_matmat(self, dense: np.ndarray) -> np.ndarray:
         """``self.T @ dense`` for a 2-D operand."""
         require(dense.ndim == 2 and dense.shape[0] == self.m, "t_matmat shape mismatch")
+        if _backend.USE_SCIPY:
+            return self._scipy().T @ dense
         out = np.zeros((self.n, dense.shape[1]))
         if self.nnz:
             contrib = self.values[:, None] * dense[self.row_ids(), :]
@@ -199,10 +305,18 @@ class SparseCSR:
 
     def transpose(self) -> "SparseCSR":
         """A new CSR holding ``self.T``."""
+        if _backend.USE_SCIPY:
+            t = self._scipy().T.tocsr()
+            t.sort_indices()
+            return SparseCSR._build(self.n, self.m, t.indptr, t.indices, t.data)
         return SparseCSR.from_coo(self.n, self.m, self.indices, self.row_ids(), self.values)
 
     def to_csc(self) -> "SparseCSC":
         """Convert to compressed-sparse-column storage."""
+        if _backend.USE_SCIPY:
+            c = self._scipy().tocsc()
+            c.sort_indices()
+            return SparseCSC._build(self.m, self.n, c.indptr, c.indices, c.data)
         return SparseCSC.from_coo(self.m, self.n, self.row_ids(), self.indices, self.values)
 
     # -- region operations (restore paths) -----------------------------------
@@ -230,7 +344,7 @@ class SparseCSR:
         sub_rows = np.searchsorted(self.indptr, entry_idx, side="right") - 1 - r0
         counts = np.bincount(sub_rows, minlength=r1 - r0)
         indptr = np.concatenate([[0], np.cumsum(counts)])
-        return SparseCSR(r1 - r0, c1 - c0, indptr, cols - c0, self.values[entry_idx])
+        return SparseCSR._build(r1 - r0, c1 - c0, indptr, cols - c0, self.values[entry_idx])
 
     # -- assembly (repartitioned restore) ---------------------------------------
 
@@ -267,7 +381,7 @@ class SparseCSR:
         indptr_parts = [blocks[0].indptr]
         for b in blocks[1:]:
             indptr_parts.append(b.indptr[1:] + indptr_parts[-1][-1])
-        return SparseCSR(
+        return SparseCSR._build(
             sum(b.m for b in blocks),
             n,
             np.concatenate(indptr_parts),
@@ -299,7 +413,7 @@ class SparseCSC:
     format round-trip tests.
     """
 
-    __slots__ = ("m", "n", "indptr", "indices", "values", "version")
+    __slots__ = ("m", "n", "indptr", "indices", "values", "version", "_col_ids", "_sp", "_sp_ver")
 
     def __init__(self, m: int, n: int, indptr, indices, values):
         self.m, self.n = int(m), int(n)
@@ -307,6 +421,9 @@ class SparseCSC:
         self.indices = _as_index(indices)
         self.values = np.asarray(values, dtype=np.float64)
         self.version = next_version()
+        self._col_ids = None  # lazy: the index structure is immutable
+        self._sp = None  # lazy zero-copy scipy view
+        self._sp_ver = None  # version the view was built at (touch invalidates)
         require(len(self.indptr) == self.n + 1, "indptr must have n+1 entries")
         require(self.indptr[0] == 0, "indptr must start at 0")
         require(self.indptr[-1] == len(self.indices), "indptr end must equal nnz")
@@ -317,20 +434,51 @@ class SparseCSC:
                 "row index out of range",
             )
 
+
+    @classmethod
+    def _build(cls, m: int, n: int, indptr, indices, values) -> "SparseCSC":
+        """Unchecked internal constructor (see :meth:`SparseCSR._build`)."""
+        self = object.__new__(cls)
+        self.m, self.n = int(m), int(n)
+        self.indptr = _as_index(indptr)
+        self.indices = _as_index(indices)
+        self.values = np.asarray(values, dtype=np.float64)
+        self.version = next_version()
+        self._col_ids = None
+        self._sp = None
+        self._sp_ver = None
+        return self
+
     @classmethod
     def empty(cls, m: int, n: int) -> "SparseCSC":
-        return cls(m, n, np.zeros(n + 1, dtype=_INDEX_DTYPE), [], [])
+        return cls._build(m, n, np.zeros(n + 1, dtype=_INDEX_DTYPE), [], [])
 
     @classmethod
     def from_coo(cls, m: int, n: int, rows, cols, vals) -> "SparseCSC":
-        """Build from triplets; duplicates are summed."""
+        """Build from triplets.
+
+        Duplicates are **summed** on the same deterministic path as
+        :meth:`SparseCSR.from_coo` (see its docstring for the scipy build
+        idiom and duplicate-entry guard).
+        """
         rows, cols = _as_index(rows), _as_index(cols)
         vals = np.asarray(vals, dtype=np.float64)
+        require(len(rows) == len(cols) == len(vals), "COO arrays differ in length")
+        if len(rows) >= _SCIPY_BUILD_MIN and _backend.USE_SCIPY:
+            require(rows.min() >= 0 and rows.max() < m, "COO row index out of range")
+            require(cols.min() >= 0 and cols.max() < n, "COO col index out of range")
+            sp = _backend.scipy_module()
+            coo = sp.coo_array((vals, (rows, cols)), shape=(int(m), int(n)))
+            mat = coo.tocsc()
+            if coo.data.size == mat.data.size:  # duplicate-entry guard
+                mat.sort_indices()
+                return cls._build(m, n, mat.indptr, mat.indices, mat.data)
+            # Duplicates present: fall through to the deterministic coalesce.
         # Coalesce column-major: reuse the row-major helper on the transpose.
         tcols, trows, vals = _coalesce_coo(n, m, cols, rows, vals)
         counts = np.bincount(tcols, minlength=n)
         indptr = np.concatenate([[0], np.cumsum(counts)])
-        return cls(m, n, indptr, trows, vals)
+        return cls._build(m, n, indptr, trows, vals)
 
     @classmethod
     def from_dense(cls, dense: np.ndarray, tol: float = 0.0) -> "SparseCSC":
@@ -351,10 +499,28 @@ class SparseCSC:
         return int(self.indptr.nbytes + self.indices.nbytes + self.values.nbytes)
 
     def col_ids(self) -> np.ndarray:
-        """Expanded column index of every stored entry."""
-        return np.repeat(np.arange(self.n, dtype=_INDEX_DTYPE), np.diff(self.indptr))
+        """Expanded column index of every stored entry (cached; see
+        :meth:`SparseCSR.row_ids`)."""
+        ids = self._col_ids
+        if ids is None:
+            ids = np.repeat(np.arange(self.n, dtype=_INDEX_DTYPE), np.diff(self.indptr))
+            ids.setflags(write=False)
+            self._col_ids = ids
+        return ids
+
+    def _scipy(self):
+        """Zero-copy ``scipy.sparse.csc_array`` view (see :meth:`SparseCSR._scipy`)."""
+        if self._sp is None or self._sp_ver != self.version:
+            sp = _backend.scipy_module()
+            self._sp = sp.csc_array(
+                (self.values, self.indices, self.indptr), shape=(self.m, self.n)
+            )
+            self._sp_ver = self.version
+        return self._sp
 
     def to_dense(self) -> np.ndarray:
+        if _backend.USE_SCIPY:
+            return self._scipy().toarray()
         out = np.zeros((self.m, self.n))
         out[self.indices, self.col_ids()] = self.values
         return out
@@ -362,6 +528,8 @@ class SparseCSC:
     def spmv(self, x: np.ndarray) -> np.ndarray:
         """``self @ x``: scatter-add of scaled columns."""
         require(x.shape == (self.n,), f"spmv operand must be length {self.n}")
+        if _backend.USE_SCIPY:
+            return self._scipy() @ x
         out = np.zeros(self.m)
         if self.nnz:
             np.add.at(out, self.indices, self.values * x[self.col_ids()])
@@ -370,6 +538,8 @@ class SparseCSC:
     def spmv_t(self, x: np.ndarray) -> np.ndarray:
         """``self.T @ x``: per-column gather-sum."""
         require(x.shape == (self.m,), f"spmv_t operand must be length {self.m}")
+        if _backend.USE_SCIPY:
+            return self._scipy().T @ x
         out = np.zeros(self.n)
         if self.nnz:
             np.add.at(out, self.col_ids(), self.values * x[self.indices])
@@ -381,7 +551,7 @@ class SparseCSC:
         return self
 
     def copy(self) -> "SparseCSC":
-        return SparseCSC(
+        return SparseCSC._build(
             self.m, self.n, self.indptr.copy(), self.indices.copy(), self.values.copy()
         )
 
@@ -396,7 +566,7 @@ class SparseCSC:
         self.indptr.setflags(write=False)
         self.indices.setflags(write=False)
         self.values.setflags(write=False)
-        return SparseCSC(self.m, self.n, self.indptr, self.indices, self.values)
+        return SparseCSC._build(self.m, self.n, self.indptr, self.indices, self.values)
 
     def payload_arrays(self) -> Tuple[np.ndarray, ...]:
         """Backing arrays for snapshot checksumming (``repro.util.checksum``)."""
@@ -404,6 +574,10 @@ class SparseCSC:
 
     def to_csr(self) -> SparseCSR:
         """Convert to compressed-sparse-row storage."""
+        if _backend.USE_SCIPY:
+            r = self._scipy().tocsr()
+            r.sort_indices()
+            return SparseCSR._build(self.m, self.n, r.indptr, r.indices, r.data)
         return SparseCSR.from_coo(self.m, self.n, self.indices, self.col_ids(), self.values)
 
     def count_nnz_region(self, r0: int, r1: int, c0: int, c1: int) -> int:
@@ -425,7 +599,7 @@ class SparseCSC:
         sub_cols = np.searchsorted(self.indptr, entry_idx, side="right") - 1 - c0
         counts = np.bincount(sub_cols, minlength=c1 - c0)
         indptr = np.concatenate([[0], np.cumsum(counts)])
-        return SparseCSC(r1 - r0, c1 - c0, indptr, rows[mask] - r0, self.values[entry_idx])
+        return SparseCSC._build(r1 - r0, c1 - c0, indptr, rows[mask] - r0, self.values[entry_idx])
 
     def equals_approx(self, other: "SparseCSC", tol: float = 1e-9) -> bool:
         if self.shape != other.shape:

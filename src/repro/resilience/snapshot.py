@@ -33,7 +33,7 @@ from repro.resilience.placement import ReplicaPlacement, RingPlacement
 from repro.runtime.exceptions import DataLossError, SnapshotCorruptionError
 from repro.runtime.place import PlaceGroup
 from repro.runtime.runtime import PlaceContext, Runtime
-from repro.util.bytesize import payload_nbytes
+from repro.util.bytesize import memoized_nbytes, payload_nbytes
 from repro.util.checksum import corrupt_payload, memoized_checksum
 from repro.util.validation import require
 from repro.util.versioning import freeze_payload
@@ -146,14 +146,18 @@ class DistObjectSnapshot:
         *token* is the partition's mutation-version token; recording it is
         what lets the next delta save prove the partition clean.
         """
-        require(
-            self.group.index_of(ctx.place) == key,
-            f"partition {key} must be saved from group index {key}, "
-            f"not from {ctx.place}",
-        )
+        if self.group.index_of(ctx.place) != key:
+            # Message built lazily: this guard runs on every partition save.
+            require(
+                False,
+                f"partition {key} must be saved from group index {key}, "
+                f"not from {ctx.place}",
+            )
         rt = self.runtime
-        nbytes = payload_nbytes(payload)
         freeze_payload(payload)
+        # Sized after the freeze so the token-keyed memo applies (a re-save
+        # of an unchanged partition skips the recursive measuring pass).
+        nbytes = memoized_nbytes(payload, token)
         ctx.heap.put(self._primary_key(key), payload)
         ctx.charge_memcpy(nbytes)
         fanout = []
@@ -262,11 +266,13 @@ class DistObjectSnapshot:
         dirty-bytes-only cost the tentpole asks for, and the paper's
         ``saveReadOnly`` reuse as the degenerate all-clean case.
         """
-        require(
-            self.group.index_of(ctx.place) == key,
-            f"partition {key} must be saved from group index {key}, "
-            f"not from {ctx.place}",
-        )
+        if self.group.index_of(ctx.place) != key:
+            # Message built lazily: this guard runs on every partition save.
+            require(
+                False,
+                f"partition {key} must be saved from group index {key}, "
+                f"not from {ctx.place}",
+            )
         rt = self.runtime
         primary_heap = rt.heap_of(self.group[key].id)
         payload = primary_heap.get(base._primary_key(key))

@@ -55,6 +55,10 @@ class VirtualClock:
 
         A straggler's charge is stretched by its slowdown factor.
         """
+        if seconds == 0.0:
+            # Zero-rate cost models charge 0.0 everywhere; adding 0.0 to a
+            # non-negative timeline is a bitwise no-op, so skip the store.
+            return self._times[place_id]
         if seconds < 0:
             raise ValueError(f"cannot advance clock by negative time {seconds}")
         if self._slowdown:

@@ -38,7 +38,8 @@ from repro.util.validation import check_index
 
 def check_group_alive(rt: Runtime, group: PlaceGroup) -> None:
     """Raise for any dead member of *group* (before moving any data)."""
-    dead = [p.id for p in group if not rt.is_alive(p.id)]
+    alive = rt._alive
+    dead = [p.id for p in group if not alive.get(p.id, False)]
     if len(dead) == 1:
         raise DeadPlaceException(dead[0])
     if dead:

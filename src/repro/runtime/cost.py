@@ -70,6 +70,16 @@ class CostModel:
     #: Multiplier applied to all flop/byte charges (logical problem scale).
     logical_scale: float = 1.0
 
+    def __post_init__(self) -> None:
+        # Per-instance memo tables for the byte-keyed charge helpers.  The
+        # simulator charges the same handful of payload sizes millions of
+        # times per campaign (partition sizes are fixed per run), so each
+        # helper caches value-by-nbytes; rates are frozen, so entries can
+        # never go stale.  object.__setattr__ because the dataclass is
+        # frozen; the tables are not fields, so eq/repr/replace ignore them.
+        for table in ("_msg_memo", "_memcpy_memo", "_disk_memo", "_cksum_memo", "_shm_memo"):
+            object.__setattr__(self, table, {})
+
     # -- constructors ------------------------------------------------------
 
     @staticmethod
@@ -110,24 +120,44 @@ class CostModel:
         return self.flop_time * n * self.logical_scale
 
     def message(self, nbytes: float = 0.0) -> float:
-        """Wire time of one message carrying *nbytes* of payload."""
-        return self.latency + self.byte_time * nbytes * self.logical_scale
+        """Wire time of one message carrying *nbytes* of payload (memoized)."""
+        memo = self._msg_memo
+        t = memo.get(nbytes)
+        if t is None:
+            t = memo[nbytes] = self.latency + self.byte_time * nbytes * self.logical_scale
+        return t
 
     def memcpy(self, nbytes: float) -> float:
-        """Time of a local memory copy of *nbytes*."""
-        return self.memcpy_byte_time * nbytes * self.logical_scale
+        """Time of a local memory copy of *nbytes* (memoized)."""
+        memo = self._memcpy_memo
+        t = memo.get(nbytes)
+        if t is None:
+            t = memo[nbytes] = self.memcpy_byte_time * nbytes * self.logical_scale
+        return t
 
     def shm_message(self, nbytes: float = 0.0) -> float:
-        """Wire time of one intra-node (shared-memory) message."""
-        return self.latency + self.shm_byte_time * nbytes * self.logical_scale
+        """Wire time of one intra-node (shared-memory) message (memoized)."""
+        memo = self._shm_memo
+        t = memo.get(nbytes)
+        if t is None:
+            t = memo[nbytes] = self.latency + self.shm_byte_time * nbytes * self.logical_scale
+        return t
 
     def disk(self, nbytes: float) -> float:
-        """Time to read or write *nbytes* on stable storage."""
-        return self.disk_byte_time * nbytes * self.logical_scale
+        """Time to read or write *nbytes* on stable storage (memoized)."""
+        memo = self._disk_memo
+        t = memo.get(nbytes)
+        if t is None:
+            t = memo[nbytes] = self.disk_byte_time * nbytes * self.logical_scale
+        return t
 
     def checksum(self, nbytes: float) -> float:
-        """Time to checksum *nbytes* of snapshot payload."""
-        return self.checksum_byte_time * nbytes * self.logical_scale
+        """Time to checksum *nbytes* of snapshot payload (memoized)."""
+        memo = self._cksum_memo
+        t = memo.get(nbytes)
+        if t is None:
+            t = memo[nbytes] = self.checksum_byte_time * nbytes * self.logical_scale
+        return t
 
     def node_of(self, place_id: int) -> int:
         """The physical node hosting a place (block placement)."""

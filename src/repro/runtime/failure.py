@@ -101,6 +101,11 @@ class FailureInjector:
         for kill in kills or []:
             self.add(kill)
 
+    @property
+    def all_fired(self) -> bool:
+        """True when no scripted kill is still pending (O(1) hot-path gate)."""
+        return len(self._fired) >= len(self.kills)
+
     # -- scripting ----------------------------------------------------------
 
     def add(self, kill: ScriptedKill) -> "FailureInjector":

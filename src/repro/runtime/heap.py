@@ -34,15 +34,20 @@ class PlaceHeap:
 
     def put(self, key: Hashable, value: Any) -> None:
         """Store *value* under *key*, replacing any previous entry."""
-        self._check_live()
+        if self.destroyed:
+            self._check_live()
         self._store[key] = value
 
     def get(self, key: Hashable) -> Any:
         """Fetch the entry for *key*; ``KeyError`` if absent."""
-        self._check_live()
-        if key not in self._store:
-            raise KeyError(f"place {self.place_id} heap has no entry {key!r}")
-        return self._store[key]
+        if self.destroyed:
+            self._check_live()
+        try:
+            return self._store[key]
+        except KeyError:
+            raise KeyError(
+                f"place {self.place_id} heap has no entry {key!r}"
+            ) from None
 
     def get_or(self, key: Hashable, default: Any = None) -> Any:
         """Fetch the entry for *key* or *default* when absent."""

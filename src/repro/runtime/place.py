@@ -51,6 +51,10 @@ class PlaceGroup:
         self._places: List[Place] = list(places)
         ids = [p.id for p in self._places]
         require(len(set(ids)) == len(ids), f"duplicate places in group: {ids}")
+        # Groups are immutable (every mutator builds a new group), so the
+        # id -> index map is built once and serves the hot membership /
+        # index lookups in O(1) instead of scanning the place list.
+        self._index_by_id = {pid: i for i, pid in enumerate(ids)}
 
     # -- constructors -----------------------------------------------------
 
@@ -78,11 +82,13 @@ class PlaceGroup:
         return iter(self._places)
 
     def __getitem__(self, index: int) -> Place:
+        if 0 <= index < len(self._places):
+            return self._places[index]
         check_index(index, len(self._places), "place index")
-        return self._places[index]
+        return self._places[index]  # pragma: no cover - check_index raised
 
     def __contains__(self, place: object) -> bool:
-        return isinstance(place, Place) and place in self._places
+        return isinstance(place, Place) and place.id in self._index_by_id
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, PlaceGroup) and other._places == self._places
@@ -102,14 +108,11 @@ class PlaceGroup:
 
     def index_of(self, place: Place) -> int:
         """Index of *place* within this group; ``-1`` if absent."""
-        try:
-            return self._places.index(place)
-        except ValueError:
-            return -1
+        return self._index_by_id.get(place.id, -1)
 
     def contains_id(self, place_id: int) -> bool:
         """True if a place with the given id is in the group."""
-        return any(p.id == place_id for p in self._places)
+        return place_id in self._index_by_id
 
     def next_place(self, index: int) -> Place:
         """The place after position *index*, wrapping around.

@@ -105,15 +105,20 @@ class PlaceContext:
 
     def charge_seconds(self, seconds: float) -> None:
         """Charge raw seconds of work to this place."""
-        self.runtime.clock.advance(self.place.id, seconds)
+        if seconds != 0.0:
+            self.runtime.clock.advance(self.place.id, seconds)
 
     def charge_flops(self, n: float) -> None:
         """Charge *n* floating-point operations to this place."""
-        self.runtime.clock.advance(self.place.id, self.runtime.cost.flops(n))
+        dt = self.runtime.cost.flops(n)
+        if dt != 0.0:
+            self.runtime.clock.advance(self.place.id, dt)
 
     def charge_memcpy(self, nbytes: float) -> None:
         """Charge a local memory copy of *nbytes* to this place."""
-        self.runtime.clock.advance(self.place.id, self.runtime.cost.memcpy(nbytes))
+        dt = self.runtime.cost.memcpy(nbytes)
+        if dt != 0.0:
+            self.runtime.clock.advance(self.place.id, dt)
 
     # -- remote access --------------------------------------------------------
 
@@ -220,6 +225,9 @@ class Runtime:
         self.stats = RuntimeStats()
         self.trace = TraceLog(enabled=trace)
         self.phase = 0
+        #: Per-place context cache (contexts are stateless beyond their
+        #: heap reference; a destroyed/replaced heap invalidates the entry).
+        self._ctx_cache: Dict[int, PlaceContext] = {}
         #: Virtual time at which each dead place died (for the detector).
         self._death_times: Dict[int, float] = {}
         #: Heartbeat failure detector (attached by the executor / CLI).
@@ -419,7 +427,10 @@ class Runtime:
     # -- failure-injection hook ---------------------------------------------
 
     def _fire_due_failures(self) -> None:
-        for victim in self.injector.due_at_phase(self.phase, self.clock.global_time()):
+        injector = self.injector
+        if injector.all_fired:
+            return  # nothing pending: skip the global-time max + scan
+        for victim in injector.due_at_phase(self.phase, self.clock.global_time()):
             self.kill(victim)
 
     def poll_failures(self) -> None:
@@ -475,8 +486,18 @@ class Runtime:
         return self.clock.now(self.DRIVER_ID)
 
     def context(self, place: Place) -> PlaceContext:
-        """Build a context for a live place (library-internal)."""
-        return PlaceContext(self, place, self.heap_of(place.id))
+        """Build a context for a live place (library-internal).
+
+        Cached per place id: contexts carry no per-call state, and a kill
+        destroys the heap (``heap.destroyed``) while a revive installs a
+        *new* heap object — both make the cached entry detectably stale.
+        """
+        ctx = self._ctx_cache.get(place.id)
+        if ctx is not None and not ctx.heap.destroyed:
+            return ctx
+        ctx = PlaceContext(self, place, self.heap_of(place.id))
+        self._ctx_cache[place.id] = ctx
+        return ctx
 
     def at(
         self,
@@ -559,41 +580,61 @@ class Runtime:
         # avail[pid]: when the place's (single) worker can start a task —
         # the phase-start time initially, then the previous task's end when
         # one finish runs several tasks at the same place.
+        # Hot loop: bind lookups once — per-task costs are constants of the
+        # finish (same arg_bytes every task), and the clock/stats attribute
+        # chains dominate the per-task overhead at chaos-campaign volume.
+        alive = self._alive
+        clock_now = clock.now
+        clock_set = clock.set
+        stats = self.stats
+        resilient = self.resilient
+        spawn_dt = cost.task_spawn_time
+        arg_msg = cost.message(arg_bytes)
+        arg_scaled = cost.scaled_bytes(arg_bytes)
+        latency = cost.latency
+        record_arrival = ledger_arrivals.append
+        record_end = task_ends.append
+        ctx_cache = self._ctx_cache
+
         avail = {}
         for place, _fn in tasks:
-            if self.is_alive(place.id) and place.id not in avail:
-                avail[place.id] = clock.now(place.id)
+            if alive.get(place.id, False) and place.id not in avail:
+                avail[place.id] = clock_now(place.id)
 
         t_spawn = t_start
         n_live = 0
         for index, (place, fn) in enumerate(tasks):
-            if not self.is_alive(place.id):
-                failures.append(DeadPlaceException(place.id))
+            pid = place.id
+            if not alive.get(pid, False):
+                failures.append(DeadPlaceException(pid))
                 continue
             n_live += 1
             # Serial spawn at the caller, then the spawn message travels.
-            t_spawn += cost.task_spawn_time
-            if place.id == driver:
-                task_begin = max(t_spawn, avail[place.id])
+            t_spawn += spawn_dt
+            if pid == driver:
+                task_begin = max(t_spawn, avail[pid])
             else:
-                task_begin = max(t_spawn + cost.message(arg_bytes), avail[place.id])
-                self.stats.messages += 1
-                self.stats.bytes_sent += cost.scaled_bytes(arg_bytes)
+                task_begin = max(t_spawn + arg_msg, avail[pid])
+                stats.messages += 1
+                stats.bytes_sent += arg_scaled
             # In-phase arrivals recorded so far are merged back at the end.
-            arrival_backlog = clock.now(place.id)
-            clock.set(place.id, task_begin)
-            if self.resilient:
-                ledger_arrivals.append(task_begin + cost.latency)
+            arrival_backlog = clock_now(pid)
+            clock_set(pid, task_begin)
+            if resilient:
+                record_arrival(task_begin + latency)
+            ctx = ctx_cache.get(pid)
+            if ctx is None or ctx.heap.destroyed:
+                ctx = self.context(place)
             try:
-                results[index] = fn(self.context(place))
+                results[index] = fn(ctx)
             except DeadPlaceException as exc:
                 failures.append(exc)
-            t_end = max(clock.now(place.id), arrival_backlog)
-            clock.set(place.id, t_end)
-            avail[place.id] = t_end
-            task_ends.append(t_end)
-            if self.resilient:
-                ledger_arrivals.append(t_end + cost.latency)
+            t_end = max(clock_now(pid), arrival_backlog)
+            clock_set(pid, t_end)
+            avail[pid] = t_end
+            record_end(t_end)
+            if resilient:
+                record_arrival(t_end + latency)
 
         # The finish join (serial termination-message absorption at the
         # caller) and the resilient-ledger wait are completed by the engine.
@@ -606,11 +647,16 @@ class Runtime:
             ledger_arrivals if self.resilient else None,
             t_floor=t_spawn,
             ret_bytes=ret_bytes,
-            dead_places=[pid for f in failures for pid in getattr(f, "places", [])],
+            dead_places=(
+                [pid for f in failures for pid in getattr(f, "places", [])]
+                if failures
+                else None
+            ),
         )
-        self.trace.emit(
-            "finish", report.end, label=label, tasks=n_live, dead=report.dead_places
-        )
+        if self.trace.enabled:
+            self.trace.emit(
+                "finish", report.end, label=label, tasks=n_live, dead=report.dead_places
+            )
 
         if failures:
             raise collapse_failures(failures)

@@ -8,9 +8,12 @@ way the X10 sockets transport would (raw element bytes plus small framing).
 
 from __future__ import annotations
 
-from typing import Any
+from collections import OrderedDict
+from typing import Any, Optional
 
 import numpy as np
+
+from repro.util.versioning import payload_frozen
 
 #: Fixed framing overhead per serialized object (message header, type tag).
 FRAMING_BYTES = 64
@@ -45,3 +48,32 @@ def payload_nbytes(obj: Any) -> int:
     if nbytes is not None:
         return int(nbytes) + FRAMING_BYTES
     raise TypeError(f"cannot size payload of type {type(obj).__name__}")
+
+
+_NBYTES_MEMO_CAPACITY = 4096
+_nbytes_memo: "OrderedDict[Any, int]" = OrderedDict()
+
+
+def memoized_nbytes(obj: Any, token: Optional[Any]) -> int:
+    """:func:`payload_nbytes` memoized by mutation-version *token*.
+
+    Same token contract as :func:`repro.util.checksum.memoized_checksum`
+    (a token identifies one immutable byte state), but unlike the checksum
+    memo the cache is consulted *before* the frozen-ness walk: the only
+    same-token-different-bytes payloads in the system are the fault
+    injector's bit-flipped copies, and a bit flip never changes a size.
+    New entries are still only recorded for frozen payloads.
+    Capacity-bounded LRU.
+    """
+    if token is not None:
+        cached = _nbytes_memo.get(token)
+        if cached is not None:
+            _nbytes_memo.move_to_end(token)
+            return cached
+    if token is None or not payload_frozen(obj):
+        return payload_nbytes(obj)
+    size = payload_nbytes(obj)
+    _nbytes_memo[token] = size
+    while len(_nbytes_memo) > _NBYTES_MEMO_CAPACITY:
+        _nbytes_memo.popitem(last=False)
+    return size

@@ -37,7 +37,9 @@ def _checksum_into(crc: int, obj: Any) -> int:
         return _feed(crc, b"\x00N")
     if isinstance(obj, np.ndarray):
         crc = _feed(crc, b"\x00A" + obj.dtype.str.encode() + repr(obj.shape).encode())
-        return _feed(crc, np.ascontiguousarray(obj).tobytes())
+        # Feed the buffer directly — tobytes() would copy the whole array.
+        contiguous = obj if obj.flags.c_contiguous else np.ascontiguousarray(obj)
+        return _feed(crc, contiguous.data)
     if isinstance(obj, (bool, int, np.integer)):
         return _feed(crc, b"\x00I" + repr(int(obj)).encode())
     if isinstance(obj, (float, np.floating)):
