@@ -5,7 +5,10 @@ figure of the paper in *virtual* time — this benchmark measures how fast
 the simulator itself runs in *wall-clock* time, on the two workloads the
 speed pass targeted:
 
-* the 200-schedule chaos campaign (``repro.chaos``), linreg and pagerank;
+* the 200-schedule chaos campaign (``repro.chaos``), linreg and pagerank,
+  measured both with the divergence-point prefix cache off and on — the
+  off/on pair is interleaved in one process, the same A/B discipline the
+  stash/pop baselines use across trees;
 * the Figs. 2-4 overhead sweep and Figs. 5-7 restore sweep.
 
 Each suite is measured warm (a short warm-up run first) and best-of-N, so
@@ -19,7 +22,9 @@ Two correctness gates run alongside the timing and fail the benchmark on
 any drift:
 
 * the campaign outcome fingerprint (137 recovered / 63 data-loss-accepted,
-  zero invariant violations for seed 1234) must be reproduced exactly;
+  zero invariant violations for seed 1234) must be reproduced exactly, and
+  the cache-on campaign must produce outcomes bitwise identical to the
+  cache-off campaign (the prefix cache may never buy outcome drift);
 * the linreg golden virtual times (same pins as ``tests/test_golden_timing``)
   must match to 1e-12 — wall-clock speed must never buy virtual-time drift.
 
@@ -59,7 +64,11 @@ GOLDEN_LINREG = {
 }
 
 #: Pre-pass wall-clock seconds, measured interleaved with the optimized
-#: tree (stash/pop A/B, best-of-2 warm runs, single-core container).
+#: tree (stash/pop A/B, best-of-2 warm runs, single-core container).  The
+#: campaign baselines predate BOTH speed passes (hot-path kernels and the
+#: prefix cache), so their ratios are cumulative.  The ``_cache_on`` suites
+#: take their baseline from the same-session ``_cache_off`` measurement
+#: instead — an in-process interleaved A/B needs no cross-tree pin.
 BASELINE_S = {
     "campaign_linreg_200": 2.416,
     "campaign_pagerank_200": 2.350,
@@ -92,9 +101,21 @@ def measure(quick: bool = False, repeats: int = 2) -> Dict[str, float]:
 
     for app in ("linreg", "pagerank"):
         cfg = CampaignConfig(app=app, schedules=schedules, seed=CAMPAIGN_SEED)
-        timings[f"campaign_{app}_{schedules}"] = _best_of(
-            lambda cfg=cfg: run_campaign(cfg), repeats
-        )
+        # Interleave the cache-off and cache-on reps so allocator state and
+        # machine drift hit both sides of the A/B equally.
+        off = on = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            run_campaign(cfg, prefix_cache=False)
+            off = min(off, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            run_campaign(cfg, prefix_cache=True)
+            on = min(on, time.perf_counter() - t0)
+        # The legacy suite name tracks the default (cache-on) path so the
+        # trend series vs the pre-pass baseline stays comparable.
+        timings[f"campaign_{app}_{schedules}"] = on
+        timings[f"campaign_{app}_{schedules}_cache_off"] = off
+        timings[f"campaign_{app}_{schedules}_cache_on"] = on
 
     timings["fig2_4_overhead"] = _best_of(
         lambda: [
@@ -114,21 +135,35 @@ def measure(quick: bool = False, repeats: int = 2) -> Dict[str, float]:
 
 
 def check_campaign_fingerprint() -> Dict[str, int]:
-    """Re-run the linreg campaign and assert the outcome fingerprint."""
+    """Re-run the linreg campaign cache-off and cache-on; assert the outcome
+    fingerprint and that the two modes are bitwise identical."""
+    from dataclasses import asdict
+
     from repro.chaos import CampaignConfig, run_campaign
 
-    rep = run_campaign(
-        CampaignConfig(
-            app="linreg", schedules=CAMPAIGN_SCHEDULES, seed=CAMPAIGN_SEED
-        )
+    cfg = CampaignConfig(
+        app="linreg", schedules=CAMPAIGN_SCHEDULES, seed=CAMPAIGN_SEED
     )
-    counts = rep.counts()
-    if counts != CAMPAIGN_FINGERPRINT:
+    outcomes = {}
+    for prefix_cache in (False, True):
+        rep = run_campaign(cfg, prefix_cache=prefix_cache)
+        counts = rep.counts()
+        if counts != CAMPAIGN_FINGERPRINT:
+            raise AssertionError(
+                f"campaign outcome drift (prefix_cache={prefix_cache}): "
+                f"{counts} != {CAMPAIGN_FINGERPRINT}"
+            )
+        if rep.violations:
+            raise AssertionError(
+                f"{len(rep.violations)} invariant violation(s) "
+                f"(prefix_cache={prefix_cache})"
+            )
+        outcomes[prefix_cache] = [asdict(o) for o in rep.outcomes]
+    if outcomes[False] != outcomes[True]:
         raise AssertionError(
-            f"campaign outcome drift: {counts} != {CAMPAIGN_FINGERPRINT}"
+            "prefix cache changed campaign outcomes: cache-on is not "
+            "bitwise identical to cache-off"
         )
-    if rep.violations:
-        raise AssertionError(f"{len(rep.violations)} invariant violation(s)")
     return counts
 
 
@@ -171,6 +206,20 @@ def main(argv=None) -> int:
     here = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     rows = []
     for suite, seconds in timings.items():
+        if suite.endswith("_cache_on"):
+            # In-process interleaved A/B: the baseline is the same-session
+            # cache-off measurement, valid at any schedule count.
+            base = timings[suite[: -len("_cache_on")] + "_cache_off"]
+            speedup = base / seconds
+            rows.append(
+                {
+                    "suite": suite,
+                    "wall_s": round(seconds, 3),
+                    "baseline_s": round(base, 3),
+                    "speedup": round(speedup, 2),
+                }
+            )
+            continue
         base = BASELINE_S.get(suite)
         speedup = (base / seconds) if (base and not args.quick) else None
         rows.append(
@@ -197,6 +246,26 @@ def main(argv=None) -> int:
             "seed": CAMPAIGN_SEED,
             "outcomes": fingerprint,
             "violations": 0,
+            "prefix_cache_bitwise_identical": True,
+        },
+        "prefix_cache": {
+            "methodology": (
+                "cache-off and cache-on reps interleaved within one "
+                "process (off, on, off, on, ...), best-of per side; the "
+                "cache-off path is the pre-cache simulator, so the ratio "
+                "is a same-session A/B with no cross-tree pin needed"
+            ),
+            "suites": {
+                suite[len("campaign_"):]: {
+                    "off_s": round(timings[suite[: -len("_cache_on")] + "_cache_off"], 3),
+                    "on_s": round(seconds, 3),
+                    "speedup": round(
+                        timings[suite[: -len("_cache_on")] + "_cache_off"] / seconds, 2
+                    ),
+                }
+                for suite, seconds in timings.items()
+                if suite.endswith("_cache_on")
+            },
         },
         "virtual_time_drift": "none (golden linreg pins matched to 1e-12)",
         "sparse_backend": active_backend(),

@@ -27,6 +27,7 @@ boundary, so ``restored_iterations`` stays empty.
 
 from __future__ import annotations
 
+from functools import partial
 from math import sqrt
 from typing import List, Optional
 
@@ -66,7 +67,7 @@ class CGResilient(ReconstructableIterativeApp):
         self.n = n
         part = Partition1D.even(n, group.size)
         self.A = DistSparseRowMatrix.make(
-            runtime, n, group, builder=lambda lo, hi: workload.band(n, lo, hi),
+            runtime, n, group, builder=partial(workload.band, n),
             partition=part,
         )
         self.b = DistVector.make(runtime, n, group, part).init_random(

@@ -47,6 +47,7 @@ from repro.apps.resilient import (
     LogRegResilient,
     PageRankResilient,
 )
+from repro.baseline import failure_free_result
 from repro.resilience.executor import (
     IterativeExecutor,
     NonResilientExecutor,
@@ -360,12 +361,219 @@ def make_schedule(
 
 
 def _failure_free_result(config: CampaignConfig) -> np.ndarray:
-    """The reference answer: the non-resilient app, no failures."""
-    nonres_cls, _, wl_factory, result_of = CHAOS_APPS[config.app]
-    rt = make_runtime(config.places, cost=CostModel.zero())
-    app = nonres_cls(rt, wl_factory(config.iterations))
-    NonResilientExecutor(rt, app).run()
-    return np.asarray(result_of(app))
+    """The reference answer: the non-resilient app, no failures.
+
+    Served from the process-wide memo shared with the service layer's
+    ``BaselineCache`` (:mod:`repro.baseline`), so repeated campaigns and
+    multi-stream serves compute each distinct baseline once.
+    """
+    return failure_free_result(
+        CHAOS_APPS, config.app, config.places, config.iterations
+    )
+
+
+def _build_world(
+    config: CampaignConfig, mode: RestoreMode, checkpoint_mode: str
+) -> Tuple["Runtime", object, AppResilientStore, IterativeExecutor]:
+    """Construct the runtime/app/store/executor world of one schedule.
+
+    This is the crash-only construction path — no detector, corruption
+    model, transient faults, or stragglers — shared verbatim between
+    :func:`run_schedule` and the prefix cache's failure-free reference
+    runs, so a forked world can never drift from a built one.
+    """
+    _, res_cls, wl_factory, _ = CHAOS_APPS[config.app]
+    rt = make_runtime(
+        config.places,
+        cost=CostModel.zero(),
+        resilient=True,
+        spares=config.spares,
+    )
+    app = res_cls(rt, wl_factory(config.iterations))
+    store = AppResilientStore(
+        rt,
+        replicas=config.replicas,
+        placement=make_placement(config.placement),
+        stable_fallback=config.stable_fallback,
+        delta=config.ckpt_delta,
+    )
+    executor = IterativeExecutor(
+        rt,
+        app,
+        store=store,
+        checkpoint_interval=config.checkpoint_interval,
+        mode=mode,
+        spare_fallback=RestoreMode.SHRINK_REBALANCE,
+        checkpoint_mode=checkpoint_mode,
+        detector=None,
+        corruption=None,
+        replicas=config.replicas,
+        placement=make_placement(config.placement),
+        recovery=config.recovery,
+    )
+    return rt, app, store, executor
+
+
+class _PrefixWorld:
+    """Boundary images of one failure-free run at one checkpoint mode.
+
+    The reference run executes the campaign's world with *no kills armed*
+    and captures a :class:`~repro.engine.fork.SimulatorImage` at every
+    iteration-commit boundary, alongside the phase counter and virtual
+    time observed there (the tables phase-/time-triggered kills are
+    located against).  An armed-but-not-due injector is indistinguishable
+    from an empty one at every poll, so the prefix of any schedule whose
+    first kill fires at boundary *b* or later is bitwise identical to
+    this run up to boundary *b*.
+    """
+
+    def __init__(self, config: CampaignConfig, checkpoint_mode: str):
+        from repro.engine.fork import ForkContext, SimulatorImage
+
+        self.config = config
+        self.images: Dict[int, SimulatorImage] = {}
+        self.phase_at: Dict[int, int] = {}
+        self.time_at: Dict[int, float] = {}
+        context = ForkContext()
+        rt, _, _, executor = _build_world(
+            config, RestoreMode.SHRINK, checkpoint_mode
+        )
+
+        def snap(boundary: int) -> bool:
+            self.phase_at[boundary] = rt.phase
+            self.time_at[boundary] = rt.clock.global_time()
+            self.images[boundary] = context.capture(executor)
+            return True
+
+        executor.run(boundary_hook=snap)
+        self.max_boundary = max(self.images)
+
+    def _last_boundary_below(
+        self, table: Dict[int, float], threshold: float
+    ) -> Optional[int]:
+        """Largest captured boundary strictly before *threshold* fires.
+
+        Both tables are nondecreasing in the boundary, so the last
+        boundary whose recorded value is below the trigger is the latest
+        state the kill provably cannot have fired in.  ``None`` when even
+        boundary 0 is too late (the trigger falls inside world
+        construction or the initial redundancy publish) — such a schedule
+        is not forkable and runs from scratch.
+        """
+        best = None
+        for boundary in range(self.max_boundary + 1):
+            if table[boundary] < threshold:
+                best = boundary
+            else:
+                break
+        return best
+
+    def divergence_boundary(self, kills: List[ScriptedKill]) -> Optional[int]:
+        """The latest boundary no kill of this schedule can fire before.
+
+        Per kill: an iteration trigger fires at the top of its iteration;
+        a during-checkpoint trigger at occurrence *o* fires inside the
+        *o*-th checkpoint, which (failure-free, by construction of the
+        prefix) opens in the body of iteration ``(o-1) * interval``; a
+        during-restore/-reconstruct/-scrub trigger needs an earlier
+        failure, so the kill that *caused* that failure governs; phase
+        and time triggers are located against the recorded tables.  The
+        schedule's boundary is the minimum over its kills, clamped to the
+        boundaries the reference run actually reached (a trigger beyond
+        the run's natural end never fires at all).
+        """
+        boundary = self.max_boundary
+        for kill in kills:
+            if kill.iteration is not None:
+                kill_bound = kill.iteration
+            elif kill.during == "checkpoint":
+                kill_bound = (
+                    (kill.occurrence - 1) * self.config.checkpoint_interval
+                )
+            elif kill.during is not None:
+                continue
+            elif kill.phase is not None:
+                kill_bound = self._last_boundary_below(self.phase_at, kill.phase)
+            elif kill.time is not None:
+                kill_bound = self._last_boundary_below(self.time_at, kill.time)
+            else:  # pragma: no cover - ScriptedKill guarantees one trigger
+                return None
+            if kill_bound is None:
+                return None
+            boundary = min(boundary, kill_bound)
+        return max(0, min(boundary, self.max_boundary))
+
+    def fork(
+        self, kills: List[ScriptedKill], mode: RestoreMode
+    ) -> Optional[IterativeExecutor]:
+        """A fresh executor resumed at this schedule's divergence boundary.
+
+        The restore mode is patched after resume — it is only read once a
+        failure needs a replacement group, strictly after the divergence
+        point — and the caller arms the schedule's kills on the resumed
+        injector, which is equivalent to arming them up front because an
+        injector's state is only observed at failure polls.
+        """
+        boundary = self.divergence_boundary(kills)
+        if boundary is None:
+            return None
+        executor = self.images[boundary].load()
+        executor.mode = mode
+        return executor
+
+
+class PrefixCache:
+    """Campaign-level cache of shared failure-free prefixes.
+
+    Schedules of one campaign differ only in their kills and in two
+    mode draws; everything before the first kill fires is the same
+    simulation, re-run hundreds of times.  The cache simulates that
+    shared prefix once per checkpoint mode (the only draw that changes
+    the failure-free world) and forks every schedule from the image at
+    its first-divergence boundary — bitwise identical to running from
+    scratch, minus the redundant prefix wall-clock.
+
+    Campaigns with any transient axis (drops, duplicates, stragglers,
+    corruption, partitions) or a failure detector draw *per-schedule*
+    randomness that perturbs the world from iteration zero, so no prefix
+    is shared and the cache declines (:meth:`usable`).
+    """
+
+    #: The two failure-free worlds a campaign draws from.
+    _CHECKPOINT_MODES = ("blocking", "overlapped")
+
+    def __init__(self, config: CampaignConfig):
+        self.config = config
+        self._worlds: Dict[str, _PrefixWorld] = {}
+
+    @staticmethod
+    def usable(config: CampaignConfig) -> bool:
+        """True when every schedule of *config* shares its prefix."""
+        return not config.transient and config.detect_timeout == 0
+
+    def build(self) -> "PrefixCache":
+        """Eagerly simulate both reference prefixes (call before forking
+        a worker pool, so workers inherit the images instead of each
+        rebuilding them)."""
+        for checkpoint_mode in self._CHECKPOINT_MODES:
+            self.world(checkpoint_mode)
+        return self
+
+    def world(self, checkpoint_mode: str) -> _PrefixWorld:
+        world = self._worlds.get(checkpoint_mode)
+        if world is None:
+            world = self._worlds[checkpoint_mode] = _PrefixWorld(
+                self.config, checkpoint_mode
+            )
+        return world
+
+    def fork(
+        self,
+        checkpoint_mode: str,
+        kills: List[ScriptedKill],
+        mode: RestoreMode,
+    ) -> Optional[IterativeExecutor]:
+        return self.world(checkpoint_mode).fork(kills, mode)
 
 
 def _parity_recovery_sets(config: CampaignConfig) -> Optional[List[set]]:
@@ -426,81 +634,101 @@ def run_schedule(
     baseline: np.ndarray,
     mode: RestoreMode,
     checkpoint_mode: str,
+    prefix: Optional[PrefixCache] = None,
 ) -> ScheduleOutcome:
-    """Run one schedule and check every recovery invariant."""
+    """Run one schedule and check every recovery invariant.
+
+    With a *prefix* cache the schedule resumes from the shared
+    failure-free image at its first-divergence boundary instead of
+    simulating the identical prefix again — bitwise identical outcome,
+    a fraction of the wall clock.
+    """
     _, res_cls, wl_factory, result_of = CHAOS_APPS[config.app]
-    rt = make_runtime(
-        config.places,
-        cost=CostModel.zero(),
-        resilient=True,
-        spares=config.spares,
-    )
-    app = res_cls(rt, wl_factory(config.iterations))
-    # Kills are armed only after construction: phase-triggered kills then
-    # land inside the executor's run, where recovery is defined.
-    for kill in kills:
-        rt.injector.add(kill)
-
-    # Transient-fault plan, deterministic in (campaign seed, index).
-    trng = np.random.default_rng([config.seed, index, 17])
-    straggler_factor = 1.0
-    if config.straggler_max > 1.0:
-        straggler_pid = int(trng.integers(1, config.places))
-        straggler_factor = float(trng.uniform(1.0, config.straggler_max))
-        rt.set_straggler(straggler_pid, straggler_factor)
-    detector = None
-    if config.detect_timeout > 0:
-        detector = PhiAccrualDetector(rt, detect_timeout=config.detect_timeout)
+    executor = None
     faults = None
-    partitions = []
-    if config.partition_rate and trng.random() < config.partition_rate:
-        # A short partition that heals well inside the detection window —
-        # messages and heartbeats across it are lost while it lasts.
-        cut = int(trng.integers(1, config.places))
-        t0 = float(trng.uniform(0.0, config.detect_timeout))
-        partitions.append(
-            LinkPartition(
-                {cut},
-                set(range(config.places)) - {cut},
-                t0,
-                t0 + float(trng.uniform(0.1, 0.5)) * max(config.detect_timeout, 1.0),
-            )
-        )
-    if config.drop_rate or config.dup_rate or partitions:
-        faults = TransientFaultModel(
-            drop_rate=config.drop_rate,
-            dup_rate=config.dup_rate,
-            partitions=partitions,
-            seed=int(trng.integers(2**31)),
-        )
-        rt.set_faults(faults)
     corruption = None
-    if config.corrupt_rate:
-        corruption = CorruptionModel(
-            config.corrupt_rate, seed=int(trng.integers(2**31))
+    straggler_factor = 1.0
+    if prefix is not None and PrefixCache.usable(config):
+        executor = prefix.fork(checkpoint_mode, kills, mode)
+    if executor is not None:
+        rt = executor.runtime
+        app = executor.app
+        store = executor.store
+        # Arming on the resumed injector is equivalent to arming up
+        # front: injector state is only observed at failure polls, and no
+        # kill of this schedule can fire before the resumed boundary.
+        for kill in kills:
+            rt.injector.add(kill)
+    else:
+        rt = make_runtime(
+            config.places,
+            cost=CostModel.zero(),
+            resilient=True,
+            spares=config.spares,
         )
+        app = res_cls(rt, wl_factory(config.iterations))
+        # Kills are armed only after construction: phase-triggered kills
+        # then land inside the executor's run, where recovery is defined.
+        for kill in kills:
+            rt.injector.add(kill)
 
-    store = AppResilientStore(
-        rt,
-        replicas=config.replicas,
-        placement=make_placement(config.placement),
-        stable_fallback=config.stable_fallback,
-        delta=config.ckpt_delta,
-    )
-    executor = IterativeExecutor(
-        rt,
-        app,
-        store=store,
-        checkpoint_interval=config.checkpoint_interval,
-        mode=mode,
-        spare_fallback=RestoreMode.SHRINK_REBALANCE,
-        checkpoint_mode=checkpoint_mode,
-        detector=detector,
-        corruption=corruption,
-        replicas=config.replicas,
-        placement=make_placement(config.placement),
-        recovery=config.recovery,
-    )
+        # Transient-fault plan, deterministic in (campaign seed, index).
+        trng = np.random.default_rng([config.seed, index, 17])
+        if config.straggler_max > 1.0:
+            straggler_pid = int(trng.integers(1, config.places))
+            straggler_factor = float(trng.uniform(1.0, config.straggler_max))
+            rt.set_straggler(straggler_pid, straggler_factor)
+        detector = None
+        if config.detect_timeout > 0:
+            detector = PhiAccrualDetector(rt, detect_timeout=config.detect_timeout)
+        partitions = []
+        if config.partition_rate and trng.random() < config.partition_rate:
+            # A short partition that heals well inside the detection window —
+            # messages and heartbeats across it are lost while it lasts.
+            cut = int(trng.integers(1, config.places))
+            t0 = float(trng.uniform(0.0, config.detect_timeout))
+            partitions.append(
+                LinkPartition(
+                    {cut},
+                    set(range(config.places)) - {cut},
+                    t0,
+                    t0 + float(trng.uniform(0.1, 0.5)) * max(config.detect_timeout, 1.0),
+                )
+            )
+        if config.drop_rate or config.dup_rate or partitions:
+            faults = TransientFaultModel(
+                drop_rate=config.drop_rate,
+                dup_rate=config.dup_rate,
+                partitions=partitions,
+                seed=int(trng.integers(2**31)),
+            )
+            rt.set_faults(faults)
+        if config.corrupt_rate:
+            corruption = CorruptionModel(
+                config.corrupt_rate, seed=int(trng.integers(2**31))
+            )
+
+        store = AppResilientStore(
+            rt,
+            replicas=config.replicas,
+            placement=make_placement(config.placement),
+            stable_fallback=config.stable_fallback,
+            delta=config.ckpt_delta,
+        )
+        executor = IterativeExecutor(
+            rt,
+            app,
+            store=store,
+            checkpoint_interval=config.checkpoint_interval,
+            mode=mode,
+            spare_fallback=RestoreMode.SHRINK_REBALANCE,
+            checkpoint_mode=checkpoint_mode,
+            detector=detector,
+            corruption=corruption,
+            replicas=config.replicas,
+            placement=make_placement(config.placement),
+            recovery=config.recovery,
+        )
     outcome = ScheduleOutcome(
         index=index,
         kills=[_describe(k) for k in kills],
@@ -689,7 +917,10 @@ def _restore_modes(config: CampaignConfig) -> List[RestoreMode]:
 
 
 def _campaign_index(
-    config: CampaignConfig, baseline: np.ndarray, index: int
+    config: CampaignConfig,
+    baseline: np.ndarray,
+    prefix: Optional[PrefixCache],
+    index: int,
 ) -> ScheduleOutcome:
     """Run schedule *index* of the campaign.
 
@@ -697,6 +928,8 @@ def _campaign_index(
     derives from ``(config.seed, index)`` alone, so this function is a
     pure function of its arguments — the parallel pool below produces
     bitwise-identical outcomes to the serial loop, in any worker order.
+    The prefix cache preserves that purity: a forked schedule replays the
+    exact failure-free prefix it would have simulated.
     """
     rng = np.random.default_rng([config.seed, index])
     kills = make_schedule(
@@ -705,11 +938,15 @@ def _campaign_index(
     modes = _restore_modes(config)
     mode = modes[int(rng.integers(len(modes)))]
     checkpoint_mode = "overlapped" if rng.integers(2) else "blocking"
-    return run_schedule(config, index, kills, baseline, mode, checkpoint_mode)
+    return run_schedule(
+        config, index, kills, baseline, mode, checkpoint_mode, prefix=prefix
+    )
 
 
 def run_campaign(
-    config: CampaignConfig, jobs: Optional[int] = None
+    config: CampaignConfig,
+    jobs: Optional[int] = None,
+    prefix_cache: bool = True,
 ) -> CampaignResult:
     """Run the full campaign; deterministic in ``config.seed``.
 
@@ -717,13 +954,24 @@ def run_campaign(
     schedule's randomness is derived from ``(seed, index)``, never from
     shared generator state, so the result is bitwise identical to the
     serial run — parallelism only changes the wall clock.
+
+    *prefix_cache* (default on) simulates the failure-free prefix shared
+    by the campaign's schedules once per checkpoint mode and forks every
+    schedule from the image at its first-divergence boundary (see
+    :class:`PrefixCache`); outcomes are bitwise identical either way.
+    Campaigns with transient axes or a detector decline the cache.
     """
     if config.app not in CHAOS_APPS:
         raise ValueError(
             f"unknown chaos app {config.app!r}; choose from {sorted(CHAOS_APPS)}"
         )
     baseline = _failure_free_result(config)
-    worker = partial(_campaign_index, config, baseline)
+    prefix = None
+    if prefix_cache and PrefixCache.usable(config):
+        # Built eagerly in the parent so pool workers inherit (fork) or
+        # receive (spawn) ready images instead of each rebuilding them.
+        prefix = PrefixCache(config).build()
+    worker = partial(_campaign_index, config, baseline, prefix)
     if jobs is not None and jobs > 1 and config.schedules > 1:
         try:
             ctx = multiprocessing.get_context("fork")

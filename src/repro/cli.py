@@ -328,6 +328,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fan schedules out over N worker processes (default: all "
         "cores; outcomes are bitwise identical to a serial run)",
     )
+    chaos.add_argument(
+        "--prefix-cache",
+        choices=["on", "off"],
+        default="on",
+        help="fork schedules from cached failure-free prefix images instead "
+        "of re-simulating the prefix per schedule (outcomes are bitwise "
+        "identical either way; default: on)",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -688,6 +696,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             recovery=args.recovery,
         ),
         jobs=_resolve_jobs(args.jobs),
+        prefix_cache=args.prefix_cache == "on",
     )
     print(result.summary())
     return 1 if result.violations else 0

@@ -1,0 +1,197 @@
+"""Deterministic simulator-state forking (capture / resume).
+
+A chaos campaign re-simulates the *identical* failure-free prefix of every
+schedule up to its first kill — for a kill at iteration k of N that is k/N
+of the run wasted, per schedule, across hundreds of schedules.  ReStore
+(arXiv:2203.01107) shows in-memory state capture is cheap enough to be
+routine and the waLBerla checkpointing scheme (arXiv:1708.08286) shows
+snapshot/resume of a full simulation can be made exact; this module applies
+the same idea to the *simulator itself*: capture the entire world — engine
+(:class:`~repro.engine.scheduler.Scheduler`, resources, links, overlap
+state), runtime (place heaps, pool/leases, injector, virtual clocks,
+detector), resilience stores (replica/parity/disk tiers, reconstruction
+store, version tokens) and the executor's loop state — at an
+iteration-commit boundary, and resume any number of independent forks from
+the frozen image.
+
+Capture is a pickle of the executor's object graph with one twist that
+makes it copy-on-write: *frozen* payload arrays (``writeable=False``, the
+committed-snapshot CoW convention of :mod:`repro.util.versioning`) are
+never serialized.  They are parked in a shared side table and every fork
+receives a **reference** to the same immutable array — safe because the
+live classes' ``touch()`` protocol replaces a frozen backing array before
+mutating, so no fork can write through the shared reference.  Only the
+writable (by definition dirty) arrays are copied, so a mid-run image costs
+O(dirty), not O(world), and successive boundary images of one run share
+all committed state.
+
+Two invariants the implementation must keep (and the property suite in
+``tests/resilience/test_fork_exactness.py`` checks end to end):
+
+* **Bitwise exactness** — a fork resumed from boundary *b* must produce an
+  ``ExecutionReport``, final vectors and virtual times bitwise identical
+  to a straight-through run, because floats round-trip exactly through
+  pickle and the shared frozen arrays are the very same objects.
+* **Token soundness** — mutation-version tokens are globally unique, so a
+  fork loaded into a process whose counter lags the image (spawn workers)
+  must first advance the counter past every token in the image
+  (:func:`repro.util.versioning.ensure_version_floor`); otherwise a fresh
+  token could collide with a captured one and delta checkpointing would
+  adopt a dirty partition as clean.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.runtime.finish import FinishReport
+from repro.util.versioning import ensure_version_floor, freeze_payload, next_version
+
+
+def _freeze_world(root: Any) -> None:
+    """Freeze every live heap payload of *root*'s runtime before capture.
+
+    Marking the backing arrays read-only lets the capture share them by
+    reference (the CoW convention): the continuing origin world and every
+    fork detach via ``touch()`` before their next mutation, so the image
+    pays for *no* array bytes at all at the boundary — the O(dirty)
+    property extends from committed snapshots to the entire world.
+    """
+    rt = getattr(root, "runtime", None)
+    heaps = getattr(rt, "_heaps", None)
+    if heaps is None:
+        return
+    for heap in heaps.values():
+        store = getattr(heap, "_store", None)
+        if store:
+            for value in store.values():
+                freeze_payload(value)
+
+
+class _CapturePickler(pickle.Pickler):
+    """Pickler that parks frozen ndarrays in the fork context's side table.
+
+    Frozen arrays that *own* their buffer (``base is None``) are shared by
+    reference and deduplicated across captures — their bytes can never
+    change again, so every boundary image of a run points at the same
+    object.  A frozen **view** may alias a still-writable base, so its
+    bytes are snapshotted (copied and re-frozen) per capture instead of
+    shared by identity.
+    """
+
+    def __init__(self, file, context: "ForkContext"):
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._context = context
+        self._view_slots: Dict[int, int] = {}
+
+    def persistent_id(self, obj: Any):
+        tp = type(obj)
+        if tp is np.ndarray and not obj.flags.writeable:
+            ctx = self._context
+            if obj.base is None:
+                slot = ctx._slot_of.get(id(obj))
+                if slot is None:
+                    slot = len(ctx._frozen)
+                    ctx._frozen.append(obj)
+                    ctx._slot_of[id(obj)] = slot
+                return slot
+            slot = self._view_slots.get(id(obj))
+            if slot is None:
+                snap = obj.copy()
+                snap.setflags(write=False)
+                slot = len(ctx._frozen)
+                ctx._frozen.append(snap)
+                self._view_slots[id(obj)] = slot
+            return slot
+        if tp is FinishReport:
+            # Finish reports are append-only records: nothing in the
+            # codebase assigns to a FinishReport field after the report is
+            # added to ``stats.finish_reports``, so forks can share the
+            # instances (and their dead_places lists) by reference exactly
+            # like frozen arrays.
+            ctx = self._context
+            slot = ctx._slot_of.get(id(obj))
+            if slot is None:
+                slot = len(ctx._frozen)
+                ctx._frozen.append(obj)
+                ctx._slot_of[id(obj)] = slot
+            return slot
+        return None
+
+
+class _ResumeUnpickler(pickle.Unpickler):
+    def __init__(self, file, frozen: List[Any]):
+        super().__init__(file)
+        self._frozen = frozen
+
+    def persistent_load(self, pid: int) -> Any:
+        return self._frozen[pid]
+
+
+class SimulatorImage:
+    """One captured world state, resumable any number of times.
+
+    ``load()`` returns a fresh, fully independent copy of the captured
+    object graph (sharing only immutable frozen arrays with the origin
+    world and with sibling forks).  ``meta`` carries whatever boundary
+    bookkeeping the capturer recorded (iteration, phase, virtual time).
+    """
+
+    __slots__ = ("_payload", "_context", "version_floor", "meta")
+
+    def __init__(self, payload: bytes, context: "ForkContext", version_floor: int, meta: Dict[str, Any]):
+        self._payload = payload
+        self._context = context
+        self.version_floor = version_floor
+        self.meta = meta
+
+    @property
+    def nbytes(self) -> int:
+        """Serialized size of the dirty part of the image (shared frozen
+        arrays excluded — they are amortized across the whole context)."""
+        return len(self._payload)
+
+    def load(self) -> Any:
+        ensure_version_floor(self.version_floor)
+        return _ResumeUnpickler(io.BytesIO(self._payload), self._context._frozen).load()
+
+
+class ForkContext:
+    """Shared frozen-array pool for a family of related captures.
+
+    All images captured through one context share a single side table of
+    immutable arrays, so capturing a run at every iteration boundary costs
+    one copy of the *dirty* state per boundary plus one shared copy of all
+    committed (frozen) state — the copy-on-write property.
+
+    The context (and its images) pickles cleanly for ``spawn``-style
+    process pools; the re-frozen flag on every shared array is restored on
+    unpickling because a plain ndarray pickle does not preserve it.
+    """
+
+    def __init__(self) -> None:
+        self._frozen: List[Any] = []
+        self._slot_of: Dict[int, int] = {}
+
+    def capture(self, root: Any, **meta: Any) -> SimulatorImage:
+        """Snapshot *root*'s full object graph into a resumable image."""
+        _freeze_world(root)
+        buf = io.BytesIO()
+        _CapturePickler(buf, self).dump(root)
+        return SimulatorImage(buf.getvalue(), self, next_version(), dict(meta))
+
+    # -- cross-process transport --------------------------------------------
+
+    def __getstate__(self):
+        return {"frozen": self._frozen}
+
+    def __setstate__(self, state):
+        self._frozen = state["frozen"]
+        for shared in self._frozen:
+            if type(shared) is np.ndarray:
+                shared.setflags(write=False)
+        self._slot_of = {id(shared): slot for slot, shared in enumerate(self._frozen)}

@@ -116,6 +116,25 @@ class Scheduler:
     def is_place_dead(self, place_id: int) -> bool:
         return place_id in self._dead
 
+    def zero_fast(self) -> bool:
+        """True while every virtual-time value is provably 0.0.
+
+        All-zero cost rates mean no charge can move a clock or a resource
+        frontier; an unmoved clock means nothing external (a detector
+        heartbeat, a service arrival) has either; a reliable network rules
+        out retransmission waits; a disabled timeline means no events need
+        recording.  Under those four facts the transfer/finish bookkeeping
+        only shuffles zeros, so the hot paths skip it — results, stats
+        counters and reports stay bit-identical.  The test is cheap and
+        rechecked per event because the clock flag can flip mid-run.
+        """
+        return (
+            self.cost.is_zero
+            and not self.clock._moved
+            and self.faults is None
+            and not self._tl_enabled
+        )
+
     def _check_place(self, place_id: int) -> None:
         if place_id in self._dead:
             raise DeadPlaceException(place_id)
@@ -221,6 +240,8 @@ class Scheduler:
         to the completion (deferred inside an overlap scope).
         """
         self._check_place(place_id)
+        if duration == 0.0 and self.cost.is_zero and not self.clock._moved and not self._tl_enabled:
+            return t_request
         done = self.resource(("srv", place_id)).acquire(t_request, duration)
         self._arrive(place_id, done)
         return done
@@ -245,6 +266,10 @@ class Scheduler:
         self._check_place(dst_id)
         faults = self.faults
         if faults is None:
+            if self.cost.is_zero and not self.clock._moved and not self._tl_enabled:
+                # Zero-time fast path: the link acquire and the arrival
+                # would compute exactly t_request (0.0) back.
+                return t_request
             return self._transfer_once(src_id, dst_id, nbytes, t_request)
         policy = self.retry_policy
         t_send = t_request
@@ -472,6 +497,57 @@ class Scheduler:
                     ledger_ready=ledger_ready,
                 )
             )
+        return report
+
+    def complete_finish_zero(
+        self,
+        runtime,
+        label: str,
+        n_ends: int,
+        n_tasks: int,
+        ledger_events: int,
+        ret_bytes: float = 0.0,
+        dead_places: Optional[List[int]] = None,
+    ) -> FinishReport:
+        """Zero-time variant of :meth:`complete_finish`.
+
+        Only valid under :meth:`zero_fast`: every task end, arrival and
+        frontier is 0.0, so the join recurrence, the ledger drain and the
+        clock update all land back on 0.0.  What remains is exactly the
+        observable bookkeeping the slow path performs — stats counters
+        (bit-identical accumulation), ledger event counts, and the
+        recorded :class:`FinishReport`.  *n_ends* is the number of task
+        terminations (``len(task_ends)``), *n_tasks* the live task count,
+        *ledger_events* the number of resilient ledger arrivals the slow
+        path would have posted (0 when the runtime is non-resilient).
+        """
+        stats = runtime.stats
+        if n_ends:
+            stats.messages += n_ends
+            inc = self.cost.scaled_bytes(ret_bytes)
+            if inc:
+                # Repeated addition keeps the accumulator bit-identical to
+                # the historical per-task `+=`.
+                acc = stats.bytes_sent
+                for _ in range(n_ends):
+                    acc += inc
+                stats.bytes_sent = acc
+        if runtime.resilient and ledger_events:
+            lstats = runtime.ledger.stats
+            lstats.events += ledger_events
+            lstats.finishes += 1
+        stats.finishes += 1
+        stats.tasks += n_tasks
+        report = FinishReport(
+            label=label,
+            start=0.0,
+            end=0.0,
+            n_tasks=n_tasks,
+            task_end_max=0.0,
+            ledger_ready=0.0,
+            dead_places=list(dead_places or []),
+        )
+        stats.finish_reports.append(report)
         return report
 
     # -- event hooks -----------------------------------------------------------

@@ -117,12 +117,14 @@ class DistVector(MultiPlaceObject):
     ) -> "DistVector":
         group, key = self.group, self.heap_key
         partition = self.partition
+        charged = self.runtime.cost.flop_time != 0.0
 
         def task(ctx: PlaceContext) -> None:
             index = group.index_of(ctx.place)
             lo, hi = partition.range_of(index)
             fn(ctx.heap.get(key), lo, hi)
-            ctx.charge_flops(flops_per_cell * (hi - lo))
+            if charged:
+                ctx.charge_flops(flops_per_cell * (hi - lo))
 
         self.runtime.finish_all(group, task, label=f"{self.name}:{label}")
         return self
@@ -150,12 +152,14 @@ class DistVector(MultiPlaceObject):
     ) -> "DistVector":
         self._check_aligned(other)
         group = self.group
+        charged = self.runtime.cost.flop_time != 0.0
 
         def task(ctx: PlaceContext) -> None:
             index = group.index_of(ctx.place)
             lo, hi = self.partition.range_of(index)
             fn(ctx.heap.get(self.heap_key), ctx.heap.get(other.heap_key))
-            ctx.charge_flops(flops_per_cell * (hi - lo))
+            if charged:
+                ctx.charge_flops(flops_per_cell * (hi - lo))
 
         self.runtime.finish_all(group, task, label=f"{self.name}:{label}")
         return self

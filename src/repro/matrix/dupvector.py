@@ -94,10 +94,12 @@ class DupVector(MultiPlaceObject):
     ) -> "DupVector":
         per_place_flops = flops_cellwise(self.n) if flops is None else flops
         key = self.heap_key
+        charged = self.runtime.cost.flop_time != 0.0
 
         def task(ctx: PlaceContext) -> None:
             fn(ctx.heap.get(key))
-            ctx.charge_flops(per_place_flops)
+            if charged:
+                ctx.charge_flops(per_place_flops)
 
         self.runtime.finish_all(self.group, task, label=f"{self.name}:{label}")
         return self
@@ -121,10 +123,12 @@ class DupVector(MultiPlaceObject):
         self._check_aligned(other)
         per_place_flops = flops_cellwise(self.n) if flops is None else flops
         key, other_key = self.heap_key, other.heap_key
+        charged = self.runtime.cost.flop_time != 0.0
 
         def task(ctx: PlaceContext) -> None:
             fn(ctx.heap.get(key), ctx.heap.get(other_key))
-            ctx.charge_flops(per_place_flops)
+            if charged:
+                ctx.charge_flops(per_place_flops)
 
         self.runtime.finish_all(self.group, task, label=f"{self.name}:{label}")
         return self

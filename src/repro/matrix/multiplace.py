@@ -51,6 +51,10 @@ class MultiPlaceObject(Snapshottable):
         self.group = group
         self.name = name
         self.oid = next(_object_counter)
+        #: The key under which each member place stores its payload.
+        #: A plain attribute (the oid never changes): the heap addressing
+        #: paths read it tens of thousands of times per chaos schedule.
+        self.heap_key = ("gml", self.oid)
 
     def _new_snapshot(self, meta: dict) -> "object":
         """Build this object's snapshot store per its configuration."""
@@ -87,11 +91,6 @@ class MultiPlaceObject(Snapshottable):
         )
 
     # -- heap addressing ----------------------------------------------------
-
-    @property
-    def heap_key(self) -> tuple:
-        """The key under which each member place stores its payload."""
-        return ("gml", self.oid)
 
     def local_payload(self, place: Place) -> Any:
         """Library-internal: this object's payload on one live place."""

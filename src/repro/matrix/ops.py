@@ -53,6 +53,9 @@ def dist_block_matvec(G: DistBlockMatrix, x: DupVector, y: DistVector) -> DistVe
     group = G.group
 
     sparse_factor = rt.cost.sparse_flop_factor
+    # Flop accounting only feeds the clock charge; with a zero flop rate
+    # the charge is 0.0 whatever the count, so skip the tally entirely.
+    count_flops = rt.cost.flop_time != 0.0
 
     def compute(ctx: PlaceContext) -> Dict[int, Tuple[int, np.ndarray]]:
         bs: BlockSet = ctx.heap.get(G.heap_key)
@@ -66,13 +69,16 @@ def dist_block_matvec(G: DistBlockMatrix, x: DupVector, y: DistVector) -> DistVe
                 part = block.data.spmv(xdata[c0:c1])
             else:
                 part = block.data.matvec(xdata[c0:c1])
-            flops += _block_flops(block, sparse_factor)
+            if count_flops:
+                flops += _block_flops(block, sparse_factor)
             if block.rb in partials:
                 partials[block.rb][1][:] += part
-                flops += r1 - r0
+                if count_flops:
+                    flops += r1 - r0
             else:
                 partials[block.rb] = (r0, part)
-        ctx.charge_flops(flops)
+        if count_flops:
+            ctx.charge_flops(flops)
         return partials
 
     results = rt.finish_all(group, compute, label="matvec")
@@ -80,13 +86,16 @@ def dist_block_matvec(G: DistBlockMatrix, x: DupVector, y: DistVector) -> DistVe
     # Route block-row results into the output segments.  Aligned layouts
     # route locally; scattered layouts (post-shrink) pay transfers.
     partition = y.partition
+    cost = rt.cost
     clock_advance = rt.clock.advance
-    cost_flops = rt.cost.flops
-    cost_memcpy = rt.cost.memcpy
+    cost_flops = cost.flops
+    cost_memcpy = cost.memcpy
+    charge_memcpy = cost.memcpy_byte_time != 0.0
     for index in range(group.size):
         seg = y.segment(index)
         seg.fill(0.0)
-        clock_advance(group[index].id, cost_memcpy(seg.nbytes))
+        if charge_memcpy:
+            clock_advance(group[index].id, cost_memcpy(seg.nbytes))
     for src_index, partials in enumerate(results):
         if partials is None:
             continue
@@ -100,7 +109,8 @@ def dist_block_matvec(G: DistBlockMatrix, x: DupVector, y: DistVector) -> DistVe
                 seg = y.segment(seg_index)
                 seg_lo = partition.range_of(seg_index)[0]
                 seg.data[start - seg_lo : end - seg_lo] += part[start - r0 : end - r0]
-                clock_advance(dest_place.id, cost_flops(end - start))
+                if count_flops:
+                    clock_advance(dest_place.id, cost_flops(end - start))
     return y
 
 
@@ -113,6 +123,7 @@ def dist_block_t_matvec(G: DistBlockMatrix, r: DistVector, g: DupVector) -> DupV
     rt = G.runtime
     group = G.group
     sparse_factor = rt.cost.sparse_flop_factor
+    count_flops = rt.cost.flop_time != 0.0
 
     def compute(ctx: PlaceContext) -> None:
         my_index = group.index_of(ctx.place)
@@ -127,11 +138,13 @@ def dist_block_t_matvec(G: DistBlockMatrix, r: DistVector, g: DupVector) -> DupV
                 partial[c0:c1] += block.data.spmv_t(rvals)
             else:
                 partial[c0:c1] += block.data.t_matvec(rvals)
-            flops += _block_flops(block, sparse_factor)
+            if count_flops:
+                flops += _block_flops(block, sparse_factor)
         out: Vector = ctx.heap.get(g.heap_key)
         out.touch()
         out.data[:] = partial
-        ctx.charge_flops(flops)
+        if count_flops:
+            ctx.charge_flops(flops)
 
     rt.finish_all(group, compute, label="t_matvec")
     g.reduce_sum()

@@ -44,7 +44,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.resilience.iterative import (
     ReconstructableIterativeApp,
@@ -193,6 +193,31 @@ class ExecutionReport:
         return sum(self.checkpoint_durations) / len(self.checkpoint_durations)
 
 
+@dataclass
+class _LoopState:
+    """Every datum of ``IterativeExecutor.run`` that lives across one
+    iteration boundary.
+
+    Keeping the loop's working set on the executor (instead of in stack
+    locals) is what makes a mid-run executor a picklable object graph: a
+    :func:`repro.engine.fork.ForkContext.capture` taken at a boundary hook
+    snapshots the loop exactly where it stands, and calling ``run()`` on
+    the resumed copy continues bit-for-bit.  Per-attempt temporaries
+    (``t_attempt`` and friends) never cross a boundary and stay locals.
+    """
+
+    report: ExecutionReport
+    iteration: int = 0
+    last_checkpoint_iter: Optional[int] = None
+    restore_attempts: int = 0
+    t_begin: float = 0.0
+    #: Runtime-global counter baselines, recorded at run start so the
+    #: report stays per-job when several executors share one runtime.
+    fallback_base: int = 0
+    parity_base: int = 0
+    faults_base: Tuple[int, int, int, int] = (0, 0, 0, 0)
+
+
 #: Valid values of ``IterativeExecutor``'s ``checkpoint_mode``.
 CHECKPOINT_MODES = ("blocking", "overlapped")
 
@@ -299,6 +324,9 @@ class IterativeExecutor:
         #: the next attempt (or the fallback restore) — a lease has no
         #: un-claim, so a claimed spare must not leak.
         self._spare_stash: List = []
+        #: Live loop state (:class:`_LoopState`) once ``run()`` has
+        #: started; the seam simulator forking captures and resumes at.
+        self._loop: Optional[_LoopState] = None
 
     def _evict(self, place_id: int, report: ExecutionReport) -> None:
         """Act on a CONFIRMED_DEAD verdict: fence the place out.
@@ -435,47 +463,62 @@ class IterativeExecutor:
 
     # -- main loop ------------------------------------------------------------
 
-    def run(self) -> ExecutionReport:
+    def run(
+        self, boundary_hook: Optional[Callable[[int], bool]] = None
+    ) -> Optional[ExecutionReport]:
         """Execute the application to completion; returns the timing report.
 
         Raises :class:`DataLossError` if a failure strikes before the first
         checkpoint has committed (there is nothing to roll back to) or if
         both copies of a snapshot partition were lost.
+
+        *boundary_hook*, when given, is called at every iteration-commit
+        boundary (the loop top, before failure polling) with the upcoming
+        iteration number.  Returning ``False`` pauses the run — ``run()``
+        returns ``None`` with all loop state parked on the executor, and a
+        later ``run()`` call (on this executor or on a fork of it, see
+        :mod:`repro.engine.fork`) continues exactly where it stopped.  The
+        hook is a plain argument, never stored on the executor, so a
+        captured executor stays picklable even when the hook is a closure.
         """
         rt = self.runtime
-        report = ExecutionReport()
-        t_begin = rt.now()
-        # Runtime-global counters are recorded as deltas over this run, so
-        # a report stays per-job when several executors share one runtime.
-        fallback_base = rt.stats.stable_fallback_reads
-        parity_base = rt.stats.parity_reconstructions
-        faults_base = (
-            (rt.faults.dropped, rt.faults.retransmissions,
-             rt.faults.duplicates, rt.faults.timeouts)
-            if rt.faults is not None
-            else (0, 0, 0, 0)
-        )
-        iteration = 0
-        last_checkpoint_iter: Optional[int] = None
-        restore_attempts = 0
+        state = self._loop
+        if state is None:
+            state = self._loop = _LoopState(report=ExecutionReport())
+            state.t_begin = rt.now()
+            # Runtime-global counters are recorded as deltas over this run,
+            # so a report stays per-job when several executors share one
+            # runtime.
+            state.fallback_base = rt.stats.stable_fallback_reads
+            state.parity_base = rt.stats.parity_reconstructions
+            if rt.faults is not None:
+                state.faults_base = (
+                    rt.faults.dropped, rt.faults.retransmissions,
+                    rt.faults.duplicates, rt.faults.timeouts,
+                )
 
-        if self.rstore is not None:
-            # The redundant baseline must exist before any scripted kill
-            # can fire (they fire at the loop top): from iteration 0 on,
-            # reconstruction always has a committed generation.  A kill
-            # can still land inside this very first publish (phase/time
-            # triggers); the store's atomicity leaves it uncommitted and
-            # the loop's failure machinery takes over on the first
-            # iteration attempt.
-            t0 = rt.now()
-            try:
-                self.app.publish_redundant(self.rstore, iteration)
-                report.redundancy_time += rt.now() - t0
-            except (DeadPlaceException, MultipleException):
-                report.lost_time += rt.now() - t0
+            if self.rstore is not None:
+                # The redundant baseline must exist before any scripted kill
+                # can fire (they fire at the loop top): from iteration 0 on,
+                # reconstruction always has a committed generation.  A kill
+                # can still land inside this very first publish (phase/time
+                # triggers); the store's atomicity leaves it uncommitted and
+                # the loop's failure machinery takes over on the first
+                # iteration attempt.
+                t0 = rt.now()
+                try:
+                    self.app.publish_redundant(self.rstore, state.iteration)
+                    state.report.redundancy_time += rt.now() - t0
+                except (DeadPlaceException, MultipleException):
+                    state.report.lost_time += rt.now() - t0
 
-        while not self.app.is_finished():
-            for victim in rt.injector.due_at_iteration(iteration):
+        report = state.report
+        while True:
+            if boundary_hook is not None and not boundary_hook(state.iteration):
+                return None
+            if self.app.is_finished():
+                break
+            for victim in rt.injector.due_at_iteration(state.iteration):
                 rt.kill(victim)
             if self.detector is not None:
                 # Background confirmations (e.g. a partition silently eating
@@ -485,8 +528,8 @@ class IterativeExecutor:
             t_attempt = rt.now()
             try:
                 if (
-                    iteration % self.checkpoint_interval == 0
-                    and iteration != last_checkpoint_iter
+                    state.iteration % self.checkpoint_interval == 0
+                    and state.iteration != state.last_checkpoint_iter
                 ):
                     t0 = rt.now()
                     rt.injector.enter_context("checkpoint")
@@ -510,7 +553,7 @@ class IterativeExecutor:
                     report.checkpoint_stall_time += dt
                     report.checkpoint_durations.append(dt)
                     report.checkpoints += 1
-                    last_checkpoint_iter = iteration
+                    state.last_checkpoint_iter = state.iteration
                     if self.corruption is not None:
                         self.corruption.strike(self.store)
                     t_attempt = rt.now()
@@ -519,14 +562,14 @@ class IterativeExecutor:
                 self.app.step()
                 report.step_time += rt.now() - t0
                 report.iterations_executed += 1
-                iteration += 1
-                restore_attempts = 0
+                state.iteration += 1
+                state.restore_attempts = 0
                 if self.rstore is not None:
                     # Refresh the redundant state to the new boundary (a
                     # failure mid-publish leaves the previous generation
                     # committed — reconstruction then redoes one step).
                     t0 = rt.now()
-                    self.app.publish_redundant(self.rstore, iteration)
+                    self.app.publish_redundant(self.rstore, state.iteration)
                     report.redundancy_time += rt.now() - t0
             except (DeadPlaceException, MultipleException) as failure:
                 # Any backups still in flight from an overlapped checkpoint
@@ -559,10 +602,10 @@ class IterativeExecutor:
                     # checkpoint needs no rollback: the cancelled attempt
                     # is simply retried (bounded like restore attempts —
                     # a partition that never heals must not hang the run).
-                    restore_attempts += 1
-                    if restore_attempts > self.max_restore_attempts:
+                    state.restore_attempts += 1
+                    if state.restore_attempts > self.max_restore_attempts:
                         raise DataLossError(
-                            f"checkpoint failed {restore_attempts - 1} "
+                            f"checkpoint failed {state.restore_attempts - 1} "
                             "consecutive times under transient faults"
                         ) from failure
                     continue
@@ -570,8 +613,8 @@ class IterativeExecutor:
                     if self._try_reconstruct(report):
                         # Back at the last published boundary: no rollback,
                         # no lost iterations beyond the interrupted step.
-                        iteration = self.rstore.state_iteration
-                        restore_attempts = 0
+                        state.iteration = self.rstore.state_iteration
+                        state.restore_attempts = 0
                         continue
                     # The burst exceeded the published redundancy (or
                     # spares ran out): drop to the classic rung.  The
@@ -592,10 +635,10 @@ class IterativeExecutor:
                 # consistent state.  Each aborted attempt is accounted
                 # separately (``aborted_restores``) from successful ones.
                 while True:
-                    restore_attempts += 1
-                    if restore_attempts > self.max_restore_attempts:
+                    state.restore_attempts += 1
+                    if state.restore_attempts > self.max_restore_attempts:
                         raise DataLossError(
-                            f"restore failed {restore_attempts - 1} "
+                            f"restore failed {state.restore_attempts - 1} "
                             "consecutive times"
                         ) from failure
                     new_group, effective_mode = self._replacement_group(
@@ -681,10 +724,10 @@ class IterativeExecutor:
                 report.restore_time += dt
                 report.restore_durations.append(dt)
                 report.restores += 1
-                iteration = self.store.latest_iteration
-                last_checkpoint_iter = iteration
-                report.useful_iterations = iteration
-                report.restored_iterations.append(iteration)
+                state.iteration = self.store.latest_iteration
+                state.last_checkpoint_iter = state.iteration
+                report.useful_iterations = state.iteration
+                report.restored_iterations.append(state.iteration)
 
         # The run is only finished once the final checkpoint is durable:
         # drain outstanding overlapped backups and charge the driver the
@@ -692,13 +735,15 @@ class IterativeExecutor:
         report.checkpoint_stall_time += rt.engine.drain_overlap(
             sync_place_id=rt.DRIVER_ID
         )
-        report.total_time = rt.now() - t_begin
-        report.useful_iterations = iteration
+        report.total_time = rt.now() - state.t_begin
+        report.useful_iterations = state.iteration
         report.final_group_size = self.app.places.size
         report.pending_kills = rt.injector.unfired()
-        report.stable_fallback_reads = rt.stats.stable_fallback_reads - fallback_base
+        report.stable_fallback_reads = (
+            rt.stats.stable_fallback_reads - state.fallback_base
+        )
         report.parity_reconstructions = (
-            rt.stats.parity_reconstructions - parity_base
+            rt.stats.parity_reconstructions - state.parity_base
         )
         report.quarantined_copies = self.store.quarantined_copies()
         report.ckpt_clean_partitions = self.store.delta_clean_partitions
@@ -709,10 +754,14 @@ class IterativeExecutor:
             report.redundancy_bytes = self.rstore.redundancy_bytes
             report.repaired_static_keys = self.rstore.repaired_keys
         if rt.faults is not None:
-            report.dropped_messages = rt.faults.dropped - faults_base[0]
-            report.retransmissions = rt.faults.retransmissions - faults_base[1]
-            report.duplicate_messages = rt.faults.duplicates - faults_base[2]
-            report.comm_timeouts = rt.faults.timeouts - faults_base[3]
+            report.dropped_messages = rt.faults.dropped - state.faults_base[0]
+            report.retransmissions = (
+                rt.faults.retransmissions - state.faults_base[1]
+            )
+            report.duplicate_messages = (
+                rt.faults.duplicates - state.faults_base[2]
+            )
+            report.comm_timeouts = rt.faults.timeouts - state.faults_base[3]
         return report
 
 

@@ -27,11 +27,19 @@ recovery it re-materializes lost primaries from the parity tier and
 rebuilds missing parity blocks so protection does not erode across a long
 campaign.
 
-Simulation note: XOR blocks are *really* computed over the pickled
-payload bytes (reconstruction round-trips through ``pickle.loads`` and is
+Simulation note: XOR blocks are *really* computed over the members' byte
+streams (reconstruction re-materializes the payload and is
 checksum-verified against the original), while the virtual-time charge
 follows the cost model's dirty-bytes accounting — the same
-wall-work/modeled-cost split the rest of the store uses.
+wall-work/modeled-cost split the rest of the store uses.  When every
+member of a group is a single-contiguous-array payload (``Vector``,
+``DenseMatrix``, or a bare ndarray) the stream is the **raw NumPy
+buffer** viewed as ``uint8`` — no pickling, no padding beyond the group
+maximum, and reconstruction rebuilds the payload from the recorded
+``(class, dtype, shape)`` codec.  Ragged payloads (multi-array sparse
+partitions, containers) fall back to the pickled encoding per group; the
+CRC gates and the block-size accounting are the same in both modes, only
+the byte stream differs.
 """
 
 from __future__ import annotations
@@ -57,6 +65,32 @@ PARITY_TIER = -2
 
 def _pickled(payload: Any) -> bytes:
     return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _raw_codec(payload: Any) -> Optional[Tuple[tuple, np.ndarray]]:
+    """``(codec, flat uint8 view)`` for single-array payloads, else None.
+
+    The raw XOR fast path applies to payloads whose bytes are exactly one
+    C-contiguous NumPy buffer: a bare ndarray, or a wrapper (``Vector``,
+    ``DenseMatrix``) whose ``payload_arrays()`` is its sole ``.data``
+    array and whose constructor rebuilds from that array.  The codec
+    ``(cls_or_None, dtype_str, shape)`` is everything reconstruction
+    needs; ragged payloads (sparse partitions, containers) return None
+    and the group falls back to the pickled encoding.
+    """
+    if type(payload) is np.ndarray:
+        arr, cls = payload, None
+    else:
+        arrays = getattr(payload, "payload_arrays", None)
+        if arrays is None:
+            return None
+        backing = arrays()
+        if len(backing) != 1 or backing[0] is not getattr(payload, "data", None):
+            return None
+        arr, cls = backing[0], type(payload)
+    if type(arr) is not np.ndarray or not arr.flags.c_contiguous:
+        return None
+    return (cls, arr.dtype.str, arr.shape), arr.view(np.uint8).reshape(-1)
 
 
 class ParityObjectSnapshot(DistObjectSnapshot):
@@ -97,8 +131,13 @@ class ParityObjectSnapshot(DistObjectSnapshot):
         self._parity: Set[int] = set()
         #: CRC-32 per parity block, recorded at build time.
         self._parity_checksums: Dict[int, int] = {}
-        #: Serialized length per key (the truncation bound at reconstruct).
+        #: Stream length per key (the truncation bound at reconstruct):
+        #: raw buffer bytes in raw mode, pickled length in fallback mode.
         self._parity_lengths: Dict[int, int] = {}
+        #: Groups whose block XORs raw NumPy buffers (vs pickled blobs).
+        self._parity_raw: Set[int] = set()
+        #: Per-key ``(cls, dtype, shape)`` rebuild recipe for raw groups.
+        self._parity_codecs: Dict[int, tuple] = {}
         #: Base snapshot donating clean partitions (delta saves).
         self._parity_base: Optional["ParityObjectSnapshot"] = None
         #: Bytes held in parity blocks (the ~1/g overhead; part of
@@ -154,6 +193,8 @@ class ParityObjectSnapshot(DistObjectSnapshot):
         self._parity_base = base
         super().save_clean_from(ctx, key, base)
         self._parity_lengths[key] = base._parity_lengths.get(key, 0)
+        if key in base._parity_codecs:
+            self._parity_codecs[key] = base._parity_codecs[key]
         self._after_key_saved(key)
 
     def _after_key_saved(self, key: int) -> None:
@@ -196,6 +237,10 @@ class ParityObjectSnapshot(DistObjectSnapshot):
         block = rt.heap_of(parity_place.id).get(base._parity_key(gidx))
         rt.heap_of(parity_place.id).put(self._parity_key(gidx), block)
         self._parity_checksums[gidx] = base._parity_checksums[gidx]
+        if gidx in base._parity_raw:
+            self._parity_raw.add(gidx)
+        else:
+            self._parity_raw.discard(gidx)
         if base._canonical(gidx) in base._verified:
             self._verified.add(self._canonical(gidx))
         self._parity.add(gidx)
@@ -215,22 +260,36 @@ class ParityObjectSnapshot(DistObjectSnapshot):
         cost = rt.cost
         members = self._saved_members(gidx)
         parity_place = self._parity_place(gidx)
-        blobs: Dict[int, bytes] = {}
-        for m in members:
-            payload = rt.heap_of(self.group[m].id).get(self._primary_key(m))
-            blobs[m] = _pickled(payload)
-            self._parity_lengths[m] = len(blobs[m])
-        maxlen = max(len(b) for b in blobs.values())
+        payloads = {
+            m: rt.heap_of(self.group[m].id).get(self._primary_key(m))
+            for m in members
+        }
+        raw = {m: _raw_codec(p) for m, p in payloads.items()}
+        streams: Dict[int, np.ndarray] = {}
+        if all(rc is not None for rc in raw.values()):
+            # Raw mode: XOR the members' contiguous buffers directly — no
+            # pickling, no per-member blob materialization.
+            self._parity_raw.add(gidx)
+            for m, rc in raw.items():
+                self._parity_codecs[m] = rc[0]
+                streams[m] = rc[1]
+        else:
+            self._parity_raw.discard(gidx)
+            for m in members:
+                self._parity_codecs.pop(m, None)
+                streams[m] = np.frombuffer(_pickled(payloads[m]), dtype=np.uint8)
+        for m, stream in streams.items():
+            self._parity_lengths[m] = stream.size
+        maxlen = max(stream.size for stream in streams.values())
         acc = np.zeros(maxlen, dtype=np.uint8)
-        for blob in blobs.values():
-            arr = np.frombuffer(blob, dtype=np.uint8)
-            acc[: len(arr)] ^= arr
+        for stream in streams.values():
+            acc[: stream.size] ^= stream
         acc.setflags(write=False)
         charged_bytes = 0
         for m in charge_keys:
-            if m not in blobs:
+            if m not in streams:
                 continue
-            nbytes = len(blobs[m])
+            nbytes = streams[m].size
             src = self.group[m].id
             if src != parity_place.id:
                 arrive = rt.engine.transfer(
@@ -371,35 +430,73 @@ class ParityObjectSnapshot(DistObjectSnapshot):
             if not self._verify_copy(m, 0, place.id, self._primary_key(m)):
                 return None
         cost = rt.cost
+        raw = gidx in self._parity_raw
         block = rt.heap_of(parity_place.id).get(self._parity_key(gidx))
         acc = np.array(block, dtype=np.uint8)
         xored = payload_nbytes(block)
         for m in peers:
             payload = rt.heap_of(self.group[m].id).get(self._primary_key(m))
-            blob = _pickled(payload)
-            arr = np.frombuffer(blob, dtype=np.uint8)
-            acc[: len(arr)] ^= arr
-            xored += len(blob)
+            if raw:
+                rc = _raw_codec(payload)
+                if rc is None:
+                    # A peer no longer matches the raw encoding the block
+                    # was built with — the XOR equation cannot be solved.
+                    return None
+                stream = rc[1]
+            else:
+                stream = np.frombuffer(_pickled(payload), dtype=np.uint8)
+            if stream.size > acc.size:
+                # The member's byte stream outgrew the block since it was
+                # built — a re-materialized primary whose serialized form
+                # drifted (possible in the pickled encoding only; raw
+                # buffers are value-determined).  The XOR equation no
+                # longer covers the member: drop the stale block so the
+                # next checkpoint or repair pass rebuilds it, and fall
+                # through to the next tier.
+                nb = payload_nbytes(block)
+                self.parity_nbytes -= nb
+                self.total_nbytes -= nb
+                rt.heap_of(parity_place.id).remove_if_present(
+                    self._parity_key(gidx)
+                )
+                self._parity.discard(gidx)
+                self._verified.discard(self._canonical(gidx))
+                return None
+            acc[: stream.size] ^= stream
+            xored += stream.size
             src = self.group[m].id
             if src != parity_place.id:
                 arrive = rt.engine.transfer(
-                    src, parity_place.id, len(blob), rt.clock.now(src)
+                    src, parity_place.id, stream.size, rt.clock.now(src)
                 )
                 rt.clock.set_at_least(parity_place.id, arrive)
                 rt.stats.messages += 1
-                rt.stats.bytes_sent += cost.scaled_bytes(len(blob))
+                rt.stats.bytes_sent += cost.scaled_bytes(stream.size)
         length = self._parity_lengths.get(key)
         if length is None or length > acc.size:
             self.quarantined.append(self._canonical(gidx))
             return None
-        payload = pickle.loads(acc[:length].tobytes())
+        if raw:
+            codec = self._parity_codecs.get(key)
+            if codec is None:
+                self.quarantined.append(self._canonical(gidx))
+                return None
+            cls, dtype, shape = codec
+            data = (
+                np.frombuffer(acc[:length].tobytes(), dtype=np.dtype(dtype))
+                .reshape(shape)
+                .copy()
+            )
+            payload = data if cls is None else cls(data)
+        else:
+            payload = pickle.loads(acc[:length].tobytes())
         freeze_payload(payload)
         nbytes = payload_nbytes(payload)
         rt.clock.advance(
             parity_place.id,
             cost.flops(xored) + cost.memcpy(nbytes) + cost.checksum(nbytes),
         )
-        if memoized_checksum(payload, None) != self._checksums.get(key):
+        if memoized_checksum(payload, None) != self._expected_checksum(key):
             # The block XORed clean but the result does not hash to the
             # partition saved — a silently corrupt peer slipped through.
             # Quarantine the block and fall through to the next tier.
@@ -557,6 +654,7 @@ class ParityObjectSnapshot(DistObjectSnapshot):
             for place in self.group:
                 rt.check_alive(place.id)
         repaired = 0
+        refilled_groups: Set[int] = set()
         for key in sorted(self._saved_keys):
             home = self.group[key]
             if not rt.is_alive(home.id):
@@ -583,6 +681,7 @@ class ParityObjectSnapshot(DistObjectSnapshot):
                 rt.clock.advance(home.id, rt.cost.memcpy(nbytes))
             rt.heap_of(home.id).put(self._primary_key(key), payload)
             self._verified.add((key, 0))
+            refilled_groups.add(self._parity_group(key))
             repaired += 1
         for gidx in self._groups():
             parity_place = self._parity_place(gidx)
@@ -591,6 +690,32 @@ class ParityObjectSnapshot(DistObjectSnapshot):
             if gidx in self._parity and rt.heap_of(parity_place.id).contains(
                 self._parity_key(gidx)
             ):
+                if gidx not in refilled_groups or gidx in self._parity_raw:
+                    continue
+                # A pickled-mode group with a refilled primary: the
+                # re-materialized payload may serialize differently than
+                # at build time, silently invalidating the XOR equation.
+                # Drop the stale block and rebuild it below (raw groups
+                # are value-determined and keep their block).  Not
+                # counted in ``repaired`` — the block was never lost.
+                block = rt.heap_of(parity_place.id).get(self._parity_key(gidx))
+                nb = payload_nbytes(block)
+                self.parity_nbytes -= nb
+                self.total_nbytes -= nb
+                rt.heap_of(parity_place.id).remove_if_present(
+                    self._parity_key(gidx)
+                )
+                self._parity.discard(gidx)
+                self._verified.discard(self._canonical(gidx))
+                members = self._saved_members(gidx)
+                if all(
+                    rt.is_alive(self.group[m].id)
+                    and rt.heap_of(self.group[m].id).contains(
+                        self._primary_key(m)
+                    )
+                    for m in members
+                ):
+                    self._build_parity(gidx, charge_keys=members)
                 continue
             members = self._saved_members(gidx)
             complete = all(
@@ -617,6 +742,8 @@ class ParityObjectSnapshot(DistObjectSnapshot):
                 for m in self._group_members(gidx):
                     heap.remove_if_present(self._recon_key(m))
         self._parity.clear()
+        self._parity_raw.clear()
+        self._parity_codecs.clear()
         super().delete()
 
     def __repr__(self) -> str:

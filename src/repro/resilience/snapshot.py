@@ -30,7 +30,11 @@ from abc import ABC, abstractmethod
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.resilience.placement import ReplicaPlacement, RingPlacement
-from repro.runtime.exceptions import DataLossError, SnapshotCorruptionError
+from repro.runtime.exceptions import (
+    DataLossError,
+    DeadPlaceException,
+    SnapshotCorruptionError,
+)
 from repro.runtime.place import PlaceGroup
 from repro.runtime.runtime import PlaceContext, Runtime
 from repro.util.bytesize import memoized_nbytes, payload_nbytes
@@ -92,6 +96,10 @@ class DistObjectSnapshot:
         self.backups = backups
         self.placement = placement if placement is not None else RingPlacement()
         self._offsets = self.placement.offsets(backups, group.size)
+        #: ``_backup_homes[replica - 1][key]`` — the modular placement
+        #: arithmetic tabulated once (rebuilt when the group is rebound);
+        #: the save/intact/delete loops hit it tens of times per key.
+        self._backup_homes: List[List[Any]] = self._home_table()
         self.stable_fallback = stable_fallback
         self._stable: Dict[int, Any] = {}
         self._saved_keys: set = set()
@@ -107,6 +115,14 @@ class DistObjectSnapshot:
         self.fallback_reads = 0
         #: CRC-32 recorded per key at save time (ground truth for verify).
         self._checksums: Dict[int, int] = {}
+        #: ``key -> (payload, token)`` whose CRC has not been computed yet.
+        #: Snapshot payloads are frozen (byte-immutable) for the snapshot's
+        #: lifetime and corruption strikes replace heap entries with
+        #: *copies*, so hashing the retained reference on first verify
+        #: yields the same CRC the save would have — most checkpoints are
+        #: deleted unverified, skipping the hash pass entirely.  The
+        #: virtual-time charge stays at save (see :meth:`save_from`).
+        self._crc_pending: Dict[int, Any] = {}
         #: ``(key, tier)`` copies known clean — verified copies are not
         #: re-hashed, so health polling stays timing-neutral.
         self._verified: set = set()
@@ -121,9 +137,16 @@ class DistObjectSnapshot:
     def _backup_key(self, key: int, replica: int = 1) -> tuple:
         return ("snapb", self.snap_id, key, replica)
 
+    def _home_table(self) -> List[List[Any]]:
+        group, size = self.group, self.group.size
+        return [
+            [group[(key + offset) % size] for key in range(size)]
+            for offset in self._offsets
+        ]
+
     def _backup_place(self, key: int, replica: int):
         """The place holding the *replica*-th backup of *key*."""
-        return self.group[(key + self._offsets[replica - 1]) % self.group.size]
+        return self._backup_homes[replica - 1][key]
 
     # -- saving ------------------------------------------------------------
 
@@ -154,12 +177,14 @@ class DistObjectSnapshot:
                 f"not from {ctx.place}",
             )
         rt = self.runtime
+        zero = rt.engine.zero_fast()
         freeze_payload(payload)
         # Sized after the freeze so the token-keyed memo applies (a re-save
         # of an unchanged partition skips the recursive measuring pass).
         nbytes = memoized_nbytes(payload, token)
         ctx.heap.put(self._primary_key(key), payload)
-        ctx.charge_memcpy(nbytes)
+        if not zero:
+            ctx.charge_memcpy(nbytes)
         fanout = []
         for replica in range(1, self.backups + 1):
             backup_place = self._backup_place(key, replica)
@@ -173,25 +198,37 @@ class DistObjectSnapshot:
                 ctx.heap.put(self._backup_key(key, replica), payload)
         if fanout:
             cost = rt.cost
-            rt.engine.transfer_fanout(
-                ctx.place.id, [pid for pid, _ in fanout], nbytes, ctx.now
-            )
-            for pid, heap_key in fanout:
-                rt.heap_of(pid).put(heap_key, payload)
-            rt.clock.set_at_least(
-                ctx.place.id, ctx.now + len(fanout) * cost.message(0)
-            )
+            if zero:
+                # All timing lands on 0.0; only liveness (checked in the
+                # same order the per-destination transfers would) and the
+                # stats trail remain, byte math expression-identical.
+                alive = rt._alive
+                for pid, _ in fanout:
+                    if not alive.get(pid, False):
+                        raise DeadPlaceException(pid)
+                for pid, heap_key in fanout:
+                    rt._heaps[pid].put(heap_key, payload)
+            else:
+                rt.engine.transfer_fanout(
+                    ctx.place.id, [pid for pid, _ in fanout], nbytes, ctx.now
+                )
+                for pid, heap_key in fanout:
+                    rt.heap_of(pid).put(heap_key, payload)
+                rt.clock.set_at_least(
+                    ctx.place.id, ctx.now + len(fanout) * cost.message(0)
+                )
             rt.stats.messages += len(fanout)
             rt.stats.bytes_sent += len(fanout) * cost.scaled_bytes(nbytes)
         if self.stable_fallback:
             rt.engine.stable_write(ctx.place.id, nbytes)
             self._stable[key] = payload
-        # Checksum the partition once at save; every tier starts verified
-        # (they hold the very object just hashed).  The CRC itself is
-        # memoized by token — a re-save of unchanged-but-untrackable bytes
-        # still charges virtual hash time, but skips the wall-clock pass.
-        self._checksums[key] = memoized_checksum(payload, token)
-        ctx.charge_seconds(rt.cost.checksum(nbytes))
+        # The partition is checksummed *once per save* in virtual time;
+        # the actual CRC pass is deferred until a verify first needs it
+        # (the payload reference is immutable, so late hashing is exact).
+        self._checksums.pop(key, None)
+        self._crc_pending[key] = (payload, token)
+        if not zero:
+            ctx.charge_seconds(rt.cost.checksum(nbytes))
         self._verified.add((key, 0))
         for replica in range(1, self.backups + 1):
             self._verified.add((key, replica))
@@ -286,7 +323,9 @@ class DistObjectSnapshot:
             )
         if self.stable_fallback:
             self._stable[key] = base._stable[key]
-        if key in base._checksums:
+        if key in base._crc_pending:
+            self._crc_pending[key] = base._crc_pending[key]
+        elif key in base._checksums:
             self._checksums[key] = base._checksums[key]
         tiers = [0] + list(range(1, self.backups + 1))
         if self.stable_fallback:
@@ -333,7 +372,8 @@ class DistObjectSnapshot:
         when the *last* surviving copies were quarantined — corrupt data is
         never silently restored.
         """
-        require(key in self._saved_keys, f"snapshot has no key {key}")
+        if key not in self._saved_keys:
+            require(False, f"snapshot has no key {key}")
         rt = self.runtime
         primary = self.group[key]
         quarantined_before = len(self.quarantined)
@@ -360,6 +400,14 @@ class DistObjectSnapshot:
             f"(primary {primary} and its replica set; no stable-storage tier)"
         )
 
+    def _expected_checksum(self, key: int) -> Optional[int]:
+        """Ground-truth CRC of *key*, computing a deferred one on demand."""
+        pending = self._crc_pending.pop(key, None)
+        if pending is not None:
+            payload, token = pending
+            self._checksums[key] = memoized_checksum(payload, token)
+        return self._checksums.get(key)
+
     def _verify_copy(
         self, key: int, tier: int, place_id: int, heap_key: Optional[tuple]
     ) -> bool:
@@ -378,7 +426,7 @@ class DistObjectSnapshot:
         else:
             payload = rt.heap_of(place_id).get(heap_key)
             rt.clock.advance(place_id, rt.cost.checksum(payload_nbytes(payload)))
-        expected = self._checksums.get(key)
+        expected = self._expected_checksum(key)
         if expected is None or memoized_checksum(payload, self._versions.get(key)) == expected:
             self._verified.add((key, tier))
             return True
@@ -482,11 +530,12 @@ class DistObjectSnapshot:
             if charge:
                 self.runtime.clock.advance(src_id, charge)
             payload = extract(payload)
-        nbytes = payload_nbytes(payload)
         if src_id == ctx.place.id:
-            ctx.charge_memcpy(nbytes)
+            # Local read: the size only feeds the (zero) memcpy charge.
+            if not self.runtime.engine.zero_fast():
+                ctx.charge_memcpy(payload_nbytes(payload))
         else:
-            _ = ctx.read_remote(src_id, heap_key, nbytes)
+            _ = ctx.read_remote(src_id, heap_key, payload_nbytes(payload))
         return payload
 
     def verify_all(self) -> Tuple[int, int]:
@@ -589,21 +638,24 @@ class DistObjectSnapshot:
             "rebind_group cannot resize the snapshot group",
         )
         self.group = new_group
+        self._backup_homes = self._home_table()
 
     # -- lifecycle --------------------------------------------------------------
 
     def delete(self) -> None:
         """Free all surviving copies (old checkpoints are deleted on commit)."""
         rt = self.runtime
+        alive = rt._alive
+        heaps = rt._heaps
+        snap_id = self.snap_id
         for key in self._saved_keys:
-            copies = [(self.group[key], self._primary_key(key))]
-            copies += [
-                (self._backup_place(key, r), self._backup_key(key, r))
-                for r in range(1, self.backups + 1)
-            ]
-            for place, heap_key in copies:
-                if rt.is_alive(place.id):
-                    rt.heap_of(place.id).remove_if_present(heap_key)
+            pid = self.group[key].id
+            if alive.get(pid, False):
+                heaps[pid].remove_if_present(("snap", snap_id, key))
+            for r in range(1, self.backups + 1):
+                pid = self._backup_place(key, r).id
+                if alive.get(pid, False):
+                    heaps[pid].remove_if_present(("snapb", snap_id, key, r))
         self._stable.clear()
         self._saved_keys.clear()
 

@@ -20,6 +20,16 @@ class VirtualClock:
     place cannot appear to be "in the past".
     """
 
+    #: False while every timeline has only ever held 0.0 — the class-level
+    #: default also covers clocks unpickled from older captures.  Combined
+    #: with ``CostModel.is_zero`` this licenses the zero-time fast paths:
+    #: if no charge can be nonzero and nothing external (a detector
+    #: heartbeat, a service stream arrival) has moved a clock, every
+    #: ``now()`` is provably 0.0 and the bookkeeping that shuffles those
+    #: zeros around can be skipped wholesale.  Monotone: any nonzero store
+    #: flips it permanently.
+    _moved = False
+
     def __init__(self) -> None:
         self._times: Dict[int, float] = {}
         #: Straggler slowdown factors: work charged to these places takes
@@ -31,6 +41,8 @@ class VirtualClock:
         """Start a timeline for *place_id* at *at_time*."""
         if place_id in self._times:
             raise ValueError(f"place {place_id} already registered")
+        if at_time:
+            self._moved = True
         self._times[place_id] = at_time
 
     def now(self, place_id: int) -> float:
@@ -63,6 +75,7 @@ class VirtualClock:
             raise ValueError(f"cannot advance clock by negative time {seconds}")
         if self._slowdown:
             seconds *= self._slowdown.get(place_id, 1.0)
+        self._moved = True
         self._times[place_id] += seconds
         return self._times[place_id]
 
@@ -70,11 +83,14 @@ class VirtualClock:
         """Force a timeline to *time* (runtime-internal: used by the finish
         engine to start concurrent tasks from the phase-start time even
         though the interpreter runs them one after another)."""
+        if time:
+            self._moved = True
         self._times[place_id] = time
 
     def set_at_least(self, place_id: int, time: float) -> float:
         """Move *place_id* forward to *time* if it is behind (message wait)."""
         if time > self._times[place_id]:
+            self._moved = True
             self._times[place_id] = time
         return self._times[place_id]
 
@@ -84,6 +100,8 @@ class VirtualClock:
         if not ids:
             return 0.0
         t = max(self._times[i] for i in ids)
+        if t:
+            self._moved = True
         for i in ids:
             self._times[i] = t
         return t

@@ -103,6 +103,27 @@ def _finish_phase(
     return report.end
 
 
+def _zero_collective(
+    rt: Runtime, label: str, size: int, n_edges: int, scaled_bytes: float
+) -> float:
+    """Zero-time completion shared by the collective fast paths.
+
+    Every binomial/flat pattern over a *size*-place group moves exactly
+    *n_edges* payload messages and completes a *size*-task finish; under
+    :meth:`~repro.engine.scheduler.Scheduler.zero_fast` all its timing
+    math lands on 0.0, so only the stats trail remains.  The byte counter
+    accumulates by repeated addition, bit-identical to the per-edge loop.
+    """
+    stats = rt.stats
+    for _ in range(n_edges):
+        stats.messages += 1
+        stats.bytes_sent += scaled_bytes
+    rt.engine.complete_finish_zero(
+        rt, label, size, size, 2 * size if rt.resilient else 0
+    )
+    return 0.0
+
+
 def point_to_point(rt: Runtime, src_id: int, dst_id: int, nbytes: float) -> float:
     """One payload message from *src* to *dst*; returns arrival time.
 
@@ -132,6 +153,8 @@ def tree_broadcast(
     check_group_alive(rt, group)
     clock, cost = rt.clock, rt.cost
     size = group.size
+    if rt.engine.zero_fast():
+        return _zero_collective(rt, label, size, size - 1, cost.scaled_bytes(nbytes))
     t_start = clock.now(rt.DRIVER_ID)
 
     # Virtual ranks: rank 0 = root; rank r lives at group index
@@ -177,6 +200,10 @@ def flat_gather(
     check_index(root_index, group.size, "root_index")
     check_group_alive(rt, group)
     clock, cost = rt.clock, rt.cost
+    if rt.engine.zero_fast():
+        return _zero_collective(
+            rt, label, group.size, group.size - 1, cost.scaled_bytes(nbytes_each)
+        )
     root_id = group[root_index].id
     t_start = clock.now(rt.DRIVER_ID)
 
@@ -213,6 +240,8 @@ def tree_reduce(
     check_group_alive(rt, group)
     clock, cost = rt.clock, rt.cost
     size = group.size
+    if rt.engine.zero_fast():
+        return _zero_collective(rt, label, size, size - 1, cost.scaled_bytes(nbytes))
     t_start = clock.now(rt.DRIVER_ID)
 
     def pid(rank: int) -> int:

@@ -79,6 +79,25 @@ class CostModel:
         # frozen; the tables are not fields, so eq/repr/replace ignore them.
         for table in ("_msg_memo", "_memcpy_memo", "_disk_memo", "_cksum_memo", "_shm_memo"):
             object.__setattr__(self, table, {})
+        # With every rate zero no charge can ever be nonzero, whatever the
+        # multipliers say — the hot paths consult this to skip virtual-time
+        # arithmetic that provably computes 0.0 (see Runtime.finish_tasks).
+        object.__setattr__(
+            self,
+            "is_zero",
+            not (
+                self.flop_time
+                or self.latency
+                or self.byte_time
+                or self.task_spawn_time
+                or self.task_join_time
+                or self.ledger_event_time
+                or self.memcpy_byte_time
+                or self.shm_byte_time
+                or self.disk_byte_time
+                or self.checksum_byte_time
+            ),
+        )
 
     # -- constructors ------------------------------------------------------
 

@@ -93,7 +93,7 @@ class PlaceZeroLedger:
             self.stats.stall_time += seconds
 
 
-@dataclass
+@dataclass(slots=True)
 class FinishReport:
     """Timing decomposition of one finish, for tests and benchmarks."""
 

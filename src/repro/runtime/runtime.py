@@ -134,6 +134,10 @@ class PlaceContext:
         if src_place_id == self.place.id:
             return self.heap.get(key)
         rt.check_alive(src_place_id)
+        if rt.engine.zero_fast():
+            rt.stats.messages += 2
+            rt.stats.bytes_sent += rt.cost.scaled_bytes(nbytes)
+            return rt.heap_of(src_place_id).get(key)
         cost = rt.cost
         clock = rt.clock
         t_req = self.now + cost.message(0)
@@ -285,13 +289,14 @@ class Runtime:
 
     def check_alive(self, place_id: int) -> None:
         """Raise ``DeadPlaceException`` unless the place is alive."""
-        if not self.is_alive(place_id):
+        if not self._alive.get(place_id, False):
             raise DeadPlaceException(place_id)
 
     def heap_of(self, place_id: int) -> PlaceHeap:
         """The heap of a live place (``DeadPlaceException`` otherwise)."""
-        self.check_alive(place_id)
-        return self._heaps[place_id]
+        if self._alive.get(place_id, False):
+            return self._heaps[place_id]
+        raise DeadPlaceException(place_id)
 
     def kill(self, place_id: int) -> None:
         """Fail-stop the place: destroy its heap, mark it dead.
@@ -541,6 +546,62 @@ class Runtime:
         ``DeadPlaceException`` / ``MultipleException`` if any group member
         was dead or died during the phase — exactly X10's finish semantics.
         """
+        cost = self.cost
+        if cost.is_zero and not self.clock._moved and not self.engine._tl_enabled:
+            # Same zero-time fast path as :meth:`finish_tasks`, minus the
+            # ``(place, fn)`` pair list — this is the hottest call in a
+            # chaos campaign, so the constant-``fn`` loop is worth its own
+            # copy.  Stats accumulation mirrors the slow path exactly.
+            self.phase += 1
+            self._fire_due_failures()
+            driver = self.DRIVER_ID
+            alive = self._alive
+            stats = self.stats
+            ctx_cache = self._ctx_cache
+            arg_scaled = cost.scaled_bytes(arg_bytes)
+            failures = []
+            results = [None] * len(group)
+            n_live = 0
+            for index, place in enumerate(group):
+                pid = place.id
+                if not alive.get(pid, False):
+                    failures.append(DeadPlaceException(pid))
+                    continue
+                n_live += 1
+                if pid != driver:
+                    stats.messages += 1
+                    stats.bytes_sent += arg_scaled
+                ctx = ctx_cache.get(pid)
+                if ctx is None or ctx.heap.destroyed:
+                    ctx = self.context(place)
+                try:
+                    results[index] = fn(ctx)
+                except DeadPlaceException as exc:
+                    failures.append(exc)
+            report = self.engine.complete_finish_zero(
+                self,
+                label,
+                n_live,
+                n_live,
+                2 * n_live if self.resilient else 0,
+                ret_bytes=ret_bytes,
+                dead_places=(
+                    [pid for f in failures for pid in getattr(f, "places", [])]
+                    if failures
+                    else None
+                ),
+            )
+            if self.trace.enabled:
+                self.trace.emit(
+                    "finish",
+                    report.end,
+                    label=label,
+                    tasks=n_live,
+                    dead=report.dead_places,
+                )
+            if failures:
+                raise collapse_failures(failures)
+            return results
         return self.finish_tasks(
             [(place, fn) for place in group],
             arg_bytes=arg_bytes,
@@ -566,6 +627,63 @@ class Runtime:
 
         clock, cost = self.clock, self.cost
         driver = self.DRIVER_ID
+
+        if cost.is_zero and not clock._moved and not self.engine._tl_enabled:
+            # Zero-time fast path: every clock read below would return 0.0
+            # and every charge would write 0.0 back (see Scheduler.zero_fast
+            # for the invariant), so the per-task time bookkeeping — the
+            # avail map, the spawn/arrival recurrences, the ledger arrival
+            # list — is dead weight.  Chaos campaigns run their thousands
+            # of schedules under CostModel.zero() and live here.  Stats
+            # accumulation mirrors the slow path operation for operation.
+            alive = self._alive
+            stats = self.stats
+            ctx_cache = self._ctx_cache
+            arg_scaled = cost.scaled_bytes(arg_bytes)
+            failures = []
+            results = [None] * len(tasks)
+            n_live = 0
+            for index, (place, fn) in enumerate(tasks):
+                pid = place.id
+                if not alive.get(pid, False):
+                    failures.append(DeadPlaceException(pid))
+                    continue
+                n_live += 1
+                if pid != driver:
+                    stats.messages += 1
+                    stats.bytes_sent += arg_scaled
+                ctx = ctx_cache.get(pid)
+                if ctx is None or ctx.heap.destroyed:
+                    ctx = self.context(place)
+                try:
+                    results[index] = fn(ctx)
+                except DeadPlaceException as exc:
+                    failures.append(exc)
+            report = self.engine.complete_finish_zero(
+                self,
+                label,
+                n_live,
+                n_live,
+                2 * n_live if self.resilient else 0,
+                ret_bytes=ret_bytes,
+                dead_places=(
+                    [pid for f in failures for pid in getattr(f, "places", [])]
+                    if failures
+                    else None
+                ),
+            )
+            if self.trace.enabled:
+                self.trace.emit(
+                    "finish",
+                    report.end,
+                    label=label,
+                    tasks=n_live,
+                    dead=report.dead_places,
+                )
+            if failures:
+                raise collapse_failures(failures)
+            return results
+
         t_start = clock.now(driver)
 
         failures: List[Exception] = []

@@ -38,9 +38,7 @@ from repro.apps.resilient import (
     LogRegResilient,
     PageRankResilient,
 )
-from repro.resilience.executor import NonResilientExecutor
-from repro.runtime.cost import CostModel
-from repro.runtime.factory import make_runtime
+from repro.baseline import failure_free_result
 from repro.util.validation import check_positive, require
 
 
@@ -214,18 +212,11 @@ class BaselineCache:
 
     Numerical results depend only on (app, group size, iterations) — never
     on the cost model or on which concrete place ids ran the job — so one
-    tiny zero-cost single-job runtime per distinct shape suffices.
+    tiny zero-cost single-job runtime per distinct shape suffices.  Since
+    the chaos campaigns need the identical answers, the storage is the
+    process-wide memo of :mod:`repro.baseline`, shared across service
+    instances, streams, and campaign runs alike.
     """
 
-    def __init__(self) -> None:
-        self._cache: Dict[Tuple[str, int, int], np.ndarray] = {}
-
     def get(self, app: str, places: int, iterations: int) -> np.ndarray:
-        key = (app, places, iterations)
-        if key not in self._cache:
-            nonres_cls, _, wl_factory, result_of = SERVICE_APPS[app]
-            rt = make_runtime(places, cost=CostModel.zero())
-            instance = nonres_cls(rt, wl_factory(iterations))
-            NonResilientExecutor(rt, instance).run()
-            self._cache[key] = np.asarray(result_of(instance))
-        return self._cache[key]
+        return failure_free_result(SERVICE_APPS, app, places, iterations)

@@ -35,6 +35,21 @@ def next_version() -> int:
     return next(_version_counter)
 
 
+def ensure_version_floor(floor: int) -> None:
+    """Advance the global counter to at least *floor*.
+
+    A simulator image captured in one process may be resumed in another
+    whose counter lags it (a ``spawn`` pool worker starts from 1).  A fresh
+    token colliding with a token recorded inside the image would break the
+    "equal tokens imply equal bytes" contract, so every resume first lifts
+    the counter past the highest token the image could contain.  Burns one
+    token to read the current position — uniqueness is unaffected.
+    """
+    global _version_counter
+    current = next(_version_counter)
+    _version_counter = itertools.count(max(current, floor))
+
+
 def version_token(payload: Any) -> Any:
     """The current mutation token of *payload*, or ``None`` if untracked.
 

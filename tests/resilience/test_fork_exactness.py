@@ -1,0 +1,213 @@
+"""Property suite: fork/resume of the simulator is bitwise exact.
+
+For each scenario the straight-through run is executed once with a
+``boundary_hook`` that captures a :class:`~repro.engine.fork.SimulatorImage`
+at *every* iteration-commit boundary — with scripted kills armed, delta
+checkpointing, parity placement, or a failure detector in flight.  Every
+image is then resumed to completion and must reproduce the straight run's
+``ExecutionReport``, final vector, virtual clock, and message counters
+*bitwise* (exact float equality, not tolerances) — the invariant the chaos
+prefix cache (:mod:`repro.chaos`) is built on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import numpy as np
+import pytest
+
+from repro.chaos import CHAOS_APPS, CampaignConfig, _build_world
+from repro.engine.fork import ForkContext
+from repro.resilience.executor import IterativeExecutor, RestoreMode
+from repro.resilience.placement import make_placement
+from repro.resilience.store import AppResilientStore
+from repro.runtime.cost import CostModel
+from repro.runtime.detector import PhiAccrualDetector
+from repro.runtime.factory import make_runtime
+from repro.runtime.failure import ScriptedKill
+
+
+def _fingerprint(executor, report):
+    """Everything a resumed run must reproduce exactly."""
+    rt = executor.runtime
+    return {
+        "report": asdict(report),
+        "time": rt.clock.global_time(),
+        "messages": rt.stats.messages,
+        "bytes_sent": rt.stats.bytes_sent,
+        "finishes": len(rt.stats.finish_reports),
+    }
+
+
+def _run_with_captures(config: CampaignConfig, kills, checkpoint_mode="blocking"):
+    """Straight run with *kills* armed, capturing an image at every boundary."""
+    rt, app, _, executor = _build_world(
+        config, RestoreMode.SHRINK, checkpoint_mode
+    )
+    for kill in kills:
+        rt.injector.add(kill)
+    context = ForkContext()
+    images = {}
+
+    def snap(boundary: int) -> bool:
+        images[boundary] = context.capture(executor)
+        return True
+
+    report = executor.run(boundary_hook=snap)
+    _, _, _, result_of = CHAOS_APPS[config.app]
+    return (
+        _fingerprint(executor, report),
+        np.asarray(result_of(app)).copy(),
+        images,
+        config.app,
+    )
+
+
+def _resume_and_check(images, expected_fp, expected_result, app_name):
+    """Resume every captured boundary; each must match the straight run."""
+    _, _, _, result_of = CHAOS_APPS[app_name]
+    assert images, "no boundaries captured"
+    for boundary, image in sorted(images.items()):
+        forked = image.load()
+        report = forked.run()
+        fp = _fingerprint(forked, report)
+        assert fp == expected_fp, f"fork at boundary {boundary} diverged"
+        result = np.asarray(result_of(forked.app))
+        assert np.array_equal(result, expected_result), (
+            f"fork at boundary {boundary}: final vector not bitwise identical"
+        )
+
+
+KILLS = [
+    ScriptedKill(place_id=2, iteration=3),
+    ScriptedKill(place_id=4, iteration=5),
+]
+
+
+@pytest.mark.parametrize("app", ["linreg", "pagerank", "cg"])
+def test_every_boundary_fork_is_exact_checkpoint(app):
+    config = CampaignConfig(
+        app=app, places=6, iterations=8, checkpoint_interval=2, schedules=1
+    )
+    fp, result, images, name = _run_with_captures(config, KILLS)
+    _resume_and_check(images, fp, result, name)
+
+
+def test_every_boundary_fork_is_exact_reconstruct():
+    config = CampaignConfig(
+        app="cg",
+        places=6,
+        iterations=8,
+        checkpoint_interval=2,
+        schedules=1,
+        spares=2,
+        recovery="reconstruct",
+    )
+    fp, result, images, name = _run_with_captures(config, KILLS)
+    _resume_and_check(images, fp, result, name)
+
+
+def test_every_boundary_fork_is_exact_overlapped_delta():
+    config = CampaignConfig(
+        app="linreg",
+        places=6,
+        iterations=8,
+        checkpoint_interval=2,
+        schedules=1,
+        ckpt_delta=True,
+    )
+    fp, result, images, name = _run_with_captures(
+        config, KILLS, checkpoint_mode="overlapped"
+    )
+    _resume_and_check(images, fp, result, name)
+
+
+def test_every_boundary_fork_is_exact_parity_placement():
+    config = CampaignConfig(
+        app="pagerank",
+        places=8,
+        iterations=8,
+        checkpoint_interval=2,
+        schedules=1,
+        replicas=1,
+        placement="parity:3",
+    )
+    fp, result, images, name = _run_with_captures(config, KILLS)
+    _resume_and_check(images, fp, result, name)
+
+
+def test_fork_with_detector_suspicion_in_flight():
+    """Capture boundaries while a phi-accrual detector (whose heartbeats
+    move the virtual clocks) and an armed kill are live in the world."""
+    app_name = "cg"
+    _, res_cls, wl_factory, result_of = CHAOS_APPS[app_name]
+    rt = make_runtime(6, cost=CostModel.zero(), resilient=True)
+    app = res_cls(rt, wl_factory(8))
+    rt.injector.add(ScriptedKill(place_id=3, iteration=4))
+    detector = PhiAccrualDetector(rt, detect_timeout=5.0)
+    store = AppResilientStore(rt, replicas=2, placement=make_placement("spread"))
+    executor = IterativeExecutor(
+        rt,
+        app,
+        store=store,
+        checkpoint_interval=2,
+        mode=RestoreMode.SHRINK,
+        detector=detector,
+    )
+    context = ForkContext()
+    images = {}
+
+    def snap(boundary: int) -> bool:
+        images[boundary] = context.capture(executor)
+        return True
+
+    report = executor.run(boundary_hook=snap)
+    fp = _fingerprint(executor, report)
+    result = np.asarray(result_of(app)).copy()
+    _resume_and_check(images, fp, result, app_name)
+
+
+def test_sibling_forks_are_independent():
+    """Two forks of one image cannot perturb each other (CoW isolation):
+    resuming the same boundary twice gives identical results, and the
+    shared frozen arrays are never written through."""
+    config = CampaignConfig(
+        app="linreg", places=6, iterations=8, checkpoint_interval=2, schedules=1
+    )
+    fp, result, images, name = _run_with_captures(config, KILLS)
+    _, _, _, result_of = CHAOS_APPS[name]
+    mid = sorted(images)[len(images) // 2]
+    first = images[mid].load()
+    report_a = first.run()
+    second = images[mid].load()
+    report_b = second.run()
+    assert asdict(report_a) == asdict(report_b)
+    assert _fingerprint(first, report_a) == fp
+    assert _fingerprint(second, report_b) == fp
+    assert np.array_equal(np.asarray(result_of(first.app)), result)
+    assert np.array_equal(np.asarray(result_of(second.app)), result)
+
+
+def test_pause_resume_on_origin_equals_fork():
+    """run() pausing at a boundary and continuing on the *origin* executor
+    is the same as continuing on a fork taken there."""
+    config = CampaignConfig(
+        app="cg", places=6, iterations=8, checkpoint_interval=2, schedules=1
+    )
+    _, _, _, result_of = CHAOS_APPS[config.app]
+    rt, app, _, executor = _build_world(config, RestoreMode.SHRINK, "blocking")
+    for kill in KILLS:
+        rt.injector.add(kill)
+    context = ForkContext()
+    paused = executor.run(boundary_hook=lambda b: b < 4)
+    assert paused is None
+    image = context.capture(executor)
+    report_origin = executor.run()
+    fp = _fingerprint(executor, report_origin)
+    result = np.asarray(result_of(app)).copy()
+
+    forked = image.load()
+    report_fork = forked.run()
+    assert _fingerprint(forked, report_fork) == fp
+    assert np.array_equal(np.asarray(result_of(forked.app)), result)
